@@ -1,0 +1,155 @@
+// Command flashbench regenerates the paper's tables and figures on the
+// simulated device.
+//
+// Usage:
+//
+//	flashbench -exp all                 # everything (several minutes)
+//	flashbench -exp table7,table8      # specific experiments
+//	flashbench -exp fig6 -iters 10     # the multi-model trace
+//	flashbench -models ViT,ResNet      # restrict the model set
+//	flashbench -budget 500ms           # per-window CP budget
+//
+// Experiment ids: table1 table4 table6 table7 table8 table9 fig2 fig6 fig7
+// fig8 fig9 fig10 abl-chunk abl-window abl-fallback abl-cache abl-capacity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids (or 'all')")
+	modelsFlag := flag.String("models", "", "comma-separated Table 6 abbreviations (default: all 11)")
+	budget := flag.Duration("budget", 100*time.Millisecond, "per-window CP solve budget")
+	branches := flag.Int64("branches", 8000, "per-window CP branch budget")
+	iters := flag.Int("iters", 10, "multi-model iterations for fig6")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.SolveTimeout = *budget
+	cfg.MaxBranches = *branches
+	if *modelsFlag != "" {
+		cfg.Models = strings.Split(*modelsFlag, ",")
+	}
+	r := experiments.NewRunner(cfg)
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{"table1", "table4", "table6", "table7", "table8", "table9",
+			"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "warmstart",
+			"abl-chunk", "abl-window", "abl-fallback", "abl-cache", "abl-capacity"}
+	}
+	for _, id := range ids {
+		out, err := run(r, strings.TrimSpace(id), *iters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flashbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}
+
+func run(r *experiments.Runner, id string, iters int) (string, error) {
+	switch id {
+	case "table1":
+		rows, err := r.Table1()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable1(rows), nil
+	case "table4":
+		return experiments.RenderTable4(r.Table4()), nil
+	case "table6":
+		return experiments.RenderTable6(r.Table6()), nil
+	case "table7":
+		res, err := r.Table7()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable7(res), nil
+	case "table8":
+		res, err := r.Table8()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable8(res), nil
+	case "table9":
+		rows, err := r.Table9()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable9(rows), nil
+	case "fig2":
+		return experiments.RenderFigure2(r.Figure2()), nil
+	case "fig6":
+		res, err := r.Figure6(iters)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure6(res), nil
+	case "fig7":
+		rows, err := r.Figure7()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure7(rows), nil
+	case "fig8":
+		curves, err := r.Figure8()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure8(curves), nil
+	case "fig9":
+		rows, err := r.Figure9()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure9(rows), nil
+	case "fig10":
+		rows, err := r.Figure10()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure10(rows), nil
+	case "warmstart":
+		rows, err := r.WarmStart()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderWarmStart(rows), nil
+	case "abl-chunk":
+		rows, err := r.AblationChunkSize()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderAblation("Ablation: chunk size S (ViT)", rows), nil
+	case "abl-window":
+		rows, err := r.AblationWindow()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderAblation("Ablation: rolling-window span (ViT)", rows), nil
+	case "abl-fallback":
+		rows, err := r.AblationFallback()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderAblation("Ablation: solver fallback modes (ViT)", rows), nil
+	case "abl-cache":
+		return experiments.RenderAblationTextureCache(r.AblationTextureCache()), nil
+	case "abl-capacity":
+		rows, err := r.AblationCapacitySource()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderAblation("Ablation: capacity source (ViT)", rows), nil
+	default:
+		return "", fmt.Errorf("unknown experiment id %q", id)
+	}
+}

@@ -1,0 +1,69 @@
+// Command flashmem-run executes one model end-to-end under FlashMem or a
+// baseline framework and prints latency, memory, and energy.
+//
+// Usage:
+//
+//	flashmem-run -model SD-UNet
+//	flashmem-run -model ViT -framework SmartMem
+//	flashmem-run -model GPTN-1.3B -device "Xiaomi Mi 6"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	model := flag.String("model", "ViT", "model abbreviation (Table 6)")
+	framework := flag.String("framework", "FlashMem", "FlashMem or a baseline (MNN, NCNN, TVM, LiteRT, ExecuTorch, SmartMem)")
+	devName := flag.String("device", "OnePlus 12", "device name")
+	budget := flag.Duration("budget", 100*time.Millisecond, "per-window CP budget")
+	flag.Parse()
+
+	var dev flashmem.Device
+	found := false
+	for _, d := range flashmem.Devices() {
+		if d.Name == *devName {
+			dev, found = d, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "flashmem-run: unknown device %q\n", *devName)
+		os.Exit(1)
+	}
+
+	rt := flashmem.New(dev, flashmem.WithSolverBudget(*budget, 8000))
+
+	var res flashmem.Result
+	if *framework == "FlashMem" {
+		m, err := rt.Load(*model)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flashmem-run:", err)
+			os.Exit(1)
+		}
+		p := m.Plan()
+		fmt.Printf("Plan: %d layers, %.0f%% streamed, |W| = %.0f MB, solver %s\n",
+			p.Layers, p.OverlapFraction*100, p.PreloadMB, p.SolverStatus)
+		res = m.Run()
+	} else {
+		var err error
+		res, err = rt.RunBaseline(*framework, *model)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flashmem-run:", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("%s on %s (%s)\n", *model, res.Device, *framework)
+	fmt.Printf("  integrated: %8.1f ms (init %.1f + exec %.1f)\n", res.IntegratedMS, res.InitMS, res.ExecMS)
+	fmt.Printf("  memory:     %8.1f MB avg, %.1f MB peak (OOM: %v)\n", res.AvgMemMB, res.PeakMemMB, res.OOM)
+	fmt.Printf("  energy:     %8.2f J at %.1f W average\n", res.EnergyJ, res.AvgPowerW)
+	if res.Stalls > 0 {
+		fmt.Printf("  stalls:     %d kernels waited on streamed weights\n", res.Stalls)
+	}
+}

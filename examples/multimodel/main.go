@@ -1,0 +1,50 @@
+// Multimodel: the camera-based augmented-reality pipeline from the paper's
+// introduction — depth analysis, classification, image generation, and
+// speech recognition models activated in FIFO succession (§2.2), where
+// preloading frameworks pay a full load + layout transform on every
+// activation and FlashMem streams instead.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	rt := flashmem.New(flashmem.OnePlus12())
+	session := rt.NewSession()
+
+	pipeline := []string{"DepthA-S", "ViT", "SD-UNet", "Whisper-M", "GPTN-1.3B"}
+	for _, abbr := range pipeline {
+		m, err := rt.Load(abbr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		session.Add(m)
+		fmt.Printf("planned %-10s (%2.0f%% streamed)\n", abbr, m.Plan().OverlapFraction*100)
+	}
+
+	// 3 interleaved rounds of the whole pipeline (Figure 6 runs 10).
+	res, err := session.RunFIFO(session.Interleaved(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%d requests in %.1f s total\n", len(res.Events), res.TotalMS/1000)
+	fmt.Printf("peak memory %.0f MB, average %.0f MB (OOM: %v)\n\n", res.PeakMemMB, res.AvgMemMB, res.OOM)
+
+	perModel := map[string][]float64{}
+	for _, e := range res.Events {
+		perModel[e.Model] = append(perModel[e.Model], e.LatencyMS)
+	}
+	fmt.Println("mean request latency per model:")
+	for model, lats := range perModel {
+		sum := 0.0
+		for _, l := range lats {
+			sum += l
+		}
+		fmt.Printf("  %-22s %8.1f ms over %d activations\n", model, sum/float64(len(lats)), len(lats))
+	}
+}

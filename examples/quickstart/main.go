@@ -1,0 +1,39 @@
+// Quickstart: plan and run one model under FlashMem on the OnePlus 12 and
+// compare against a preloading framework.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	rt := flashmem.New(flashmem.OnePlus12())
+
+	model, err := rt.Load("ViT")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plan := model.Plan()
+	fmt.Printf("ViT plan: %d lowered layers, %d weight tensors\n", plan.Layers, plan.Weights)
+	fmt.Printf("  streamed during inference: %.0f%% of weight bytes\n", plan.OverlapFraction*100)
+	fmt.Printf("  preload set |W|:           %.1f MB\n", plan.PreloadMB)
+	fmt.Printf("  solver:                    %s over %d windows\n\n", plan.SolverStatus, plan.SolverWindows)
+
+	ours := model.Run()
+	fmt.Printf("FlashMem : %7.1f ms integrated, %6.1f MB avg memory, %.2f J\n",
+		ours.IntegratedMS, ours.AvgMemMB, ours.EnergyJ)
+
+	for _, fw := range []string{"MNN", "SmartMem"} {
+		base, err := rt.RunBaseline(fw, "ViT")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s: %7.1f ms integrated, %6.1f MB avg memory, %.2f J  (%.1fx slower, %.1fx more memory)\n",
+			fw, base.IntegratedMS, base.AvgMemMB, base.EnergyJ,
+			base.IntegratedMS/ours.IntegratedMS, base.AvgMemMB/ours.AvgMemMB)
+	}
+}

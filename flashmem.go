@@ -1,0 +1,256 @@
+// Package flashmem is the public API of the FlashMem reproduction: a memory
+// streaming framework for large-DNN and multi-DNN inference on (simulated)
+// mobile GPUs, after "FlashMem: Supporting Modern DNN Workloads on Mobile
+// with GPU Memory Hierarchy Optimizations" (ASPLOS 2026).
+//
+// Instead of preloading all weights, FlashMem statically computes an
+// overlap plan — which weight chunks are loaded from disk and transformed
+// into 2.5D texture memory at which layer — and streams weights during
+// inference, overlapping I/O with compute through branch-free pipelined
+// kernels.
+//
+// Quickstart:
+//
+//	rt := flashmem.New(flashmem.OnePlus12())
+//	model, err := rt.Load("ViT")
+//	if err != nil { ... }
+//	res := model.Run()
+//	fmt.Println(res.IntegratedMS, res.AvgMemMB)
+package flashmem
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// Device is a simulated mobile platform profile.
+type Device = device.Device
+
+// The four evaluation devices (§5.1).
+func OnePlus12() Device { return device.OnePlus12() }
+func OnePlus11() Device { return device.OnePlus11() }
+func Pixel8() Device    { return device.Pixel8() }
+func XiaomiMi6() Device { return device.XiaomiMi6() }
+
+// Devices returns all device profiles.
+func Devices() []Device { return device.All() }
+
+// Models returns the Table 6 model abbreviations the zoo can build.
+func Models() []string {
+	var out []string
+	for _, s := range models.All() {
+		out = append(out, s.Abbr)
+	}
+	return out
+}
+
+// Frameworks returns the baseline framework names.
+func Frameworks() []string {
+	var out []string
+	for _, f := range baselines.All() {
+		out = append(out, f.Name)
+	}
+	return out
+}
+
+// Option configures a Runtime.
+type Option func(*core.Options)
+
+// WithMPeak sets the in-flight transform memory budget (§3.1 C2).
+func WithMPeak(b units.Bytes) Option {
+	return func(o *core.Options) { o.Config.MPeak = b }
+}
+
+// WithLambda sets the preload-vs-distance objective weight λ (§3.1).
+func WithLambda(l float64) Option {
+	return func(o *core.Options) { o.Config.Lambda = l }
+}
+
+// WithChunkSize sets the weight slicing granularity S.
+func WithChunkSize(s units.Bytes) Option {
+	return func(o *core.Options) { o.Config.ChunkSize = s }
+}
+
+// WithSolverBudget bounds the per-window CP effort.
+func WithSolverBudget(timeout time.Duration, branches int64) Option {
+	return func(o *core.Options) {
+		o.Config.SolveTimeout = timeout
+		o.Config.MaxBranches = branches
+	}
+}
+
+// WithoutAdaptiveFusion disables the §4.3 adaptive fusion loop.
+func WithoutAdaptiveFusion() Option {
+	return func(o *core.Options) { o.AdaptiveFusion = false }
+}
+
+// WithoutKernelRewriting disables §4.4 pipelined kernels; streamed chunks
+// then cost dedicated transform kernels.
+func WithoutKernelRewriting() Option {
+	return func(o *core.Options) { o.KernelRewriting = false }
+}
+
+// Runtime plans and executes models on one device.
+type Runtime struct {
+	engine *core.Engine
+	dev    Device
+}
+
+// New builds a FlashMem runtime for a device.
+func New(dev Device, opts ...Option) *Runtime {
+	o := core.DefaultOptions(dev)
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &Runtime{engine: core.NewEngine(o), dev: dev}
+}
+
+// Model is a planned, executable model.
+type Model struct {
+	rt   *Runtime
+	abbr string
+	prep *core.Prepared
+}
+
+// Load builds and plans a Table 6 model by abbreviation (see Models()).
+func (rt *Runtime) Load(abbr string) (*Model, error) {
+	spec, ok := models.ByAbbr(abbr)
+	if !ok {
+		return nil, fmt.Errorf("flashmem: unknown model %q (see flashmem.Models())", abbr)
+	}
+	return rt.LoadGraph(abbr, spec.Build())
+}
+
+// LoadGraph plans a custom lowered graph.
+func (rt *Runtime) LoadGraph(name string, g *graph.Graph) (*Model, error) {
+	prep, err := rt.engine.Prepare(g)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{rt: rt, abbr: name, prep: prep}, nil
+}
+
+// Result is one end-to-end run outcome.
+type Result struct {
+	Model  string
+	Device string
+
+	IntegratedMS float64
+	InitMS       float64
+	ExecMS       float64
+
+	PeakMemMB float64
+	AvgMemMB  float64
+	OOM       bool
+
+	Kernels int
+	Stalls  int
+
+	AvgPowerW float64
+	EnergyJ   float64
+}
+
+// Run executes the model cold and reports latency, memory, and energy.
+func (m *Model) Run() Result {
+	rep, machine := m.rt.engine.Execute(m.prep)
+	u := power.Default().Measure(machine, rep.Integrated)
+	return Result{
+		Model:        m.abbr,
+		Device:       rep.Device,
+		IntegratedMS: rep.Integrated.Milliseconds(),
+		InitMS:       rep.Init.Milliseconds(),
+		ExecMS:       rep.Exec.Milliseconds(),
+		PeakMemMB:    rep.Mem.Peak.MiB(),
+		AvgMemMB:     rep.Mem.Average.MiB(),
+		OOM:          rep.Mem.OOM,
+		Kernels:      rep.Kernels,
+		Stalls:       rep.Stalls,
+		AvgPowerW:    u.AveragePowerW,
+		EnergyJ:      u.EnergyJ,
+	}
+}
+
+// PlanSummary describes the overlap plan the solver produced.
+type PlanSummary struct {
+	Layers          int
+	Weights         int
+	OverlapFraction float64 // weight bytes streamed during execution
+	PreloadMB       float64 // the |W| set
+	SolverStatus    string
+	SolverWindows   int
+	FallbackGreedy  int
+}
+
+// Plan summarizes the model's overlap plan.
+func (m *Model) Plan() PlanSummary {
+	p := m.prep.Plan
+	return PlanSummary{
+		Layers:          m.prep.Graph.Len(),
+		Weights:         len(p.Weights),
+		OverlapFraction: p.OverlapFraction(),
+		PreloadMB:       p.PreloadBytes().MiB(),
+		SolverStatus:    p.Stats.Status.String(),
+		SolverWindows:   p.Stats.Windows,
+		FallbackGreedy:  p.Stats.Fallbacks.Greedy,
+	}
+}
+
+// KernelSource is one generated GPU kernel.
+type KernelSource struct {
+	Name      string
+	Source    string
+	Pipelined bool
+}
+
+// Kernels renders up to limit of the model's rewritten kernels (§4.4);
+// limit < 0 renders all.
+func (m *Model) Kernels(limit int) ([]KernelSource, error) {
+	ks, err := m.rt.engine.GenerateKernels(m.prep, limit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]KernelSource, len(ks))
+	for i, k := range ks {
+		out[i] = KernelSource{Name: k.Name, Source: k.Source, Pipelined: k.Pipelined}
+	}
+	return out, nil
+}
+
+// RunBaseline executes a model under a preloading framework (see
+// Frameworks()). It returns an error when the framework does not support
+// the model or runs out of memory — Table 7's "–" cells.
+func (rt *Runtime) RunBaseline(framework, abbr string) (Result, error) {
+	f, ok := baselines.ByName(framework)
+	if !ok {
+		return Result{}, fmt.Errorf("flashmem: unknown framework %q", framework)
+	}
+	spec, ok := models.ByAbbr(abbr)
+	if !ok {
+		return Result{}, fmt.Errorf("flashmem: unknown model %q", abbr)
+	}
+	rep, machine, err := f.Run(spec.Build(), abbr, rt.dev)
+	if err != nil {
+		return Result{}, err
+	}
+	u := power.Default().Measure(machine, rep.Integrated())
+	return Result{
+		Model:        abbr,
+		Device:       rep.Device,
+		IntegratedMS: rep.Integrated().Milliseconds(),
+		InitMS:       rep.Init.Milliseconds(),
+		ExecMS:       rep.Exec.Milliseconds(),
+		PeakMemMB:    rep.Mem.Peak.MiB(),
+		AvgMemMB:     rep.Mem.Average.MiB(),
+		OOM:          rep.Mem.OOM,
+		AvgPowerW:    u.AveragePowerW,
+		EnergyJ:      u.EnergyJ,
+	}, nil
+}

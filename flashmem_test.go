@@ -1,0 +1,169 @@
+package flashmem
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func fastRuntime(opts ...Option) *Runtime {
+	base := []Option{WithSolverBudget(40*time.Millisecond, 2500)}
+	return New(OnePlus12(), append(base, opts...)...)
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	rt := fastRuntime()
+	m, err := rt.Load("ResNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.IntegratedMS <= 0 || res.AvgMemMB <= 0 || res.Kernels == 0 {
+		t.Errorf("degenerate result: %+v", res)
+	}
+	if res.OOM {
+		t.Error("ResNet cannot OOM a flagship")
+	}
+	if res.EnergyJ <= 0 || res.AvgPowerW <= 0 {
+		t.Error("energy not measured")
+	}
+}
+
+func TestUnknownModelAndFramework(t *testing.T) {
+	rt := fastRuntime()
+	if _, err := rt.Load("nope"); err == nil {
+		t.Error("unknown model must error")
+	}
+	if _, err := rt.RunBaseline("nope", "ResNet"); err == nil {
+		t.Error("unknown framework must error")
+	}
+	if _, err := rt.RunBaseline("MNN", "nope"); err == nil {
+		t.Error("unknown model must error")
+	}
+}
+
+func TestBaselineComparison(t *testing.T) {
+	rt := fastRuntime()
+	m, err := rt.Load("ResNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours := m.Run()
+	mnn, err := rt.RunBaseline("MNN", "ResNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ours.IntegratedMS >= mnn.IntegratedMS {
+		t.Errorf("FlashMem %v not faster than MNN %v", ours.IntegratedMS, mnn.IntegratedMS)
+	}
+	if ours.AvgMemMB >= mnn.AvgMemMB {
+		t.Errorf("FlashMem memory %v not below MNN %v", ours.AvgMemMB, mnn.AvgMemMB)
+	}
+}
+
+func TestUnsupportedBaselinePropagates(t *testing.T) {
+	rt := fastRuntime()
+	if _, err := rt.RunBaseline("NCNN", "ViT"); err == nil {
+		t.Error("NCNN on ViT must be unsupported")
+	}
+}
+
+func TestPlanSummary(t *testing.T) {
+	rt := fastRuntime()
+	m, err := rt.Load("ResNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Plan()
+	if p.Layers == 0 || p.Weights == 0 || p.SolverWindows == 0 {
+		t.Errorf("empty plan summary: %+v", p)
+	}
+	if p.OverlapFraction < 0 || p.OverlapFraction > 1 {
+		t.Errorf("overlap fraction %v out of [0,1]", p.OverlapFraction)
+	}
+	if p.SolverStatus != "OPTIMAL" && p.SolverStatus != "FEASIBLE" {
+		t.Errorf("status %q", p.SolverStatus)
+	}
+}
+
+func TestOptionsChangeBehaviour(t *testing.T) {
+	loose, err := fastRuntime().Load("GPTN-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := fastRuntime(WithMPeak(4 * units.MB)).Load("GPTN-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Plan().OverlapFraction > loose.Plan().OverlapFraction {
+		t.Error("tiny M_peak must not stream more than the default")
+	}
+}
+
+func TestKernelGeneration(t *testing.T) {
+	rt := fastRuntime()
+	m, err := rt.Load("ResNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := m.Kernels(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 10 {
+		t.Fatalf("kernels = %d, want 10", len(ks))
+	}
+	for _, k := range ks {
+		if !strings.Contains(k.Source, "__kernel") {
+			t.Errorf("kernel %s has no source", k.Name)
+		}
+	}
+}
+
+func TestSessionFIFO(t *testing.T) {
+	rt := fastRuntime()
+	s := rt.NewSession()
+	ma, err := rt.Load("ResNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := rt.Load("DepthA-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Add(ma)
+	s.Add(mb)
+	res, err := s.RunFIFO(s.Interleaved(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) != 6 {
+		t.Fatalf("events = %d, want 6", len(res.Events))
+	}
+	if res.PeakMemMB <= 0 || res.TotalMS <= 0 || len(res.MemoryTrace) == 0 {
+		t.Errorf("degenerate session result")
+	}
+	// FIFO property: events are contiguous and ordered.
+	for i := 1; i < len(res.Events); i++ {
+		if res.Events[i].StartMS != res.Events[i-1].EndMS {
+			t.Error("events not contiguous")
+		}
+	}
+	if _, err := s.RunFIFO([]string{"nope"}); err == nil {
+		t.Error("unknown model in order must error")
+	}
+}
+
+func TestCatalogues(t *testing.T) {
+	if len(Models()) != 11 {
+		t.Errorf("Models() = %d, want 11", len(Models()))
+	}
+	if len(Frameworks()) != 6 {
+		t.Errorf("Frameworks() = %d, want 6", len(Frameworks()))
+	}
+	if len(Devices()) != 4 {
+		t.Errorf("Devices() = %d, want 4", len(Devices()))
+	}
+}

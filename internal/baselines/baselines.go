@@ -1,0 +1,338 @@
+// Package baselines simulates the competitor frameworks of §5 — MNN, NCNN,
+// TVM, LiteRT, ExecuTorch, and SmartMem — on the same GPU machine model
+// FlashMem runs on.
+//
+// All six use the weight-preloading strategy: load every weight from disk,
+// transform all of them into the execution layout, then run kernels with no
+// streaming. Per-framework overhead factors (kernel setup/compile time per
+// node, transform inefficiency, resident copy multipliers, kernel
+// efficiency, weight layout) are calibrated against the paper's published
+// measurements (Tables 1, 7, 8); model-support gaps mirror Table 7's "–"
+// entries and their stated causes (NCNN's missing transformer ops on mobile
+// GPUs, LiteRT/TVM converter limits, ExecuTorch's operator coverage).
+// Out-of-memory is not special-cased: frameworks whose init footprint
+// exceeds the device app limit (e.g. every baseline on GPTNeo-2.7B) fail
+// from the simulated memory accounting itself.
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/fusion"
+	"repro/internal/gpusim"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/units"
+)
+
+// Framework is one simulated preloading framework.
+type Framework struct {
+	Name string
+
+	// Init-phase factors.
+	LoadFactor      float64        // disk read amplification (parsing, re-reads)
+	SetupPerKernel  units.Duration // pipeline/shader setup per lowered node
+	TransformFactor float64        // layout-transform inefficiency multiplier
+	InitCopies      float64        // peak weight-copy multiplier during init
+	// SetupScalePerGB scales per-kernel setup with model size: research
+	// prototypes (SmartMem) re-plan layouts globally, so their init grows
+	// superlinearly on billion-parameter models (Table 7's 48s init on
+	// GPTN-1.3B).
+	SetupScalePerGB float64
+
+	// Steady-state factors.
+	SteadyUMCopies float64 // weight fraction kept in UM through execution
+
+	// Exec-phase factors.
+	KernelFactor float64 // per-kernel latency multiplier vs the cost model
+	Layout       kernels.Layout
+	Fusion       bool // applies a static fusion pass
+
+	// RuntimeOverhead is the framework's flat resident footprint (runtime
+	// code, compiled pipelines, allocator arenas).
+	RuntimeOverhead units.Bytes
+
+	// Unsupported lists model abbreviations the framework cannot run and
+	// why (Table 7's "–" entries).
+	Unsupported map[string]string
+}
+
+// UnsupportedError reports a model a framework cannot execute.
+type UnsupportedError struct {
+	Framework string
+	Model     string
+	Reason    string
+}
+
+func (e *UnsupportedError) Error() string {
+	return fmt.Sprintf("%s does not support %s: %s", e.Framework, e.Model, e.Reason)
+}
+
+// OOMError reports a run whose memory peak exceeded the device app limit.
+type OOMError struct {
+	Framework string
+	Model     string
+	Peak      units.Bytes
+	Limit     units.Bytes
+}
+
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("%s on %s: out of memory (peak %v > limit %v)", e.Framework, e.Model, e.Peak, e.Limit)
+}
+
+// Report is a baseline run outcome. Init and Exec are reported separately,
+// as Table 7 does for preloading frameworks.
+type Report struct {
+	Framework string
+	Model     string
+	Device    string
+
+	Init units.Duration
+	Exec units.Duration
+	Mem  gpusim.MemStats
+}
+
+// Integrated returns init + exec, the cold-start end-to-end latency.
+func (r Report) Integrated() units.Duration { return r.Init + r.Exec }
+
+// Supports reports whether the framework can run a model (by Table 6
+// abbreviation), with the blocking reason when it cannot.
+func (f *Framework) Supports(abbr string) (bool, string) {
+	if reason, bad := f.Unsupported[abbr]; bad {
+		return false, reason
+	}
+	return true, ""
+}
+
+// Run executes a model cold on a fresh machine. abbr is the Table 6 model
+// abbreviation used for support checks ("" skips the check).
+func (f *Framework) Run(g *graph.Graph, abbr string, dev device.Device) (Report, *gpusim.Machine, error) {
+	if abbr != "" {
+		if ok, reason := f.Supports(abbr); !ok {
+			return Report{}, nil, &UnsupportedError{Framework: f.Name, Model: abbr, Reason: reason}
+		}
+	}
+	m := gpusim.New(dev)
+	rep := f.ExecuteOn(m, g, 0)
+	if m.OOM() {
+		return rep, m, &OOMError{Framework: f.Name, Model: g.Name, Peak: m.PeakBytes(), Limit: dev.AppLimit}
+	}
+	return rep, m, nil
+}
+
+// ExecuteOn runs the preloading strategy on a shared machine starting at
+// `at`: serial full weight load, serial transform pass, then kernel-by-
+// kernel execution. All residency is released at the end of the run (FIFO
+// swap semantics).
+func (f *Framework) ExecuteOn(m *gpusim.Machine, g *graph.Graph, at units.Duration) Report {
+	cm := kernels.NewCostModel(m.Dev)
+	exec := g
+	if f.Fusion {
+		exec = fusion.Fuse(g, fusion.DefaultOptions())
+	}
+	weights := exec.TotalWeightBytes()
+
+	// Phase 1: load the entire model from disk into UM.
+	loadTime := units.Duration(float64(m.Dev.DiskBW.Time(weights)) * f.LoadFactor)
+	_, loadEnd := m.Transfer.Acquire(at, loadTime)
+
+	// Phase 2: per-kernel setup (shader compile, pipeline build) and layout
+	// transforms, serialized on the compute queue after the load completes
+	// (preloading frameworks initialize at the graph level, §1).
+	setup := units.Duration(float64(f.SetupPerKernel) * (1 + f.SetupScalePerGB*weights.GiB()))
+	initCursor := loadEnd
+	for _, n := range exec.Nodes() {
+		d := setup
+		if w := n.Weight(); w > 0 {
+			d += units.Duration(float64(cm.TransformTime(w)) * f.TransformFactor)
+		}
+		_, initCursor = m.Compute.Acquire(initCursor, d)
+	}
+	initEnd := initCursor
+
+	// Init memory: the UM copy lives from load start; transform staging
+	// multiplies the footprint during the transform window.
+	m.UM.Hold(at, initEnd, weights)
+	if f.InitCopies > 2 {
+		staging := units.Bytes(float64(weights) * (f.InitCopies - 2))
+		m.UM.Hold(loadEnd, initEnd, staging)
+	}
+
+	// Phase 3: execution.
+	done := make([]units.Duration, exec.Len())
+	lastConsumer := make([]graph.NodeID, exec.Len())
+	for _, n := range exec.Nodes() {
+		lastConsumer[n.ID] = n.ID
+		for _, in := range n.Inputs {
+			if n.ID > lastConsumer[in] {
+				lastConsumer[in] = n.ID
+			}
+		}
+	}
+	for _, n := range exec.Nodes() {
+		ready := initEnd
+		for _, in := range n.Inputs {
+			if done[in] > ready {
+				ready = done[in]
+			}
+		}
+		d := units.Duration(float64(cm.KernelTime(n, f.Layout)) * f.KernelFactor)
+		_, ke := m.RunKernel(ready, d)
+		done[n.ID] = ke
+	}
+	execEnd := initEnd
+	for _, d := range done {
+		if d > execEnd {
+			execEnd = d
+		}
+	}
+
+	// Texture (execution) copy: built progressively during the transform
+	// window and resident through execution — so the init-phase peak is
+	// UM + staging + TM ≈ InitCopies × weights. Plus whatever the
+	// framework keeps in UM at steady state.
+	m.TM.Hold(loadEnd, execEnd, weights)
+	if f.SteadyUMCopies > 0 {
+		m.UM.Hold(initEnd, execEnd, units.Bytes(float64(weights)*f.SteadyUMCopies))
+	}
+	for _, n := range exec.Nodes() {
+		end := done[lastConsumer[n.ID]]
+		if end <= done[n.ID] {
+			end = done[n.ID] + 0.001
+		}
+		m.TM.Hold(done[n.ID], end, n.OutBytes())
+	}
+	m.UM.Hold(at, execEnd, f.RuntimeOverhead)
+
+	return Report{
+		Framework: f.Name,
+		Model:     g.Name,
+		Device:    m.Dev.Name,
+		Init:      initEnd - at,
+		Exec:      execEnd - initEnd,
+		Mem:       m.Stats(execEnd),
+	}
+}
+
+// transformerUnsupported is NCNN's gap: no LayerNorm/Attention/GeLU on
+// mobile GPUs (§5.2), which rules out every transformer-bearing model.
+func transformerUnsupported() map[string]string {
+	const reason = "missing transformer operators (LayerNorm, Attention) on mobile GPU"
+	out := map[string]string{}
+	for _, abbr := range []string{
+		"GPTN-S", "GPTN-1.3B", "GPTN-2.7B", "SAM-2", "ViT", "DeepViT",
+		"SD-UNet", "Whisper-M", "DepthA-S", "DepthA-L",
+	} {
+		out[abbr] = reason
+	}
+	return out
+}
+
+// MNN returns the simulated MNN framework (Alibaba).
+func MNN() *Framework {
+	return &Framework{
+		Name: "MNN", LoadFactor: 1.3, SetupPerKernel: 0.9,
+		TransformFactor: 5, InitCopies: 3.2, SteadyUMCopies: 0.8,
+		KernelFactor: 1.9, Layout: kernels.Texture25D, Fusion: true,
+		RuntimeOverhead: 64 * units.MB,
+		Unsupported: map[string]string{
+			"GPTN-1.3B": "graph converter fails beyond ~1B parameters",
+			"GPTN-2.7B": "graph converter fails beyond ~1B parameters",
+			"SAM-2":     "unsupported hierarchical attention operators",
+		},
+	}
+}
+
+// NCNN returns the simulated NCNN framework (Tencent).
+func NCNN() *Framework {
+	return &Framework{
+		Name: "NCNN", LoadFactor: 1.2, SetupPerKernel: 2.0,
+		TransformFactor: 4, InitCopies: 3.0, SteadyUMCopies: 1.0,
+		KernelFactor: 1.8, Layout: kernels.Linear, Fusion: true,
+		RuntimeOverhead: 48 * units.MB,
+		Unsupported:     transformerUnsupported(),
+	}
+}
+
+// TVM returns the simulated TVM framework.
+func TVM() *Framework {
+	return &Framework{
+		Name: "TVM", LoadFactor: 1.2, SetupPerKernel: 1.4,
+		TransformFactor: 5, InitCopies: 5.5, SteadyUMCopies: 3.5,
+		KernelFactor: 2.8, Layout: kernels.Texture25D, Fusion: true,
+		RuntimeOverhead: 96 * units.MB,
+		Unsupported: map[string]string{
+			"GPTN-1.3B": "relay importer fails on large decoder graphs",
+			"GPTN-2.7B": "relay importer fails on large decoder graphs",
+			"SAM-2":     "unsupported hierarchical attention operators",
+			"SD-UNet":   "cross-attention conversion unsupported",
+		},
+	}
+}
+
+// LiteRT returns the simulated LiteRT (formerly TensorFlow Lite) framework.
+func LiteRT() *Framework {
+	unsupported := map[string]string{}
+	const reason = "TFLite converter lacks these model architectures on GPU delegate"
+	for _, abbr := range []string{
+		"GPTN-S", "GPTN-1.3B", "GPTN-2.7B", "SAM-2", "SD-UNet",
+		"Whisper-M", "DepthA-S", "DepthA-L",
+	} {
+		unsupported[abbr] = reason
+	}
+	return &Framework{
+		Name: "LiteRT", LoadFactor: 1.2, SetupPerKernel: 0.25,
+		TransformFactor: 2, InitCopies: 4.5, SteadyUMCopies: 2.5,
+		KernelFactor: 1.05, Layout: kernels.Texture25D, Fusion: true,
+		RuntimeOverhead: 72 * units.MB,
+		Unsupported:     unsupported,
+	}
+}
+
+// ExecuTorch returns the simulated ExecuTorch framework: fast init (no
+// texture transforms) but no GPU-specific memory optimization, so kernels
+// run from linear unified memory with poor efficiency (§5.2).
+func ExecuTorch() *Framework {
+	return &Framework{
+		Name: "ExecuTorch", LoadFactor: 1.05, SetupPerKernel: 0.45,
+		TransformFactor: 0, InitCopies: 2.2, SteadyUMCopies: 1.0,
+		KernelFactor: 320, Layout: kernels.Linear, Fusion: false,
+		RuntimeOverhead: 56 * units.MB,
+		Unsupported: map[string]string{
+			"GPTN-2.7B": "exceeds delegate buffer limits",
+			"Whisper-M": "encoder-decoder export unsupported",
+			"DepthA-S":  "DPT head export unsupported",
+			"DepthA-L":  "DPT head export unsupported",
+		},
+	}
+}
+
+// SmartMem returns the simulated SmartMem prototype: FlashMem's precursor
+// with texture-layout-optimized execution (kernel factor 1) but full
+// preloading and a research-grade init path.
+func SmartMem() *Framework {
+	return &Framework{
+		Name: "SmartMem", LoadFactor: 1.25, SetupPerKernel: 1.8,
+		TransformFactor: 6, InitCopies: 3.4, SteadyUMCopies: 0.9,
+		SetupScalePerGB: 1.0,
+		KernelFactor:    1.0, Layout: kernels.Texture25D, Fusion: true,
+		RuntimeOverhead: 64 * units.MB,
+		Unsupported:     map[string]string{},
+	}
+}
+
+// All returns the six baseline frameworks in Table 7 column order.
+func All() []*Framework {
+	return []*Framework{MNN(), NCNN(), TVM(), LiteRT(), ExecuTorch(), SmartMem()}
+}
+
+// ByName looks up a framework.
+func ByName(name string) (*Framework, bool) {
+	for _, f := range All() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return nil, false
+}

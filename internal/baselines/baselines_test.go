@@ -1,0 +1,222 @@
+package baselines
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/opg"
+	"repro/internal/tensor"
+	"repro/internal/units"
+)
+
+func testGraph() *graph.Graph {
+	g := graph.New("toy", tensor.FP16)
+	mb := units.MB
+	for b := 0; b < 10; b++ {
+		g.Op("mm", graph.Part{Kind: graph.MatMul, Weight: 8 * mb, InBytes: mb, OutBytes: mb, MACs: 4e9})
+		g.Op("gelu", graph.Part{Kind: graph.GeLU, InBytes: mb, OutBytes: mb, MACs: 1e6})
+		g.Op("ln", graph.Part{Kind: graph.LayerNorm, Weight: 4 * units.KB, InBytes: mb, OutBytes: mb, MACs: 1e6})
+	}
+	return g
+}
+
+func TestAllFrameworksRun(t *testing.T) {
+	g := testGraph()
+	for _, f := range All() {
+		rep, m, err := f.Run(g, "", device.OnePlus12())
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if rep.Init <= 0 || rep.Exec <= 0 {
+			t.Errorf("%s: non-positive phases %+v", f.Name, rep)
+		}
+		if rep.Mem.Peak < g.TotalWeightBytes() {
+			t.Errorf("%s: preloading peak %v below weights %v", f.Name, rep.Mem.Peak, g.TotalWeightBytes())
+		}
+		series := m.MemorySeries()
+		if series[len(series)-1].Value != 0 {
+			t.Errorf("%s: memory not drained", f.Name)
+		}
+	}
+}
+
+func TestSupportMatrixMirrorsTable7(t *testing.T) {
+	cases := []struct {
+		framework string
+		model     string
+		want      bool
+	}{
+		{"MNN", "GPTN-S", true},
+		{"MNN", "GPTN-1.3B", false},
+		{"NCNN", "ResNet", true},
+		{"NCNN", "ViT", false},
+		{"TVM", "SD-UNet", false},
+		{"TVM", "Whisper-M", true},
+		{"LiteRT", "ResNet", true},
+		{"LiteRT", "ViT", true},
+		{"LiteRT", "GPTN-S", false},
+		{"ExecuTorch", "SAM-2", true},
+		{"ExecuTorch", "Whisper-M", false},
+		{"SmartMem", "SD-UNet", true},
+	}
+	for _, c := range cases {
+		f, ok := ByName(c.framework)
+		if !ok {
+			t.Fatalf("unknown framework %s", c.framework)
+		}
+		got, reason := f.Supports(c.model)
+		if got != c.want {
+			t.Errorf("%s supports %s = %v (%s), want %v", c.framework, c.model, got, reason, c.want)
+		}
+	}
+}
+
+func TestUnsupportedReturnsTypedError(t *testing.T) {
+	g := testGraph()
+	_, _, err := NCNN().Run(g, "ViT", device.OnePlus12())
+	var ue *UnsupportedError
+	if !errors.As(err, &ue) {
+		t.Fatalf("want UnsupportedError, got %v", err)
+	}
+}
+
+func TestGPTNeo27BOOMsEverywhere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large model build in short mode")
+	}
+	g := models.MustByAbbr("GPTN-2.7B").Build()
+	// Every preloading framework must blow the 13 GB app limit on the
+	// 5.6 GB fp16 model with init copy multipliers (§5.2: "none of the
+	// other frameworks supports GPTN-2.7B").
+	for _, f := range []*Framework{MNN(), TVM(), SmartMem()} {
+		_, _, err := f.Run(g, "", device.OnePlus12())
+		var oom *OOMError
+		if !errors.As(err, &oom) {
+			t.Errorf("%s on GPTN-2.7B: want OOM, got %v", f.Name, err)
+		}
+	}
+}
+
+func TestSmartMemFastestExecutor(t *testing.T) {
+	g := testGraph()
+	sm, _, err := SmartMem().Run(g, "", device.OnePlus12())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []*Framework{MNN(), NCNN(), TVM(), ExecuTorch()} {
+		rep, _, err := f.Run(g, "", device.OnePlus12())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Exec < sm.Exec {
+			t.Errorf("%s exec %v faster than SmartMem %v", f.Name, rep.Exec, sm.Exec)
+		}
+	}
+}
+
+func TestExecuTorchSlowestExec(t *testing.T) {
+	g := testGraph()
+	et, _, err := ExecuTorch().Run(g, "", device.OnePlus12())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mnn, _, err := MNN().Run(g, "", device.OnePlus12())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(et.Exec) < 10*float64(mnn.Exec) {
+		t.Errorf("ExecuTorch exec %v should be >10x MNN %v (§5.2)", et.Exec, mnn.Exec)
+	}
+	if et.Init > mnn.Init {
+		t.Errorf("ExecuTorch init %v should beat MNN init %v (no texture transforms)", et.Init, mnn.Init)
+	}
+}
+
+func fastEngine() *core.Engine {
+	o := core.DefaultOptions(device.OnePlus12())
+	o.Config.SolveTimeout = 50 * time.Millisecond
+	o.Config.MaxBranches = 2000
+	o.Fusion.Rounds = 1
+	return core.NewEngine(o)
+}
+
+func TestFlashMemBeatsPreloadingBaselines(t *testing.T) {
+	g := testGraph()
+	e := fastEngine()
+	fm, _, err := e.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range All() {
+		rep, _, err := f.Run(g, "", device.OnePlus12())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fm.Integrated >= rep.Integrated() {
+			t.Errorf("FlashMem %v not faster than %s %v", fm.Integrated, f.Name, rep.Integrated())
+		}
+		if fm.Mem.Average >= rep.Mem.Average {
+			t.Errorf("FlashMem avg mem %v not below %s %v", fm.Mem.Average, f.Name, rep.Mem.Average)
+		}
+	}
+}
+
+func TestNaiveOverlapPlansSlower(t *testing.T) {
+	g := testGraph()
+	e := fastEngine()
+	prep, err := e.Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, _ := e.Execute(prep)
+
+	plans := map[string]*opg.Plan{
+		"always-next": AlwaysNextPlan(g, units.MB),
+		"same-op":     SameOpTypePlan(g, units.MB, 48, 8),
+	}
+	for name, p := range plans {
+		rep, _ := e.Execute(&core.Prepared{Graph: g, Plan: p})
+		if rep.Integrated <= fm.Integrated {
+			t.Errorf("%s (%v) should not beat FlashMem (%v)", name, rep.Integrated, fm.Integrated)
+		}
+	}
+}
+
+func TestNaivePlansCoverEveryWeight(t *testing.T) {
+	g := testGraph()
+	for name, p := range map[string]*opg.Plan{
+		"always-next": AlwaysNextPlan(g, units.MB),
+		"same-op":     SameOpTypePlan(g, units.MB, 48, 8),
+	} {
+		planned := map[graph.NodeID]bool{}
+		for _, w := range p.Weights {
+			planned[w.Weight] = true
+			if w.Preload {
+				continue
+			}
+			sum := 0
+			for _, a := range w.Transforms {
+				sum += a.Chunks
+				if a.Layer >= w.Weight {
+					t.Errorf("%s: transform after consumption", name)
+				}
+			}
+			if sum != w.Chunks {
+				t.Errorf("%s: weight %d covers %d of %d chunks", name, w.Weight, sum, w.Chunks)
+			}
+			if w.LoadStart > w.Transforms[0].Layer {
+				t.Errorf("%s: load start after first transform", name)
+			}
+		}
+		for _, id := range g.WeightedNodes() {
+			if !planned[id] {
+				t.Errorf("%s: weight %d unplanned", name, id)
+			}
+		}
+	}
+}

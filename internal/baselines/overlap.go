@@ -1,0 +1,85 @@
+package baselines
+
+import (
+	"repro/internal/graph"
+	"repro/internal/opg"
+	"repro/internal/units"
+)
+
+// Naive overlap strategies of Figure 9. Both produce opg.Plan values that
+// the FlashMem executor can run, so the comparison isolates the planning
+// policy: same runtime, same kernels, different schedules.
+
+// AlwaysNextPlan prefetches each weight exactly one layer ahead: the disk
+// load starts at layer i_w−1 and every chunk is transformed there,
+// regardless of that layer's class or capacity. The GPU transform step
+// chronically lags the disk (§5.4), producing stalls and oversized
+// single-layer transform bursts.
+func AlwaysNextPlan(g *graph.Graph, chunkSize units.Bytes) *opg.Plan {
+	p := &opg.Plan{Model: g.Name, ChunkSize: chunkSize, MPeak: 1 << 62}
+	for _, id := range g.WeightedNodes() {
+		bytes := g.Node(id).Weight()
+		chunks := opg.Chunks(bytes, chunkSize)
+		wp := opg.WeightPlan{Weight: id, Bytes: bytes, Chunks: chunks}
+		if id == 0 {
+			wp.Preload = true
+		} else {
+			wp.LoadStart = id - 1
+			wp.Transforms = []opg.Assignment{{Layer: id - 1, Chunks: chunks}}
+		}
+		p.Weights = append(p.Weights, wp)
+	}
+	return p
+}
+
+// SameOpTypePlan prefetches only from layers of the same operator kind as
+// the consumer (§5.4's Same-Op-Type Prefetching): chunks spread backwards
+// across preceding same-kind layers within the window, partially capacity
+// aware via the per-layer budget, but blind to class load capacities —
+// compute and data movement stay imbalanced across the model.
+func SameOpTypePlan(g *graph.Graph, chunkSize units.Bytes, window, perLayerChunks int) *opg.Plan {
+	p := &opg.Plan{Model: g.Name, ChunkSize: chunkSize, MPeak: 1 << 62}
+	used := make(map[graph.NodeID]int)
+	for _, id := range g.WeightedNodes() {
+		n := g.Node(id)
+		bytes := n.Weight()
+		chunks := opg.Chunks(bytes, chunkSize)
+		wp := opg.WeightPlan{Weight: id, Bytes: bytes, Chunks: chunks}
+
+		remaining := chunks
+		lo := int(id) - window
+		if lo < 0 {
+			lo = 0
+		}
+		for l := int(id) - 1; l >= lo && remaining > 0; l-- {
+			cand := g.Node(graph.NodeID(l))
+			if cand.Kind() != n.Kind() {
+				continue
+			}
+			avail := perLayerChunks - used[cand.ID]
+			if avail <= 0 {
+				continue
+			}
+			take := avail
+			if take > remaining {
+				take = remaining
+			}
+			wp.Transforms = append(wp.Transforms, opg.Assignment{Layer: cand.ID, Chunks: take})
+			used[cand.ID] += take
+			remaining -= take
+		}
+		if remaining > 0 || len(wp.Transforms) == 0 {
+			// No same-kind predecessors with headroom: preload.
+			wp.Preload = true
+			wp.Transforms = nil
+		} else {
+			// Transforms were filled backwards; order them and set z_w.
+			for i, j := 0, len(wp.Transforms)-1; i < j; i, j = i+1, j-1 {
+				wp.Transforms[i], wp.Transforms[j] = wp.Transforms[j], wp.Transforms[i]
+			}
+			wp.LoadStart = wp.Transforms[0].Layer
+		}
+		p.Weights = append(p.Weights, wp)
+	}
+	return p
+}

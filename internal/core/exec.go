@@ -1,0 +1,213 @@
+package core
+
+import (
+	"repro/internal/gpusim"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/opg"
+	"repro/internal/units"
+)
+
+// ExecResult is the raw timing outcome of one model execution on a machine.
+type ExecResult struct {
+	Start   units.Duration
+	InitEnd units.Duration // preload phase complete
+	ExecEnd units.Duration // last kernel complete
+
+	Kernels   int
+	Stalls    int
+	StallTime units.Duration
+}
+
+// ExecuteOn runs a prepared model on the given machine starting at `at`.
+// All weight and activation residency is released by the end of the run,
+// so consecutive calls on one machine model FIFO multi-DNN swapping.
+//
+// Execution follows the overlap plan:
+//
+//   - Preloaded weights (the set W) are disk-loaded and transformed during
+//     the init phase; their texture copies persist until the run ends.
+//   - A streamed weight's disk load is issued when layer z_w becomes ready;
+//     its chunks are transformed by the layers the plan assigned, embedded
+//     in those kernels (§4.4) or as dedicated transform kernels when kernel
+//     rewriting is disabled.
+//   - A kernel that must transform chunks whose disk load has not finished
+//     stalls, which is how under-provisioned plans show up as latency.
+func (e *Engine) ExecuteOn(m *gpusim.Machine, prep *Prepared, at units.Duration) ExecResult {
+	g, plan := prep.Graph, prep.Plan
+	res := ExecResult{Start: at}
+
+	// Index the plan.
+	loadsAt := map[graph.NodeID][]*opg.WeightPlan{} // z_w → weights
+	type chunkWork struct {
+		w     *opg.WeightPlan
+		bytes units.Bytes
+	}
+	transformsAt := map[graph.NodeID][]chunkWork{} // layer → embedded work
+	remainingTransforms := map[graph.NodeID]int{}  // weight → pending assignments
+	var preloads []*opg.WeightPlan
+	for i := range plan.Weights {
+		w := &plan.Weights[i]
+		if w.Preload {
+			preloads = append(preloads, w)
+			continue
+		}
+		loadsAt[w.LoadStart] = append(loadsAt[w.LoadStart], w)
+		remainingTransforms[w.Weight] = len(w.Transforms)
+		remaining := w.Bytes
+		for _, a := range w.Transforms {
+			b := units.Bytes(a.Chunks) * plan.ChunkSize
+			if b > remaining {
+				b = remaining
+			}
+			remaining -= b
+			transformsAt[a.Layer] = append(transformsAt[a.Layer], chunkWork{w: w, bytes: b})
+		}
+	}
+
+	// Last consumer of each node's output (self if unconsumed).
+	lastConsumer := make([]graph.NodeID, g.Len())
+	for _, n := range g.Nodes() {
+		lastConsumer[n.ID] = n.ID
+		for _, in := range n.Inputs {
+			if n.ID > lastConsumer[in] {
+				lastConsumer[in] = n.ID
+			}
+		}
+	}
+
+	// --- Init phase: the preload set W. ---
+	initEnd := at
+	type openHold struct {
+		start units.Duration
+		bytes units.Bytes
+	}
+	tmPersistent := make([]openHold, 0, len(preloads)) // closed at exec end
+	for _, w := range preloads {
+		ls, le := m.DiskLoad(at, w.Bytes)
+		_, te := m.RunKernel(le, e.cm.TransformTime(w.Bytes))
+		m.UM.Hold(ls, te, w.Bytes)
+		tmPersistent = append(tmPersistent, openHold{start: te, bytes: w.Bytes})
+		if te > initEnd {
+			initEnd = te
+		}
+	}
+	res.InitEnd = initEnd
+
+	// --- Execution phase. ---
+	layout := kernels.Texture25D
+	done := make([]units.Duration, g.Len())
+	loadDone := map[graph.NodeID]units.Duration{} // weight → disk complete
+	umOpen := map[graph.NodeID]units.Duration{}   // weight → UM hold start
+
+	for _, n := range g.Nodes() {
+		ready := initEnd
+		for _, in := range n.Inputs {
+			if done[in] > ready {
+				ready = done[in]
+			}
+		}
+
+		// Issue disk loads whose z_w is this layer.
+		for _, w := range loadsAt[n.ID] {
+			ls, le := m.DiskLoad(ready, w.Bytes)
+			loadDone[w.Weight] = le
+			umOpen[w.Weight] = ls
+		}
+
+		// Gather embedded transform work and its disk gating.
+		var extra units.Bytes
+		needBy := ready
+		work := transformsAt[n.ID]
+		for _, cw := range work {
+			extra += cw.bytes
+			if ld := loadDone[cw.w.Weight]; ld > needBy {
+				needBy = ld
+			}
+		}
+		if needBy > ready {
+			res.Stalls++
+			res.StallTime += needBy - ready
+		}
+
+		var ks, ke units.Duration
+		if e.opts.KernelRewriting || extra == 0 {
+			dur := e.cm.PipelinedTime(n, layout, extra)
+			if extra == 0 {
+				dur = e.cm.KernelTime(n, layout)
+			}
+			ks, ke = m.RunKernel(needBy, dur)
+		} else {
+			// Dedicated transform kernels ahead of the main kernel.
+			for _, cw := range work {
+				tReady := ready
+				if ld := loadDone[cw.w.Weight]; ld > tReady {
+					tReady = ld
+				}
+				m.RunKernel(tReady, e.cm.TransformTime(cw.bytes))
+			}
+			ks, ke = m.RunKernel(ready, e.cm.KernelTime(n, layout))
+		}
+		_ = ks
+		res.Kernels++
+		done[n.ID] = ke
+
+		// Transformed chunks land in the streaming arena (accounted as the
+		// high-water-mark hold below); the weight's UM copy releases once
+		// its last chunk is transformed.
+		for _, cw := range work {
+			remainingTransforms[cw.w.Weight]--
+			if remainingTransforms[cw.w.Weight] == 0 {
+				m.UM.Hold(umOpen[cw.w.Weight], ke, cw.w.Bytes)
+				delete(umOpen, cw.w.Weight)
+			}
+		}
+	}
+
+	execEnd := initEnd
+	for _, d := range done {
+		if d > execEnd {
+			execEnd = d
+		}
+	}
+
+	// Close persistent and remaining holds at execution end.
+	for _, h := range tmPersistent {
+		m.TM.Hold(h.start, execEnd, h.bytes)
+	}
+	for w, start := range umOpen {
+		// Loads issued but never fully transformed would be a plan bug;
+		// close them at exec end so the accounting still balances.
+		m.UM.Hold(start, execEnd, plannedBytes(plan, w))
+	}
+
+	// Activations: output resident from production to last consumption.
+	for _, n := range g.Nodes() {
+		end := done[lastConsumer[n.ID]]
+		if end <= done[n.ID] {
+			end = done[n.ID] + 0.001
+		}
+		m.TM.Hold(done[n.ID], end, n.OutBytes())
+	}
+
+	// Runtime footprint: command queues, compiled pipelines, and allocator
+	// metadata held for the whole run, plus the streaming arena — texture
+	// staging sized at the plan's in-flight high-water mark (≤ M_peak by
+	// C2); arenas do not shrink mid-run.
+	m.UM.Hold(at, execEnd, RuntimeFootprint)
+	m.TM.Hold(initEnd, execEnd, plan.MaxInflightBytes(g.Len()))
+
+	res.ExecEnd = execEnd
+	return res
+}
+
+// RuntimeFootprint is the flat memory cost of the FlashMem runtime itself
+// (queues, compiled kernels, allocator metadata).
+const RuntimeFootprint = 48 * units.MB
+
+func plannedBytes(p *opg.Plan, w graph.NodeID) units.Bytes {
+	if wp, ok := p.ByWeight(w); ok {
+		return wp.Bytes
+	}
+	return 0
+}

@@ -1,0 +1,455 @@
+// Package cpsat is a small constraint-programming solver over bounded
+// integer variables: the stand-in for Google OR-Tools CP-SAT that §3
+// reduces the Overlap Plan Generation problem to.
+//
+// It supports exactly the fragment OPG needs — interval domains, linear
+// constraints with two-sided bounds, reified threshold implications
+// ((x ≥ c) ⇒ (y ≤ d)), and linear objective minimization — implemented
+// honestly: bounds-consistency propagation to fixpoint, depth-first branch
+// and bound with domain bisection, incumbent-driven objective tightening,
+// and a wall-clock time limit yielding OPTIMAL / FEASIBLE / INFEASIBLE /
+// UNKNOWN statuses like the paper's Table 4 reports.
+package cpsat
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Var is a variable handle within one Model.
+type Var int
+
+// Status is the solver outcome.
+type Status int
+
+// Solver outcomes; FEASIBLE means the time limit expired with an incumbent
+// whose optimality was not proven.
+const (
+	Unknown Status = iota
+	Optimal
+	Feasible
+	Infeasible
+)
+
+// String names the status like CP-SAT logs do.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "OPTIMAL"
+	case Feasible:
+		return "FEASIBLE"
+	case Infeasible:
+		return "INFEASIBLE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// linear is lo ≤ Σ coefs·vars ≤ hi.
+type linear struct {
+	vars  []Var
+	coefs []int64
+	lo    int64
+	hi    int64
+}
+
+// implication is (x ≥ c) ⇒ (y ≤ d).
+type implication struct {
+	x Var
+	c int64
+	y Var
+	d int64
+}
+
+// Model accumulates variables and constraints.
+type Model struct {
+	lo, hi []int64
+	names  []string
+
+	linears []linear
+	implies []implication
+
+	objVars  []Var
+	objCoefs []int64
+	hasObj   bool
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model { return &Model{} }
+
+// NewIntVar adds a variable with inclusive domain [lo, hi].
+func (m *Model) NewIntVar(lo, hi int64, name string) Var {
+	if lo > hi {
+		panic(fmt.Sprintf("cpsat: var %s has empty domain [%d,%d]", name, lo, hi))
+	}
+	m.lo = append(m.lo, lo)
+	m.hi = append(m.hi, hi)
+	m.names = append(m.names, name)
+	return Var(len(m.lo) - 1)
+}
+
+// NumVars returns the variable count.
+func (m *Model) NumVars() int { return len(m.lo) }
+
+// AddLinearRange adds lo ≤ Σ coefs·vars ≤ hi.
+func (m *Model) AddLinearRange(vars []Var, coefs []int64, lo, hi int64) {
+	if len(vars) != len(coefs) {
+		panic("cpsat: vars/coefs length mismatch")
+	}
+	m.linears = append(m.linears, linear{
+		vars: append([]Var(nil), vars...), coefs: append([]int64(nil), coefs...),
+		lo: lo, hi: hi,
+	})
+}
+
+// AddLinearLE adds Σ coefs·vars ≤ hi.
+func (m *Model) AddLinearLE(vars []Var, coefs []int64, hi int64) {
+	m.AddLinearRange(vars, coefs, math.MinInt64/4, hi)
+}
+
+// AddLinearEQ adds Σ coefs·vars = v.
+func (m *Model) AddLinearEQ(vars []Var, coefs []int64, v int64) {
+	m.AddLinearRange(vars, coefs, v, v)
+}
+
+// AddImplication adds (x ≥ c) ⇒ (y ≤ d), propagated in both directions.
+func (m *Model) AddImplication(x Var, c int64, y Var, d int64) {
+	m.implies = append(m.implies, implication{x: x, c: c, y: y, d: d})
+}
+
+// Minimize sets the objective Σ coefs·vars.
+func (m *Model) Minimize(vars []Var, coefs []int64) {
+	if len(vars) != len(coefs) {
+		panic("cpsat: objective vars/coefs length mismatch")
+	}
+	m.objVars = append([]Var(nil), vars...)
+	m.objCoefs = append([]int64(nil), coefs...)
+	m.hasObj = true
+}
+
+// Options bounds the search.
+type Options struct {
+	TimeLimit   time.Duration // wall-clock budget; 0 = no limit
+	MaxBranches int64         // branch budget; 0 = no limit
+}
+
+// Result is a solve outcome.
+type Result struct {
+	Status    Status
+	Values    []int64
+	Objective int64
+
+	Branches     int64
+	Propagations int64
+	Elapsed      time.Duration
+}
+
+// Value returns the solution value of v.
+func (r Result) Value(v Var) int64 { return r.Values[v] }
+
+type searcher struct {
+	m *Model
+
+	lo, hi []int64
+
+	best      []int64
+	bestObj   int64
+	hasBest   bool
+	objBound  int64 // incumbent-driven cap: objective ≤ objBound
+	deadline  time.Time
+	hasLimit  bool
+	branches  int64
+	maxBranch int64
+	props     int64
+	timedOut  bool
+}
+
+// Solve runs branch-and-bound and returns the best solution found.
+func (m *Model) Solve(opts Options) Result {
+	start := time.Now()
+	s := &searcher{
+		m:         m,
+		lo:        append([]int64(nil), m.lo...),
+		hi:        append([]int64(nil), m.hi...),
+		objBound:  math.MaxInt64 / 4,
+		maxBranch: opts.MaxBranches,
+	}
+	if opts.TimeLimit > 0 {
+		s.deadline = start.Add(opts.TimeLimit)
+		s.hasLimit = true
+	}
+
+	complete := false
+	if s.propagate(s.lo, s.hi) {
+		complete = s.search(s.lo, s.hi)
+	} else {
+		complete = true // root infeasible, proven
+	}
+
+	res := Result{
+		Branches:     s.branches,
+		Propagations: s.props,
+		Elapsed:      time.Since(start),
+	}
+	switch {
+	case s.hasBest && (complete || !m.hasObj):
+		res.Status = Optimal
+		res.Values = s.best
+		res.Objective = s.bestObj
+	case s.hasBest:
+		res.Status = Feasible
+		res.Values = s.best
+		res.Objective = s.bestObj
+	case complete:
+		res.Status = Infeasible
+	default:
+		res.Status = Unknown
+	}
+	return res
+}
+
+// expired reports whether a search budget ran out.
+func (s *searcher) expired() bool {
+	if s.timedOut {
+		return true
+	}
+	if s.maxBranch > 0 && s.branches >= s.maxBranch {
+		s.timedOut = true
+		return true
+	}
+	if s.hasLimit && s.branches%64 == 0 && time.Now().After(s.deadline) {
+		s.timedOut = true
+		return true
+	}
+	return false
+}
+
+// propagate runs bounds-consistency to fixpoint on (lo, hi) in place.
+// It reports false on a wipeout (infeasible node).
+func (s *searcher) propagate(lo, hi []int64) bool {
+	for changed := true; changed; {
+		changed = false
+		for i := range s.m.linears {
+			ok, ch := s.propLinear(&s.m.linears[i], lo, hi)
+			if !ok {
+				return false
+			}
+			changed = changed || ch
+		}
+		for i := range s.m.implies {
+			ok, ch := s.propImply(&s.m.implies[i], lo, hi)
+			if !ok {
+				return false
+			}
+			changed = changed || ch
+		}
+		if s.m.hasObj {
+			ok, ch := s.propObjective(lo, hi)
+			if !ok {
+				return false
+			}
+			changed = changed || ch
+		}
+	}
+	return true
+}
+
+// propLinear tightens variable bounds against one linear constraint.
+func (s *searcher) propLinear(c *linear, lo, hi []int64) (ok, changed bool) {
+	s.props++
+	var exprLo, exprHi int64
+	for i, v := range c.vars {
+		if c.coefs[i] >= 0 {
+			exprLo += c.coefs[i] * lo[v]
+			exprHi += c.coefs[i] * hi[v]
+		} else {
+			exprLo += c.coefs[i] * hi[v]
+			exprHi += c.coefs[i] * lo[v]
+		}
+	}
+	if exprLo > c.hi || exprHi < c.lo {
+		return false, false
+	}
+	for i, v := range c.vars {
+		k := c.coefs[i]
+		if k == 0 {
+			continue
+		}
+		// Residual bounds of the expression without v's term.
+		var termLo, termHi int64
+		if k > 0 {
+			termLo, termHi = k*lo[v], k*hi[v]
+		} else {
+			termLo, termHi = k*hi[v], k*lo[v]
+		}
+		restLo, restHi := exprLo-termLo, exprHi-termHi
+		// k*v ≤ c.hi - restLo  and  k*v ≥ c.lo - restHi.
+		ubTerm := c.hi - restLo
+		lbTerm := c.lo - restHi
+		var newLo, newHi int64
+		if k > 0 {
+			newHi = floorDiv(ubTerm, k)
+			newLo = ceilDiv(lbTerm, k)
+		} else {
+			newLo = ceilDiv(ubTerm, k)
+			newHi = floorDiv(lbTerm, k)
+		}
+		if newLo > lo[v] {
+			lo[v] = newLo
+			changed = true
+		}
+		if newHi < hi[v] {
+			hi[v] = newHi
+			changed = true
+		}
+		if lo[v] > hi[v] {
+			return false, changed
+		}
+		if changed {
+			// Refresh running expression bounds after a tightening.
+			exprLo, exprHi = 0, 0
+			for j, w := range c.vars {
+				if c.coefs[j] >= 0 {
+					exprLo += c.coefs[j] * lo[w]
+					exprHi += c.coefs[j] * hi[w]
+				} else {
+					exprLo += c.coefs[j] * hi[w]
+					exprHi += c.coefs[j] * lo[w]
+				}
+			}
+			if exprLo > c.hi || exprHi < c.lo {
+				return false, changed
+			}
+		}
+	}
+	return true, changed
+}
+
+// propImply enforces (x ≥ c) ⇒ (y ≤ d) and its contrapositive.
+func (s *searcher) propImply(im *implication, lo, hi []int64) (ok, changed bool) {
+	s.props++
+	if lo[im.x] >= im.c && hi[im.y] > im.d {
+		hi[im.y] = im.d
+		changed = true
+	}
+	if lo[im.y] > im.d && hi[im.x] >= im.c {
+		hi[im.x] = im.c - 1
+		changed = true
+	}
+	if lo[im.x] > hi[im.x] || lo[im.y] > hi[im.y] {
+		return false, changed
+	}
+	return true, changed
+}
+
+// propObjective prunes nodes whose objective lower bound meets or exceeds
+// the incumbent.
+func (s *searcher) propObjective(lo, hi []int64) (ok, changed bool) {
+	if !s.hasBest {
+		return true, false
+	}
+	s.props++
+	var objLo int64
+	for i, v := range s.m.objVars {
+		if s.m.objCoefs[i] >= 0 {
+			objLo += s.m.objCoefs[i] * lo[v]
+		} else {
+			objLo += s.m.objCoefs[i] * hi[v]
+		}
+	}
+	if objLo > s.objBound {
+		return false, false
+	}
+	return true, false
+}
+
+// search explores the subtree under the given (already propagated) domains.
+// It returns true if the subtree was explored exhaustively.
+func (s *searcher) search(lo, hi []int64) bool {
+	if s.expired() {
+		return false
+	}
+	// Find the branching variable: smallest unfixed domain (first-fail).
+	branch := -1
+	var bestSpan int64 = math.MaxInt64
+	for v := range lo {
+		span := hi[v] - lo[v]
+		if span > 0 && span < bestSpan {
+			bestSpan = span
+			branch = v
+		}
+	}
+	if branch < 0 {
+		// All fixed: feasible leaf (propagation already validated bounds).
+		s.record(lo)
+		return true
+	}
+
+	s.branches++
+	mid := lo[branch] + (hi[branch]-lo[branch])/2
+	// Branch order: explore the half that locally improves the objective
+	// first (negative coefficient → prefer large values).
+	lowFirst := s.objCoefFor(Var(branch)) >= 0
+
+	halves := [2][2]int64{{lo[branch], mid}, {mid + 1, hi[branch]}}
+	order := [2]int{0, 1}
+	if !lowFirst {
+		order = [2]int{1, 0}
+	}
+	complete := true
+	for _, oi := range order {
+		nlo := append([]int64(nil), lo...)
+		nhi := append([]int64(nil), hi...)
+		nlo[branch], nhi[branch] = halves[oi][0], halves[oi][1]
+		if s.propagate(nlo, nhi) {
+			if !s.search(nlo, nhi) {
+				complete = false
+			}
+		}
+		if s.expired() {
+			return false
+		}
+	}
+	return complete
+}
+
+// objCoefFor returns the objective coefficient of v (0 if absent).
+func (s *searcher) objCoefFor(v Var) int64 {
+	for i, ov := range s.m.objVars {
+		if ov == v {
+			return s.m.objCoefs[i]
+		}
+	}
+	return 0
+}
+
+// record stores a feasible assignment, tightening the incumbent bound.
+func (s *searcher) record(vals []int64) {
+	var obj int64
+	for i, v := range s.m.objVars {
+		obj += s.m.objCoefs[i] * vals[v]
+	}
+	if !s.hasBest || obj < s.bestObj {
+		s.best = append([]int64(nil), vals...)
+		s.bestObj = obj
+		s.hasBest = true
+		s.objBound = obj - 1
+	}
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) == (b < 0)) {
+		q++
+	}
+	return q
+}

@@ -1,0 +1,264 @@
+package cpsat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSimpleOptimization(t *testing.T) {
+	// Minimize x + 2y subject to x + y >= 5, x in [0,10], y in [0,10].
+	m := NewModel()
+	x := m.NewIntVar(0, 10, "x")
+	y := m.NewIntVar(0, 10, "y")
+	m.AddLinearRange([]Var{x, y}, []int64{1, 1}, 5, 20)
+	m.Minimize([]Var{x, y}, []int64{1, 2})
+	r := m.Solve(Options{})
+	if r.Status != Optimal {
+		t.Fatalf("status = %v, want OPTIMAL", r.Status)
+	}
+	// Best: y = 0, x = 5 → obj 5.
+	if r.Objective != 5 || r.Value(x) != 5 || r.Value(y) != 0 {
+		t.Errorf("solution x=%d y=%d obj=%d, want x=5 y=0 obj=5", r.Value(x), r.Value(y), r.Objective)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// x + y = 7, minimize |preference|: obj = 3x + y → x = 0, y = 7.
+	m := NewModel()
+	x := m.NewIntVar(0, 7, "x")
+	y := m.NewIntVar(0, 7, "y")
+	m.AddLinearEQ([]Var{x, y}, []int64{1, 1}, 7)
+	m.Minimize([]Var{x, y}, []int64{3, 1})
+	r := m.Solve(Options{})
+	if r.Status != Optimal || r.Value(x) != 0 || r.Value(y) != 7 {
+		t.Fatalf("got %v x=%d y=%d", r.Status, r.Value(x), r.Value(y))
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	m := NewModel()
+	x := m.NewIntVar(0, 3, "x")
+	m.AddLinearRange([]Var{x}, []int64{1}, 5, 10) // x >= 5 impossible
+	r := m.Solve(Options{})
+	if r.Status != Infeasible {
+		t.Fatalf("status = %v, want INFEASIBLE", r.Status)
+	}
+}
+
+func TestImplication(t *testing.T) {
+	// (x >= 1) => (z <= 3). Force x = 2; z must drop to <= 3.
+	m := NewModel()
+	x := m.NewIntVar(2, 2, "x")
+	z := m.NewIntVar(0, 10, "z")
+	m.AddImplication(x, 1, z, 3)
+	// Maximize z by minimizing -z.
+	m.Minimize([]Var{z}, []int64{-1})
+	r := m.Solve(Options{})
+	if r.Status != Optimal || r.Value(z) != 3 {
+		t.Fatalf("got %v z=%d, want z=3", r.Status, r.Value(z))
+	}
+}
+
+func TestImplicationContrapositive(t *testing.T) {
+	// (x >= 1) => (z <= 3). Force z = 5; x must be 0.
+	m := NewModel()
+	x := m.NewIntVar(0, 4, "x")
+	z := m.NewIntVar(5, 5, "z")
+	m.AddImplication(x, 1, z, 3)
+	m.Minimize([]Var{x}, []int64{-1}) // maximize x
+	r := m.Solve(Options{})
+	if r.Status != Optimal || r.Value(x) != 0 {
+		t.Fatalf("got %v x=%d, want x=0", r.Status, r.Value(x))
+	}
+}
+
+func TestNegativeCoefficients(t *testing.T) {
+	// 2x - 3y <= 4, maximize x (minimize -x), x,y in [0,5].
+	m := NewModel()
+	x := m.NewIntVar(0, 5, "x")
+	y := m.NewIntVar(0, 5, "y")
+	m.AddLinearLE([]Var{x, y}, []int64{2, -3}, 4)
+	m.Minimize([]Var{x, y}, []int64{-1, 1})
+	r := m.Solve(Options{})
+	// x=5 needs 10-3y<=4 → y>=2; obj = -5+2 = -3.
+	if r.Status != Optimal || r.Value(x) != 5 || r.Value(y) != 2 {
+		t.Fatalf("got %v x=%d y=%d", r.Status, r.Value(x), r.Value(y))
+	}
+}
+
+func TestKnapsackStyle(t *testing.T) {
+	// Chunk-allocation shape: 3 "weights" of sizes 4,3,2 chunks allocated
+	// across 2 "layers" with capacities 5 and 4 (total 9 = exactly enough).
+	m := NewModel()
+	var all []Var
+	sizes := []int64{4, 3, 2}
+	for wi, size := range sizes {
+		row := []Var{
+			m.NewIntVar(0, size, "x0"),
+			m.NewIntVar(0, size, "x1"),
+		}
+		m.AddLinearEQ(row, []int64{1, 1}, size) // C0 completeness
+		all = append(all, row...)
+		_ = wi
+	}
+	// C3 capacity per layer.
+	m.AddLinearLE([]Var{all[0], all[2], all[4]}, []int64{1, 1, 1}, 5)
+	m.AddLinearLE([]Var{all[1], all[3], all[5]}, []int64{1, 1, 1}, 4)
+	r := m.Solve(Options{})
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	l0 := r.Value(all[0]) + r.Value(all[2]) + r.Value(all[4])
+	l1 := r.Value(all[1]) + r.Value(all[3]) + r.Value(all[5])
+	if l0 > 5 || l1 > 4 || l0+l1 != 9 {
+		t.Errorf("allocation l0=%d l1=%d violates capacities", l0, l1)
+	}
+}
+
+func TestTimeLimitYieldsFeasible(t *testing.T) {
+	// A deliberately large search space with an objective: with a tiny
+	// branch budget the solver must return FEASIBLE (incumbent, unproven)
+	// or UNKNOWN, never OPTIMAL.
+	m := NewModel()
+	var vars []Var
+	var coefs []int64
+	for i := 0; i < 40; i++ {
+		vars = append(vars, m.NewIntVar(0, 1000, "v"))
+		coefs = append(coefs, int64(1+i%7))
+	}
+	m.AddLinearRange(vars, ones(len(vars)), 15000, 40000)
+	m.Minimize(vars, coefs)
+	r := m.Solve(Options{MaxBranches: 50})
+	if r.Status == Optimal {
+		t.Fatalf("50 branches cannot prove optimality of this model")
+	}
+	if r.Status == Feasible && len(r.Values) == 0 {
+		t.Fatal("feasible result must carry values")
+	}
+}
+
+func TestWallClockLimit(t *testing.T) {
+	m := NewModel()
+	var vars []Var
+	for i := 0; i < 60; i++ {
+		vars = append(vars, m.NewIntVar(0, 100, "v"))
+	}
+	m.AddLinearRange(vars, ones(len(vars)), 2500, 3000)
+	m.Minimize(vars, ones(len(vars)))
+	start := time.Now()
+	r := m.Solve(Options{TimeLimit: 30 * time.Millisecond})
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("solver ignored the time limit: ran %v", el)
+	}
+	if r.Status == Infeasible {
+		t.Fatal("model is feasible")
+	}
+}
+
+func TestSatisfactionWithoutObjective(t *testing.T) {
+	m := NewModel()
+	x := m.NewIntVar(0, 4, "x")
+	y := m.NewIntVar(0, 4, "y")
+	m.AddLinearEQ([]Var{x, y}, []int64{1, 1}, 6)
+	r := m.Solve(Options{})
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if r.Value(x)+r.Value(y) != 6 {
+		t.Error("solution violates the constraint")
+	}
+}
+
+func TestSolutionsSatisfyConstraintsProperty(t *testing.T) {
+	// Property: on random feasible-by-construction models, any returned
+	// solution satisfies every constraint.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewModel()
+		nv := 4 + rng.Intn(5)
+		vars := make([]Var, nv)
+		assign := make([]int64, nv) // a known-feasible assignment
+		for i := range vars {
+			lo := int64(rng.Intn(5))
+			hi := lo + int64(rng.Intn(10))
+			vars[i] = m.NewIntVar(lo, hi, "v")
+			assign[i] = lo + int64(rng.Intn(int(hi-lo+1)))
+		}
+		// Build constraints satisfied by `assign`.
+		var lins []linear
+		for c := 0; c < 3; c++ {
+			coefs := make([]int64, nv)
+			var val int64
+			for i := range coefs {
+				coefs[i] = int64(rng.Intn(5) - 2)
+				val += coefs[i] * assign[i]
+			}
+			lo, hi := val-int64(rng.Intn(4)), val+int64(rng.Intn(4))
+			m.AddLinearRange(vars, coefs, lo, hi)
+			lins = append(lins, linear{vars: vars, coefs: coefs, lo: lo, hi: hi})
+		}
+		obj := make([]int64, nv)
+		for i := range obj {
+			obj[i] = int64(rng.Intn(7) - 3)
+		}
+		m.Minimize(vars, obj)
+		r := m.Solve(Options{MaxBranches: 100000})
+		if r.Status != Optimal && r.Status != Feasible {
+			return false // model is feasible by construction
+		}
+		for _, l := range lins {
+			var v int64
+			for i, vr := range l.vars {
+				v += l.coefs[i] * r.Values[vr]
+			}
+			if v < l.lo || v > l.hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloorCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, fl, ce int64 }{
+		{7, 2, 3, 4}, {-7, 2, -4, -3}, {7, -2, -4, -3}, {-7, -2, 3, 4}, {6, 3, 2, 2},
+	}
+	for _, c := range cases {
+		if floorDiv(c.a, c.b) != c.fl {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, floorDiv(c.a, c.b), c.fl)
+		}
+		if ceilDiv(c.a, c.b) != c.ce {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, ceilDiv(c.a, c.b), c.ce)
+		}
+	}
+}
+
+func TestEmptyDomainPanics(t *testing.T) {
+	m := NewModel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty domain must panic")
+		}
+	}()
+	m.NewIntVar(5, 2, "bad")
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "OPTIMAL" || Feasible.String() != "FEASIBLE" ||
+		Infeasible.String() != "INFEASIBLE" || Unknown.String() != "UNKNOWN" {
+		t.Error("status names wrong")
+	}
+}
+
+func ones(n int) []int64 {
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}

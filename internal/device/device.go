@@ -1,0 +1,95 @@
+// Package device defines the mobile device profiles used in the evaluation
+// (§5.1): OnePlus 12, OnePlus 11, Xiaomi Mi 6, and Google Pixel 8.
+//
+// Each profile captures what the simulator needs: the memory-hierarchy
+// bandwidths of Figure 1(a), GPU compute throughput, RAM, and the share of
+// RAM a single app's GPU workload may claim before the OS kills it. The
+// OnePlus 12 numbers are the paper's (disk 1.5 GB/s, UM 65 GB/s, TM
+// 172 GB/s, texture cache 560 GB/s); the other devices are scaled by their
+// published storage (UFS generation), memory (LPDDR generation), and GPU
+// specs.
+package device
+
+import "repro/internal/units"
+
+// Device is a simulated mobile platform.
+type Device struct {
+	Name string
+	SoC  string
+	GPU  string
+
+	RAM units.Bytes
+	// AppLimit is the memory budget one app's inference workload may use
+	// before the OS low-memory killer intervenes (RAM minus system reserve).
+	AppLimit units.Bytes
+
+	DiskBW  units.Bandwidth // storage → unified memory
+	UMBW    units.Bandwidth // unified memory (CPU/GPU shared DRAM)
+	TMBW    units.Bandwidth // texture memory subsystem
+	CacheBW units.Bandwidth // texture L1/L2 cache
+
+	Compute   units.Throughput // peak fp16 throughput
+	SMs       int              // shader cores / streaming multiprocessors
+	MaxTexDim int              // maximum texture width/height in texels
+
+	// KernelLaunch is the fixed driver overhead of one kernel dispatch.
+	KernelLaunch units.Duration
+}
+
+// OnePlus12 is the primary evaluation device (Snapdragon 8 Gen 3).
+func OnePlus12() Device {
+	return Device{
+		Name: "OnePlus 12", SoC: "Snapdragon 8 Gen 3", GPU: "Adreno 750",
+		RAM: 16 * units.GB, AppLimit: 13 * units.GB,
+		DiskBW: units.GBps(1.5), UMBW: units.GBps(65),
+		TMBW: units.GBps(172), CacheBW: units.GBps(560),
+		Compute: units.GFLOPS(2800), SMs: 6, MaxTexDim: 16384,
+		KernelLaunch: 0.012,
+	}
+}
+
+// OnePlus11 uses the previous-generation Adreno 740 (Snapdragon 8 Gen 2).
+func OnePlus11() Device {
+	return Device{
+		Name: "OnePlus 11", SoC: "Snapdragon 8 Gen 2", GPU: "Adreno 740",
+		RAM: 16 * units.GB, AppLimit: 13 * units.GB,
+		DiskBW: units.GBps(1.4), UMBW: units.GBps(60),
+		TMBW: units.GBps(150), CacheBW: units.GBps(500),
+		Compute: units.GFLOPS(2400), SMs: 6, MaxTexDim: 16384,
+		KernelLaunch: 0.013,
+	}
+}
+
+// Pixel8 is the Mali-based device (Tensor G3, Mali-G715 MP7, 8 GB).
+func Pixel8() Device {
+	return Device{
+		Name: "Google Pixel 8", SoC: "Tensor G3", GPU: "Mali-G715 MP7",
+		RAM: 8 * units.GB, AppLimit: 6 * units.GB,
+		DiskBW: units.GBps(1.2), UMBW: units.GBps(51),
+		TMBW: units.GBps(110), CacheBW: units.GBps(400),
+		Compute: units.GFLOPS(1400), SMs: 7, MaxTexDim: 8192,
+		KernelLaunch: 0.018,
+	}
+}
+
+// XiaomiMi6 is the low-end device (Snapdragon 835, Adreno 540, 6 GB).
+func XiaomiMi6() Device {
+	return Device{
+		Name: "Xiaomi Mi 6", SoC: "Snapdragon 835", GPU: "Adreno 540",
+		RAM: 6 * units.GB, AppLimit: 3 * units.GB,
+		DiskBW: units.GBps(0.7), UMBW: units.GBps(29),
+		TMBW: units.GBps(60), CacheBW: units.GBps(180),
+		Compute: units.GFLOPS(570), SMs: 4, MaxTexDim: 8192,
+		KernelLaunch: 0.03,
+	}
+}
+
+// All returns the four evaluation devices, primary first.
+func All() []Device {
+	return []Device{OnePlus12(), OnePlus11(), XiaomiMi6(), Pixel8()}
+}
+
+// Portability returns the three secondary devices of Figure 10.
+func Portability() []Device {
+	return []Device{OnePlus11(), XiaomiMi6(), Pixel8()}
+}

@@ -1,0 +1,78 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestOnePlus12MatchesFigure1(t *testing.T) {
+	d := OnePlus12()
+	// Figure 1(a) bandwidths: 1.5, 65, 172, 560 GB/s.
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"disk", d.DiskBW.GBpsValue(), 1.5},
+		{"um", d.UMBW.GBpsValue(), 65},
+		{"tm", d.TMBW.GBpsValue(), 172},
+		{"cache", d.CacheBW.GBpsValue(), 560},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s bandwidth = %v GB/s, want %v", c.name, c.got, c.want)
+		}
+	}
+	if d.RAM != 16*units.GB {
+		t.Errorf("RAM = %v, want 16 GB", d.RAM)
+	}
+}
+
+func TestHierarchyOrdering(t *testing.T) {
+	// On every device: disk < UM < TM < cache — the premise of streaming.
+	for _, d := range All() {
+		if !(d.DiskBW < d.UMBW && d.UMBW < d.TMBW && d.TMBW < d.CacheBW) {
+			t.Errorf("%s: bandwidth hierarchy not monotone: %v %v %v %v",
+				d.Name, d.DiskBW, d.UMBW, d.TMBW, d.CacheBW)
+		}
+		if d.AppLimit >= d.RAM {
+			t.Errorf("%s: app limit %v must be below RAM %v", d.Name, d.AppLimit, d.RAM)
+		}
+		if d.Compute <= 0 || d.SMs <= 0 || d.MaxTexDim <= 0 || d.KernelLaunch <= 0 {
+			t.Errorf("%s: non-positive capability fields", d.Name)
+		}
+	}
+}
+
+func TestDeviceRelativeStrength(t *testing.T) {
+	// The primary device dominates the others in compute and bandwidth.
+	op12 := OnePlus12()
+	for _, d := range Portability() {
+		if d.Compute > op12.Compute {
+			t.Errorf("%s compute %v exceeds OnePlus 12 %v", d.Name, d.Compute, op12.Compute)
+		}
+		if d.TMBW > op12.TMBW {
+			t.Errorf("%s TM bandwidth exceeds OnePlus 12", d.Name)
+		}
+	}
+	// Mi 6 (6 GB) must have the smallest app limit — Figure 10's OOM driver.
+	mi6 := XiaomiMi6()
+	for _, d := range All() {
+		if d.AppLimit < mi6.AppLimit {
+			t.Errorf("%s app limit below Mi 6's", d.Name)
+		}
+	}
+}
+
+func TestAllAndPortabilityCounts(t *testing.T) {
+	if len(All()) != 4 {
+		t.Errorf("All() = %d devices, want 4", len(All()))
+	}
+	if len(Portability()) != 3 {
+		t.Errorf("Portability() = %d devices, want 3", len(Portability()))
+	}
+	if All()[0].Name != "OnePlus 12" {
+		t.Error("primary device must be first")
+	}
+}

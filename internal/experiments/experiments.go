@@ -1,0 +1,148 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated device: Tables 1, 4, 6, 7, 8, 9 and
+// Figures 2, 6, 7, 8, 9, 10, plus the ablations DESIGN.md adds. Each
+// generator returns structured rows for programmatic checks and renders a
+// paper-style text table.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/gpusim"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/opg"
+)
+
+// Config scopes an experiment run.
+type Config struct {
+	Device device.Device
+	// Models restricts the evaluation to these Table 6 abbreviations
+	// (nil = all 11).
+	Models []string
+	// SolveTimeout and MaxBranches bound the per-window CP effort.
+	SolveTimeout time.Duration
+	MaxBranches  int64
+}
+
+// DefaultConfig evaluates all models on the OnePlus 12 with moderate
+// solver budgets (the 150-second paper limit is a CLI option).
+func DefaultConfig() Config {
+	return Config{
+		Device:       device.OnePlus12(),
+		SolveTimeout: 100 * time.Millisecond,
+		MaxBranches:  8000,
+	}
+}
+
+// modelSet resolves the configured model list.
+func (c Config) modelSet() []models.Spec {
+	if len(c.Models) == 0 {
+		return models.All()
+	}
+	out := make([]models.Spec, 0, len(c.Models))
+	for _, abbr := range c.Models {
+		out = append(out, models.MustByAbbr(abbr))
+	}
+	return out
+}
+
+// flashRun is a cached FlashMem execution.
+type flashRun struct {
+	prep    *core.Prepared
+	report  core.Report
+	machine *gpusim.Machine
+}
+
+// baseRun is a cached baseline execution.
+type baseRun struct {
+	report  baselines.Report
+	machine *gpusim.Machine
+	err     error
+}
+
+// Runner executes and caches the per-model runs shared across experiments.
+type Runner struct {
+	Cfg    Config
+	Engine *core.Engine
+
+	graphs map[string]*graph.Graph
+	flash  map[string]*flashRun
+	base   map[string]map[string]*baseRun // framework → abbr
+}
+
+// NewRunner builds a runner with a FlashMem engine on the configured device.
+func NewRunner(cfg Config) *Runner {
+	opts := core.DefaultOptions(cfg.Device)
+	if cfg.SolveTimeout > 0 {
+		opts.Config.SolveTimeout = cfg.SolveTimeout
+	}
+	if cfg.MaxBranches > 0 {
+		opts.Config.MaxBranches = cfg.MaxBranches
+	}
+	return &Runner{
+		Cfg:    cfg,
+		Engine: core.NewEngine(opts),
+		graphs: map[string]*graph.Graph{},
+		flash:  map[string]*flashRun{},
+		base:   map[string]map[string]*baseRun{},
+	}
+}
+
+// solveConfig returns the runner's solver configuration.
+func (r *Runner) solveConfig() opg.Config {
+	cfg := opg.DefaultConfig()
+	if r.Cfg.SolveTimeout > 0 {
+		cfg.SolveTimeout = r.Cfg.SolveTimeout
+	}
+	if r.Cfg.MaxBranches > 0 {
+		cfg.MaxBranches = r.Cfg.MaxBranches
+	}
+	return cfg
+}
+
+// Graph builds (and caches) a model graph.
+func (r *Runner) Graph(abbr string) *graph.Graph {
+	if g, ok := r.graphs[abbr]; ok {
+		return g
+	}
+	g := models.MustByAbbr(abbr).Build()
+	r.graphs[abbr] = g
+	return g
+}
+
+// Flash runs FlashMem on a model, cached.
+func (r *Runner) Flash(abbr string) (*flashRun, error) {
+	if fr, ok := r.flash[abbr]; ok {
+		return fr, nil
+	}
+	prep, err := r.Engine.Prepare(r.Graph(abbr))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: prepare %s: %w", abbr, err)
+	}
+	rep, m := r.Engine.Execute(prep)
+	fr := &flashRun{prep: prep, report: rep, machine: m}
+	r.flash[abbr] = fr
+	return fr, nil
+}
+
+// Baseline runs a framework on a model, cached. The error (unsupported or
+// OOM) is cached too — Table 7's "–" cells.
+func (r *Runner) Baseline(f *baselines.Framework, abbr string) *baseRun {
+	byModel := r.base[f.Name]
+	if byModel == nil {
+		byModel = map[string]*baseRun{}
+		r.base[f.Name] = byModel
+	}
+	if br, ok := byModel[abbr]; ok {
+		return br
+	}
+	rep, m, err := f.Run(r.Graph(abbr), abbr, r.Cfg.Device)
+	br := &baseRun{report: rep, machine: m, err: err}
+	byModel[abbr] = br
+	return br
+}

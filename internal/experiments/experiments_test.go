@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cpsat"
+	"repro/internal/graph"
+	"repro/internal/units"
+)
+
+// fastConfig restricts tests to three representative models with small
+// solver budgets so the suite stays quick; benches run the full set.
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Models = []string{"ResNet", "ViT", "GPTN-S"}
+	cfg.SolveTimeout = 40 * time.Millisecond
+	cfg.MaxBranches = 2500
+	return cfg
+}
+
+func TestTable1Motivation(t *testing.T) {
+	r := NewRunner(fastConfig())
+	rows, err := r.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, row := range rows {
+		if row.PeakMB <= row.AvgMB {
+			t.Errorf("%s: peak %v <= avg %v", row.Model, row.PeakMB, row.AvgMB)
+		}
+		if row.LoadMS <= 0 || row.TransMS <= 0 || row.InferMS <= 0 {
+			t.Errorf("%s: non-positive phases %+v", row.Model, row)
+		}
+		// Table 1's point: init (load+trans) dominates inference.
+		if row.LoadMS+row.TransMS < row.InferMS {
+			t.Errorf("%s: init %v should dominate infer %v under preloading",
+				row.Model, row.LoadMS+row.TransMS, row.InferMS)
+		}
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "Whisper-M") || !strings.Contains(out, "SD-UNet") {
+		t.Error("render missing models")
+	}
+}
+
+func TestTable4SolverBreakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large solver models in short mode")
+	}
+	r := NewRunner(fastConfig())
+	rows := r.Table4()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (Table 4 set)", len(rows))
+	}
+	for _, row := range rows {
+		if row.Status != cpsat.Optimal && row.Status != cpsat.Feasible {
+			t.Errorf("%s: status %v", row.Model, row.Status)
+		}
+		if row.SolveS < 0 || row.Windows == 0 {
+			t.Errorf("%s: empty solver stats %+v", row.Model, row)
+		}
+	}
+	// Solve effort grows with model scale: Llama2-70B vs GPTN-S.
+	if rows[5].SolveS < rows[0].SolveS {
+		t.Errorf("70B solve %v faster than GPTN-S %v", rows[5].SolveS, rows[0].SolveS)
+	}
+	_ = RenderTable4(rows)
+}
+
+func TestTable6MatchesPaper(t *testing.T) {
+	r := NewRunner(fastConfig())
+	rows := r.Table6()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Layers == 0 || row.ParamsM == 0 {
+			t.Errorf("%s: empty row", row.Abbr)
+		}
+	}
+	out := RenderTable6(rows)
+	if !strings.Contains(out, "ResNet") {
+		t.Error("render missing ResNet")
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	r := NewRunner(fastConfig())
+	res, err := r.Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// FlashMem wins on every supported framework (Table 7's headline).
+		for name, cell := range row.Baselines {
+			if cell.Supported && cell.Integrated() <= row.OursMS {
+				t.Errorf("%s on %s: baseline %v not slower than ours %v",
+					name, row.Model, cell.Integrated(), row.OursMS)
+			}
+		}
+		// NCNN supports only ResNet among the test models.
+		if row.Model != "ResNet" && row.Baselines["NCNN"].Supported {
+			t.Errorf("NCNN should not support %s", row.Model)
+		}
+	}
+	// SmartMem geomean speedup in a sane band around the paper's 8.6x.
+	if g := res.Geomeans["SmartMem"]; g < 3 || g > 30 {
+		t.Errorf("SmartMem geomean speedup %v outside [3,30]", g)
+	}
+	out := RenderTable7(res)
+	if !strings.Contains(out, "Geo-Mean") {
+		t.Error("render missing geomean row")
+	}
+}
+
+func TestTable8Shape(t *testing.T) {
+	r := NewRunner(fastConfig())
+	res, err := r.Table8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		for name, mb := range row.Baselines {
+			if mb <= row.OursMB {
+				t.Errorf("%s on %s: baseline %vMB not above ours %vMB", name, row.Model, mb, row.OursMB)
+			}
+		}
+		if row.MemReDT < 1 {
+			t.Errorf("%s: Mem-ReDT %v < 1", row.Model, row.MemReDT)
+		}
+	}
+	_ = RenderTable8(res)
+}
+
+func TestTable9EnergyShape(t *testing.T) {
+	r := NewRunner(fastConfig())
+	rows, err := r.Table9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ours, smartmem Table9Row
+	for _, row := range rows {
+		switch row.Framework {
+		case "FlashMem":
+			ours = row
+		case "SmartMem":
+			smartmem = row
+		}
+	}
+	// Table 9's headline: FlashMem saves the vast majority of energy.
+	if !ours.DeepViT.Supported || !smartmem.DeepViT.Supported {
+		t.Fatal("DeepViT cells missing")
+	}
+	if ours.DeepViT.EnergyJ >= 0.5*smartmem.DeepViT.EnergyJ {
+		t.Errorf("FlashMem DeepViT energy %v not well below SmartMem %v",
+			ours.DeepViT.EnergyJ, smartmem.DeepViT.EnergyJ)
+	}
+	_ = RenderTable9(rows)
+}
+
+func TestFigure2Series(t *testing.T) {
+	r := NewRunner(fastConfig())
+	pts := r.Figure2()
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	out := RenderFigure2(pts)
+	if !strings.Contains(out, "Softmax") || !strings.Contains(out, "MatMul") {
+		t.Error("render missing operators")
+	}
+}
+
+func TestFigure7BreakdownMonotone(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Models = []string{"ViT"}
+	r := NewRunner(cfg)
+	rows, err := r.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		// All levels beat the baseline.
+		for i, s := range row.Speedup {
+			if s <= 1 {
+				t.Errorf("%s level %d: speedup %v <= 1", row.Model, i, s)
+			}
+		}
+		// Full FlashMem is at least as fast as OPG alone.
+		if row.Speedup[2] < row.Speedup[0]*0.95 {
+			t.Errorf("%s: rewriting level %v slower than OPG level %v",
+				row.Model, row.Speedup[2], row.Speedup[0])
+		}
+	}
+	_ = RenderFigure7(rows)
+}
+
+func TestFigure9NaiveSlower(t *testing.T) {
+	cfg := fastConfig()
+	r := NewRunner(cfg)
+	rows, err := r.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.SpeedupAlwaysNext < 1 {
+			t.Errorf("%s: always-next speedup %v < 1", row.Model, row.SpeedupAlwaysNext)
+		}
+		if row.SpeedupSameOp < 1 {
+			t.Errorf("%s: same-op speedup %v < 1", row.Model, row.SpeedupSameOp)
+		}
+	}
+	_ = RenderFigure9(rows)
+}
+
+func TestAblationTextureCache(t *testing.T) {
+	r := NewRunner(fastConfig())
+	rows := r.AblationTextureCache()
+	for _, row := range rows {
+		if row.Speedup <= 1 {
+			t.Errorf("%s: texture layout speedup %v <= 1", row.Model, row.Speedup)
+		}
+		if row.Speedup > 8 {
+			t.Errorf("%s: texture speedup %v implausibly high", row.Model, row.Speedup)
+		}
+	}
+	_ = RenderAblationTextureCache(rows)
+}
+
+func TestRunnerCaching(t *testing.T) {
+	r := NewRunner(fastConfig())
+	g1 := r.Graph("ResNet")
+	g2 := r.Graph("ResNet")
+	if g1 != g2 {
+		t.Error("graphs not cached")
+	}
+	f1, err := r.Flash("ResNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := r.Flash("ResNet")
+	if f1 != f2 {
+		t.Error("flash runs not cached")
+	}
+}
+
+// Compile-time guards that experiment types stay in sync with their
+// dependencies.
+var (
+	_ = graph.NodeID(0)
+	_ = units.MB
+)

@@ -1,0 +1,331 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/gpusim"
+	"repro/internal/metrics"
+	"repro/internal/multimodel"
+	"repro/internal/profiler"
+	"repro/internal/units"
+)
+
+// --- Figure 2: per-operator overlap tolerance ---
+
+// Figure2 runs the overlap latency sweep on the configured device.
+func (r *Runner) Figure2() []profiler.OverlapPoint {
+	return profiler.Figure2Sweep(r.Cfg.Device, 2.0, 0.125)
+}
+
+// RenderFigure2 formats the sweep as one series per operator.
+func RenderFigure2(points []profiler.OverlapPoint) string {
+	t := metrics.NewTable("Operator", "Ratio", "Increase(ms)", "Relative")
+	for _, p := range points {
+		t.Row(p.Kind.String(), fmt.Sprintf("%.3f", p.Ratio),
+			fmt.Sprintf("%.4f", p.IncreaseMS), fmt.Sprintf("%.0f%%", p.Relative*100))
+	}
+	return "Figure 2: latency increase vs additional data volume ratio\n" + t.String()
+}
+
+// --- Figure 6: multi-model FIFO memory traces ---
+
+// Figure6Result holds the two FIFO traces.
+type Figure6Result struct {
+	FlashMem *multimodel.Trace
+	MNN      *multimodel.Trace
+}
+
+// Figure6 runs the interleaved multi-model workload: FlashMem runs
+// {DepthA-S, SD-UNet, ViT, GPTN-1.3B, Whisper-M}; MNN runs the subset it
+// supports (no GPTN-1.3B), each model 10 iterations, shuffled order.
+func (r *Runner) Figure6(iterations int) (*Figure6Result, error) {
+	if iterations <= 0 {
+		iterations = 10
+	}
+	flashModels := []string{"DepthA-S", "SD-UNet", "ViT", "GPTN-1.3B", "Whisper-M"}
+	var flashRunners []multimodel.Runner
+	for _, abbr := range flashModels {
+		fr, err := r.Flash(abbr) // reuses the cached plan
+		if err != nil {
+			return nil, err
+		}
+		flashRunners = append(flashRunners, &multimodel.FlashMemRunner{Engine: r.Engine, Prep: fr.prep})
+	}
+	fm := gpusim.New(r.Cfg.Device)
+	flashTrace, err := multimodel.RunFIFO(fm, flashRunners,
+		multimodel.Shuffled(len(flashRunners), iterations, 7))
+	if err != nil {
+		return nil, err
+	}
+
+	mnn := baselines.MNN()
+	mnnModels := []string{"DepthA-S", "ViT", "SD-UNet", "Whisper-M"}
+	var mnnRunners []multimodel.Runner
+	for _, abbr := range mnnModels {
+		mnnRunners = append(mnnRunners, &multimodel.BaselineRunner{Framework: mnn, Graph: r.Graph(abbr)})
+	}
+	mm := gpusim.New(r.Cfg.Device)
+	mnnTrace, err := multimodel.RunFIFO(mm, mnnRunners,
+		multimodel.Shuffled(len(mnnRunners), iterations, 7))
+	if err != nil {
+		return nil, err
+	}
+	return &Figure6Result{FlashMem: flashTrace, MNN: mnnTrace}, nil
+}
+
+// RenderFigure6 summarizes the traces.
+func RenderFigure6(res *Figure6Result) string {
+	t := metrics.NewTable("System", "Requests", "Total", "Peak Mem", "Avg Mem", "OOM")
+	row := func(name string, tr *multimodel.Trace) {
+		t.Row(name, fmt.Sprintf("%d", len(tr.Events)), tr.Total.String(),
+			tr.Peak.String(), tr.Average.String(), fmt.Sprintf("%v", tr.OOM))
+	}
+	row("FlashMem", res.FlashMem)
+	row("MNN", res.MNN)
+	return "Figure 6: multi-model FIFO support (interleaved iterations)\n" + t.String()
+}
+
+// --- Figure 7: optimization breakdown ---
+
+// Figure7Row is one model's incremental speedup/memory-reduction breakdown
+// over the SmartMem baseline.
+type Figure7Row struct {
+	Model string
+	// Levels: [0] OPG solver only, [1] + adaptive fusion, [2] + kernel
+	// rewriting (full FlashMem). Values are vs SmartMem.
+	Speedup [3]float64
+	MemRed  [3]float64
+}
+
+// Figure7 measures the contribution of each optimization on ViT, SD-UNet
+// and GPT-Neo-1.3B.
+func (r *Runner) Figure7() ([]Figure7Row, error) {
+	// Cumulative levels: [0] the OPG solver alone on the unfused graph with
+	// dedicated transform kernels; [1] + adaptive fusion; [2] + kernel
+	// rewriting (full FlashMem).
+	levels := []core.Options{}
+	for i := 0; i < 3; i++ {
+		o := core.DefaultOptions(r.Cfg.Device)
+		o.Config.SolveTimeout = r.solveConfig().SolveTimeout
+		o.Config.MaxBranches = r.solveConfig().MaxBranches
+		o.BaseFusion = i >= 1
+		o.AdaptiveFusion = i >= 1
+		o.KernelRewriting = i >= 2
+		levels = append(levels, o)
+	}
+	sm := baselines.SmartMem()
+	var rows []Figure7Row
+	for _, abbr := range []string{"ViT", "SD-UNet", "GPTN-1.3B"} {
+		g := r.Graph(abbr)
+		br := r.Baseline(sm, abbr)
+		if br.err != nil {
+			return nil, br.err
+		}
+		base := br.report
+		row := Figure7Row{Model: abbr}
+		for i, opts := range levels {
+			rep, _, err := core.NewEngine(opts).Run(g)
+			if err != nil {
+				return nil, err
+			}
+			row.Speedup[i] = float64(base.Integrated()) / float64(rep.Integrated)
+			row.MemRed[i] = float64(base.Mem.Average) / float64(rep.Mem.Average)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFigure7 formats the breakdown.
+func RenderFigure7(rows []Figure7Row) string {
+	t := metrics.NewTable("Model", "OPG Spd", "+Fusion Spd", "+Rewrite Spd",
+		"OPG Mem", "+Fusion Mem", "+Rewrite Mem")
+	for _, r := range rows {
+		t.Row(r.Model,
+			metrics.Ratio(r.Speedup[0]), metrics.Ratio(r.Speedup[1]), metrics.Ratio(r.Speedup[2]),
+			metrics.Ratio(r.MemRed[0]), metrics.Ratio(r.MemRed[1]), metrics.Ratio(r.MemRed[2]))
+	}
+	return "Figure 7: breakdown vs SmartMem (cumulative levels)\n" + t.String()
+}
+
+// --- Figure 8: memory/latency trade-off ---
+
+// Figure8Point is one configuration on a model's trade-off curve.
+type Figure8Point struct {
+	MPeakMB      float64
+	PreloadFrac  float64
+	AvgMemMB     float64
+	IntegratedMS float64
+	ExecMS       float64
+}
+
+// Figure8Curve is one model's sweep.
+type Figure8Curve struct {
+	Model  string
+	Points []Figure8Point
+}
+
+// Figure8 sweeps the memory/latency trade-off by varying M_peak (larger
+// budgets stream more; tiny budgets force preloading) on the Figure 8
+// model set.
+func (r *Runner) Figure8() ([]Figure8Curve, error) {
+	mpeaks := []units.Bytes{16 * units.MB, 64 * units.MB, 192 * units.MB, 512 * units.MB, units.GB}
+	var curves []Figure8Curve
+	for _, abbr := range []string{"ViT", "GPTN-1.3B", "DepthA-L", "Whisper-M"} {
+		g := r.Graph(abbr)
+		curve := Figure8Curve{Model: abbr}
+		for _, mp := range mpeaks {
+			opts := core.DefaultOptions(r.Cfg.Device)
+			opts.Config.SolveTimeout = r.solveConfig().SolveTimeout
+			opts.Config.MaxBranches = r.solveConfig().MaxBranches
+			opts.Config.MPeak = mp
+			e := core.NewEngine(opts)
+			prep, err := e.Prepare(g)
+			if err != nil {
+				return nil, err
+			}
+			rep, _ := e.Execute(prep)
+			curve.Points = append(curve.Points, Figure8Point{
+				MPeakMB:      mp.MiB(),
+				PreloadFrac:  1 - prep.Plan.OverlapFraction(),
+				AvgMemMB:     rep.Mem.Average.MiB(),
+				IntegratedMS: rep.Integrated.Milliseconds(),
+				ExecMS:       rep.Exec.Milliseconds(),
+			})
+		}
+		curves = append(curves, curve)
+	}
+	return curves, nil
+}
+
+// RenderFigure8 formats the trade-off curves.
+func RenderFigure8(curves []Figure8Curve) string {
+	t := metrics.NewTable("Model", "M_peak(MB)", "Preload", "AvgMem(MB)", "Integrated(ms)", "Exec(ms)")
+	for _, c := range curves {
+		for _, p := range c.Points {
+			t.Row(c.Model, fmt.Sprintf("%.0f", p.MPeakMB), fmt.Sprintf("%.0f%%", p.PreloadFrac*100),
+				fmt.Sprintf("%.0f", p.AvgMemMB), fmt.Sprintf("%.0f", p.IntegratedMS), fmt.Sprintf("%.0f", p.ExecMS))
+		}
+	}
+	return "Figure 8: memory usage vs latency trade-off\n" + t.String()
+}
+
+// --- Figure 9: naive overlap strategies ---
+
+// Figure9Row compares FlashMem against the two naive prefetchers.
+type Figure9Row struct {
+	Model             string
+	SpeedupAlwaysNext float64
+	SpeedupSameOp     float64
+}
+
+// Figure9 runs Always-Next Loading and Same-Op-Type Prefetching and
+// compares end-to-end latency. The naive strategies use dedicated transform
+// kernels (no §4.4 rewriting) — they are prefetch policies predating the
+// kernel redesign — while FlashMem gets its full pipeline.
+func (r *Runner) Figure9() ([]Figure9Row, error) {
+	naiveOpts := core.DefaultOptions(r.Cfg.Device)
+	naiveOpts.Config.SolveTimeout = r.solveConfig().SolveTimeout
+	naiveOpts.Config.MaxBranches = r.solveConfig().MaxBranches
+	naiveOpts.KernelRewriting = false
+	naiveEngine := core.NewEngine(naiveOpts)
+
+	var rows []Figure9Row
+	for _, abbr := range []string{"GPTN-1.3B", "ResNet", "SAM-2", "DeepViT", "SD-UNet", "DepthA-L"} {
+		fr, err := r.Flash(abbr)
+		if err != nil {
+			return nil, err
+		}
+		g := r.Graph(abbr)
+		cfg := r.solveConfig()
+
+		anPlan := baselines.AlwaysNextPlan(g, cfg.ChunkSize)
+		anRep, _ := naiveEngine.Execute(&core.Prepared{Graph: g, Plan: anPlan})
+		soPlan := baselines.SameOpTypePlan(g, cfg.ChunkSize, cfg.Window, 16)
+		soRep, _ := naiveEngine.Execute(&core.Prepared{Graph: g, Plan: soPlan})
+
+		rows = append(rows, Figure9Row{
+			Model:             abbr,
+			SpeedupAlwaysNext: float64(anRep.Integrated) / float64(fr.report.Integrated),
+			SpeedupSameOp:     float64(soRep.Integrated) / float64(fr.report.Integrated),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFigure9 formats the comparison.
+func RenderFigure9(rows []Figure9Row) string {
+	t := metrics.NewTable("Model", "vs Always-Next", "vs Same-Op-Type")
+	for _, r := range rows {
+		t.Row(r.Model, metrics.Ratio(r.SpeedupAlwaysNext), metrics.Ratio(r.SpeedupSameOp))
+	}
+	return "Figure 9: FlashMem speedup over naive overlap strategies\n" + t.String()
+}
+
+// --- Figure 10: portability ---
+
+// Figure10Row is one device × model comparison against SmartMem.
+type Figure10Row struct {
+	Device       string
+	Model        string
+	SmartMemOOM  bool
+	FlashMemOOM  bool
+	Speedup      float64 // SmartMem integrated / FlashMem integrated (0 when OOM)
+	MemorySaving float64 // SmartMem avg / FlashMem avg (0 when OOM)
+}
+
+// Figure10 evaluates SD-UNet, GPTN-1.3B and ViT on the three secondary
+// devices. SmartMem OOMs where its init footprint exceeds the app limit
+// (GPTN-1.3B on the Mi 6 and Pixel 8); FlashMem runs everywhere.
+func (r *Runner) Figure10() ([]Figure10Row, error) {
+	sm := baselines.SmartMem()
+	var rows []Figure10Row
+	for _, dev := range devicePortabilitySet() {
+		opts := core.DefaultOptions(dev)
+		opts.Config.SolveTimeout = r.solveConfig().SolveTimeout
+		opts.Config.MaxBranches = r.solveConfig().MaxBranches
+		engine := core.NewEngine(opts)
+		for _, abbr := range []string{"SD-UNet", "GPTN-1.3B", "ViT"} {
+			g := r.Graph(abbr)
+			row := Figure10Row{Device: dev.Name, Model: abbr}
+
+			fmRep, fmMachine, err := engine.Run(g)
+			if err != nil {
+				return nil, err
+			}
+			row.FlashMemOOM = fmMachine.OOM()
+
+			smRep, _, smErr := sm.Run(g, "", dev)
+			if smErr != nil {
+				row.SmartMemOOM = true
+			} else if !row.FlashMemOOM {
+				row.Speedup = float64(smRep.Integrated()) / float64(fmRep.Integrated)
+				row.MemorySaving = float64(smRep.Mem.Average) / float64(fmRep.Mem.Average)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderFigure10 formats the portability comparison.
+func RenderFigure10(rows []Figure10Row) string {
+	t := metrics.NewTable("Device", "Model", "Latency Speedup", "Memory Saving", "Note")
+	for _, r := range rows {
+		note := ""
+		switch {
+		case r.SmartMemOOM && !r.FlashMemOOM:
+			note = "SmartMem OOM; FlashMem runs"
+		case r.FlashMemOOM:
+			note = "FlashMem OOM"
+		}
+		t.Row(r.Device, r.Model, metrics.Ratio(r.Speedup), metrics.Ratio(r.MemorySaving), note)
+	}
+	return "Figure 10: portability across devices (vs SmartMem)\n" + t.String()
+}
+
+// devicePortabilitySet returns the Figure 10 devices.
+func devicePortabilitySet() []device.Device { return device.Portability() }

@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+func TestWarmStartCrossoverExists(t *testing.T) {
+	r := NewRunner(fastConfig())
+	rows, err := r.WarmStart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no warm-start rows")
+	}
+	for _, row := range rows {
+		// SmartMem's warm exec beats FlashMem's per-run streaming (it holds
+		// everything resident), so a finite crossover must exist…
+		if row.SmartMemExec >= row.FlashMemMS {
+			t.Errorf("%s: SmartMem exec %v not below FlashMem %v", row.Model, row.SmartMemExec, row.FlashMemMS)
+		}
+		// …and in the handful-to-dozens range the paper reports (3–12),
+		// allowing our relatively faster FlashMem to push it higher.
+		if row.CrossoverRuns < 2 || row.CrossoverRuns > 60 {
+			t.Errorf("%s: crossover after %d runs outside the plausible band", row.Model, row.CrossoverRuns)
+		}
+	}
+	out := RenderWarmStart(rows)
+	if out == "" {
+		t.Error("empty render")
+	}
+}

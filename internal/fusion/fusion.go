@@ -1,0 +1,257 @@
+// Package fusion implements operator fusion and the adaptive un-fusion
+// strategy of §4.3.
+//
+// Fusing k operators into one kernel removes k−1 launches and intermediate
+// tensors, but collapses k scheduling stages into one: the fused kernel's
+// load capacity is roughly min(C_1..C_k) rather than ΣC_i, which starves
+// the OPG solver of transform slots and forces weights into the preload set
+// W. The adaptive strategy fuses first, solves, then selectively splits the
+// fused kernels with the highest fusion penalty until the plan stops
+// improving.
+package fusion
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/opclass"
+	"repro/internal/opg"
+	"repro/internal/units"
+)
+
+// Options configures the fusion pass.
+type Options struct {
+	// MaxParts caps how many primitive ops may share a kernel.
+	MaxParts int
+	// Alpha is the §4.3 capacity-gain threshold: a split must deliver
+	// C_v1 + C_v2 ≥ (1+Alpha)·C_fused to be worthwhile.
+	Alpha float64
+	// Rounds bounds the adaptive split-and-resolve iterations.
+	Rounds int
+	// SplitsPerRound bounds how many kernels split per iteration.
+	SplitsPerRound int
+}
+
+// DefaultOptions returns the evaluation configuration.
+func DefaultOptions() Options {
+	return Options{MaxParts: 3, Alpha: 0.25, Rounds: 3, SplitsPerRound: 8}
+}
+
+// fusable reports whether a chain ending at node `tail` (whose kernel so
+// far classifies as headClass) can absorb `next`: the successor must
+// consume only the tail, be elemental (reusable+elemental and
+// elemental+elemental fusions are the productive rules), and carry no
+// weight of its own.
+func fusable(headClass opclass.Class, tail graph.NodeID, next *graph.Node) bool {
+	if len(next.Inputs) != 1 || next.Inputs[0] != tail {
+		return false
+	}
+	if headClass == opclass.Hierarchical {
+		return false
+	}
+	return opclass.Classify(next.Kind()) == opclass.Elemental && next.Weight() == 0
+}
+
+// Fuse returns a new graph with producer→elemental chains merged into
+// single kernels (e.g. MatMul+GeLU), leaving hierarchical kernels intact.
+// Residual joins (multi-input nodes) are natural fusion barriers.
+func Fuse(g *graph.Graph, o Options) *graph.Graph {
+	if o.MaxParts < 1 {
+		o.MaxParts = DefaultOptions().MaxParts
+	}
+	// consumers[i] = number of nodes reading node i.
+	consumers := make([]int, g.Len())
+	for _, n := range g.Nodes() {
+		for _, in := range n.Inputs {
+			consumers[in]++
+		}
+	}
+
+	fused := graph.New(g.Name, g.DType)
+	remap := make([]graph.NodeID, g.Len()) // old ID → new ID
+	nodes := g.Nodes()
+	for i := 0; i < len(nodes); {
+		parts := append([]graph.Part(nil), nodes[i].Parts...)
+		name := nodes[i].Name
+		headClass := opclass.ClassifyNode(nodes[i])
+		j := i
+		for j+1 < len(nodes) && len(parts) < o.MaxParts &&
+			consumers[nodes[j].ID] == 1 && fusable(headClass, nodes[j].ID, nodes[j+1]) {
+			next := nodes[j+1]
+			parts = append(parts, next.Parts...)
+			name = name + "+" + next.Name
+			j++
+		}
+
+		inputs := make([]graph.NodeID, len(nodes[i].Inputs))
+		for k, in := range nodes[i].Inputs {
+			inputs[k] = remap[in]
+		}
+		id := fused.Add(name, inputs, parts...)
+		for k := i; k <= j; k++ {
+			remap[nodes[k].ID] = id
+		}
+		i = j + 1
+	}
+	return fused
+}
+
+// Split replaces a fused node with its operator-specific decomposition
+// (§4.3): reusable parts stay together, trailing elemental parts become a
+// separate kernel ("MatMul+Add+GeLU" → "MatMul+Add" and "GeLU").
+// Hierarchical and single-part nodes are not split; Split reports whether
+// it changed the graph.
+func Split(g *graph.Graph, id graph.NodeID) bool {
+	n := g.Node(id)
+	if !n.Fused() || opclass.ClassifyNode(n) == opclass.Hierarchical {
+		return false
+	}
+	// Find the boundary: keep the leading parts through the last
+	// reusable part together; the trailing elemental run splits off.
+	lastReusable := -1
+	for i, p := range n.Parts {
+		if opclass.Classify(p.Kind) == opclass.Reusable {
+			lastReusable = i
+		}
+	}
+	at := lastReusable + 1
+	if at <= 0 || at >= len(n.Parts) {
+		at = len(n.Parts) / 2 // pure-elemental chain: halve it
+	}
+	g.Replace(id, []*graph.Node{
+		{Name: n.Name + "/a", Parts: append([]graph.Part(nil), n.Parts[:at]...)},
+		{Name: n.Name + "/b", Parts: append([]graph.Part(nil), n.Parts[at:]...)},
+	})
+	return true
+}
+
+// GainfulSplit reports whether splitting node id passes the §4.3 capacity
+// check C_v1 + C_v2 ≥ (1+α)·C_fused, evaluated with the given capacity
+// model on hypothetical split nodes.
+func GainfulSplit(g *graph.Graph, id graph.NodeID, caps opg.Capacity, alpha float64) bool {
+	n := g.Node(id)
+	if !n.Fused() || opclass.ClassifyNode(n) == opclass.Hierarchical {
+		return false
+	}
+	lastReusable := -1
+	for i, p := range n.Parts {
+		if opclass.Classify(p.Kind) == opclass.Reusable {
+			lastReusable = i
+		}
+	}
+	at := lastReusable + 1
+	if at <= 0 || at >= len(n.Parts) {
+		at = len(n.Parts) / 2
+	}
+	if at <= 0 || at >= len(n.Parts) {
+		return false
+	}
+	a := &graph.Node{ID: n.ID, Name: "a", Parts: n.Parts[:at]}
+	b := &graph.Node{ID: n.ID, Name: "b", Parts: n.Parts[at:]}
+	cFused := caps(n)
+	return float64(caps(a)+caps(b)) >= (1+alpha)*float64(cFused)
+}
+
+// Penalty is the §4.3 fusion penalty of a fused kernel under a plan:
+// λ·(bytes forced into preload) + μ·(loading-distance mass of its streamed
+// weights). Higher penalties mark the kernels most worth splitting.
+func Penalty(n *graph.Node, p *opg.Plan, lambda, mu float64) float64 {
+	wp, ok := p.ByWeight(n.ID)
+	if !ok {
+		return 0
+	}
+	if wp.Preload {
+		return lambda * float64(wp.Bytes)
+	}
+	dist := float64(int(wp.Weight) - int(wp.LoadStart))
+	return mu * dist * float64(p.ChunkSize)
+}
+
+// AdaptiveResult reports one adaptive-fusion run.
+type AdaptiveResult struct {
+	Graph  *graph.Graph
+	Plan   *opg.Plan
+	Splits int
+	Rounds int
+}
+
+// Adaptive runs the full §4.3 loop: fuse, solve OPG, and while preload
+// pressure remains, split the highest-penalty fused kernels that pass the
+// capacity-gain check and re-solve. It returns the final graph and plan.
+func Adaptive(g *graph.Graph, caps opg.Capacity, cfg opg.Config, o Options) AdaptiveResult {
+	if o.Rounds <= 0 {
+		o = DefaultOptions()
+	}
+	cur := Fuse(g, o)
+	plan := opg.Solve(cur, caps, cfg)
+	res := AdaptiveResult{Graph: cur, Plan: plan}
+
+	for round := 0; round < o.Rounds; round++ {
+		// Rank fused kernels by fusion penalty.
+		type cand struct {
+			id      graph.NodeID
+			penalty float64
+		}
+		var cands []cand
+		for _, n := range cur.Nodes() {
+			if !n.Fused() {
+				continue
+			}
+			if pen := Penalty(n, plan, cfg.Lambda, 1-cfg.Lambda); pen > 0 &&
+				GainfulSplit(cur, n.ID, caps, o.Alpha) {
+				cands = append(cands, cand{n.ID, pen})
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].penalty > cands[j].penalty })
+
+		// Split top candidates on a copy, highest node IDs first so earlier
+		// IDs stay valid while we mutate.
+		next := cur.Clone()
+		top := cands[:minInt(o.SplitsPerRound, len(cands))]
+		sort.Slice(top, func(i, j int) bool { return top[i].id > top[j].id })
+		split := 0
+		for _, c := range top {
+			if Split(next, c.id) {
+				split++
+			}
+		}
+		if split == 0 {
+			break
+		}
+
+		nextPlan := opg.Solve(next, caps, cfg)
+		res.Rounds = round + 1
+		res.Splits += split
+		if nextPlan.PreloadBytes() >= plan.PreloadBytes() {
+			// No improvement: keep the better (graph, plan) pair and stop.
+			break
+		}
+		cur, plan = next, nextPlan
+		res.Graph, res.Plan = cur, plan
+	}
+	return res
+}
+
+// PreloadPressure returns the preloaded fraction of weight bytes — the
+// quantity adaptive fusion drives down.
+func PreloadPressure(p *opg.Plan) float64 { return 1 - p.OverlapFraction() }
+
+// TotalCapacity sums capacities over a graph, the ΣC_ℓ of §4.3's
+// total-chunk-capacity bound.
+func TotalCapacity(g *graph.Graph, caps opg.Capacity) units.Bytes {
+	var total units.Bytes
+	for _, n := range g.Nodes() {
+		total += caps(n)
+	}
+	return total
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

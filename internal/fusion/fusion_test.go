@@ -1,0 +1,178 @@
+package fusion
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/opg"
+	"repro/internal/profiler"
+	"repro/internal/tensor"
+	"repro/internal/units"
+)
+
+// chainGraph: matmul → gelu → add(weightless, single-input) → layernorm →
+// matmul → relu, a canonical fusion testbed.
+func chainGraph() *graph.Graph {
+	g := graph.New("chain", tensor.FP16)
+	mb := units.MB
+	g.Op("mm1", graph.Part{Kind: graph.MatMul, Weight: 4 * mb, InBytes: mb, OutBytes: mb, MACs: 1e8})
+	g.Op("gelu1", graph.Part{Kind: graph.GeLU, InBytes: mb, OutBytes: mb, MACs: 1e5})
+	g.Op("scale", graph.Part{Kind: graph.Mul, InBytes: mb, OutBytes: mb, MACs: 1e5})
+	g.Op("ln", graph.Part{Kind: graph.LayerNorm, Weight: 4 * units.KB, InBytes: mb, OutBytes: mb, MACs: 1e6})
+	g.Op("mm2", graph.Part{Kind: graph.MatMul, Weight: 4 * mb, InBytes: mb, OutBytes: mb, MACs: 1e8})
+	g.Op("relu", graph.Part{Kind: graph.ReLU, InBytes: mb, OutBytes: mb, MACs: 1e5})
+	return g
+}
+
+func TestFuseMergesChains(t *testing.T) {
+	g := chainGraph()
+	f := Fuse(g, DefaultOptions())
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// mm1+gelu1+scale fuse (3 parts), ln stays, mm2+relu fuse.
+	if f.Len() != 3 {
+		for _, n := range f.Nodes() {
+			t.Logf("node %d: %s (%d parts)", n.ID, n.Name, len(n.Parts))
+		}
+		t.Fatalf("fused len = %d, want 3", f.Len())
+	}
+	if !f.Node(0).Fused() || f.Node(0).Kind() != graph.MatMul {
+		t.Error("first fused kernel should be MatMul-dominated")
+	}
+	if f.Node(1).Kind() != graph.LayerNorm || f.Node(1).Fused() {
+		t.Error("hierarchical kernel must stay standalone")
+	}
+}
+
+func TestFusePreservesTotals(t *testing.T) {
+	g := chainGraph()
+	f := Fuse(g, DefaultOptions())
+	if f.TotalWeightBytes() != g.TotalWeightBytes() {
+		t.Error("fusion changed total weights")
+	}
+	if f.TotalMACs() != g.TotalMACs() {
+		t.Error("fusion changed total MACs")
+	}
+}
+
+func TestFuseRespectsMaxParts(t *testing.T) {
+	g := graph.New("long", tensor.FP16)
+	g.Op("mm", graph.Part{Kind: graph.MatMul, Weight: units.MB, InBytes: units.MB, OutBytes: units.MB, MACs: 1e7})
+	for i := 0; i < 6; i++ {
+		g.Op("act", graph.Part{Kind: graph.ReLU, InBytes: units.MB, OutBytes: units.MB, MACs: 1e4})
+	}
+	f := Fuse(g, Options{MaxParts: 2, Alpha: 0.25, Rounds: 1, SplitsPerRound: 1})
+	for _, n := range f.Nodes() {
+		if len(n.Parts) > 2 {
+			t.Fatalf("node %s has %d parts, max 2", n.Name, len(n.Parts))
+		}
+	}
+}
+
+func TestFuseStopsAtBranches(t *testing.T) {
+	g := graph.New("branch", tensor.FP16)
+	a := g.Op("mm", graph.Part{Kind: graph.MatMul, Weight: units.MB, InBytes: units.MB, OutBytes: units.MB, MACs: 1e7})
+	g.Op("gelu", graph.Part{Kind: graph.GeLU, InBytes: units.MB, OutBytes: units.MB})
+	// Residual consumes both mm and gelu: gelu has 1 input but mm has 2 consumers.
+	g.Add("res", []graph.NodeID{a, 1}, graph.Part{Kind: graph.Add, InBytes: units.MB, OutBytes: units.MB})
+	f := Fuse(g, DefaultOptions())
+	if f.Len() != 3 {
+		t.Fatalf("fused len = %d, want 3 (branch must block fusion)", f.Len())
+	}
+}
+
+func TestSplitInverseOfFuse(t *testing.T) {
+	g := chainGraph()
+	f := Fuse(g, DefaultOptions())
+	wantW, wantM := f.TotalWeightBytes(), f.TotalMACs()
+	if !Split(f, 0) {
+		t.Fatal("split of fused node must succeed")
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.TotalWeightBytes() != wantW || f.TotalMACs() != wantM {
+		t.Error("split changed totals")
+	}
+	// The reusable+elemental rule: /a keeps the MatMul, /b is elemental.
+	if f.Node(0).Kind() != graph.MatMul {
+		t.Error("split head must keep the reusable part")
+	}
+	if f.Node(1).Weight() != 0 {
+		t.Error("split tail must be the weightless elemental run")
+	}
+}
+
+func TestSplitRefusesHierarchicalAndPlain(t *testing.T) {
+	g := chainGraph()
+	f := Fuse(g, DefaultOptions())
+	// ln is standalone (1 part).
+	for _, n := range f.Nodes() {
+		if !n.Fused() {
+			if Split(f, n.ID) {
+				t.Fatal("splitting a single-part node must fail")
+			}
+		}
+	}
+}
+
+func testCfg() opg.Config {
+	cfg := opg.DefaultConfig()
+	cfg.SolveTimeout = 60 * time.Millisecond
+	cfg.MaxBranches = 3000
+	return cfg
+}
+
+func TestAdaptiveImprovesOrMatchesPreload(t *testing.T) {
+	g := models.MustByAbbr("ViT").Build()
+	caps := profiler.AnalyticCapacityFunc(device.OnePlus12())
+	cfg := testCfg()
+
+	fusedOnly := Fuse(g, DefaultOptions())
+	basePlan := opg.Solve(fusedOnly, caps, cfg)
+
+	res := Adaptive(g, caps, cfg, DefaultOptions())
+	if err := res.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Plan.Validate(res.Graph, caps, cfg); err != nil {
+		t.Fatalf("adaptive plan invalid: %v", err)
+	}
+	if res.Plan.PreloadBytes() > basePlan.PreloadBytes() {
+		t.Errorf("adaptive preload %v exceeds fused-only %v",
+			res.Plan.PreloadBytes(), basePlan.PreloadBytes())
+	}
+}
+
+func TestPenaltyShape(t *testing.T) {
+	p := &opg.Plan{ChunkSize: units.MB, Weights: []opg.WeightPlan{
+		{Weight: 5, Bytes: 20 * units.MB, Chunks: 20, Preload: true},
+		{Weight: 9, Bytes: 10 * units.MB, Chunks: 10, LoadStart: 3,
+			Transforms: []opg.Assignment{{Layer: 7, Chunks: 10}}},
+	}}
+	pre := &graph.Node{ID: 5, Parts: []graph.Part{{Kind: graph.MatMul}}}
+	str := &graph.Node{ID: 9, Parts: []graph.Part{{Kind: graph.MatMul}}}
+	none := &graph.Node{ID: 2, Parts: []graph.Part{{Kind: graph.Add}}}
+	if Penalty(pre, p, 0.9, 0.1) <= Penalty(str, p, 0.9, 0.1) {
+		t.Error("preloaded weight must dominate the penalty ranking")
+	}
+	if Penalty(none, p, 0.9, 0.1) != 0 {
+		t.Error("weightless kernels have no penalty")
+	}
+}
+
+func TestTotalCapacityGrowsWhenSplitting(t *testing.T) {
+	caps := profiler.AnalyticCapacityFunc(device.OnePlus12())
+	g := chainGraph()
+	f := Fuse(g, DefaultOptions())
+	before := TotalCapacity(f, caps)
+	Split(f, 0)
+	after := TotalCapacity(f, caps)
+	if after < before {
+		t.Errorf("splitting reduced total capacity: %v -> %v", before, after)
+	}
+}

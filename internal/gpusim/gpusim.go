@@ -1,0 +1,134 @@
+// Package gpusim models the mobile GPU of Figure 1(a) as a discrete-event
+// machine: a disk DMA channel, a GPU compute queue (mobile GPUs expose
+// independent command queues, so transfers and kernels overlap), and the
+// unified-memory / texture-memory regions with byte-accurate residency
+// tracking.
+//
+// The machine is passive: schedulers (the FlashMem runtime, the baseline
+// frameworks) push work items at simulated timestamps and record memory
+// residency intervals; the machine serializes queues and integrates memory
+// over time. Out-of-memory is a post-hoc property — a run whose combined
+// resident peak exceeds the device's app limit would have been killed by
+// the OS low-memory killer, which is how Figure 10 reports OOM bars.
+package gpusim
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Region is one level of the memory hierarchy (UM or TM) with residency
+// tracking.
+type Region struct {
+	Name  string
+	bytes *sim.Tracker
+	total *sim.Tracker // shared machine-wide tracker
+}
+
+// Hold records n bytes resident on [from, to).
+func (r *Region) Hold(from, to units.Duration, n units.Bytes) {
+	if n < 0 {
+		panic(fmt.Sprintf("gpusim: negative hold in %s", r.Name))
+	}
+	if n == 0 || to <= from {
+		return
+	}
+	r.bytes.AddRange(from, to, float64(n))
+	r.total.AddRange(from, to, float64(n))
+}
+
+// Peak returns the region's maximum resident bytes.
+func (r *Region) Peak() units.Bytes { return units.Bytes(r.bytes.Peak()) }
+
+// Average returns the region's time-weighted mean residency over [0,horizon].
+func (r *Region) Average(horizon units.Duration) units.Bytes {
+	return units.Bytes(r.bytes.Average(horizon))
+}
+
+// Machine is one simulated device run. Create a fresh Machine per model
+// execution; statistics accumulate for the machine's lifetime.
+type Machine struct {
+	Dev device.Device
+
+	// Transfer serializes disk→UM DMA; Compute serializes GPU kernels
+	// (including UM→TM transform kernels). The two overlap freely, which is
+	// exactly the concurrency FlashMem exploits.
+	Transfer *sim.Queue
+	Compute  *sim.Queue
+
+	UM *Region
+	TM *Region
+
+	total *sim.Tracker
+}
+
+// New returns an idle machine for the device.
+func New(dev device.Device) *Machine {
+	total := sim.NewTracker("total")
+	return &Machine{
+		Dev:      dev,
+		Transfer: sim.NewQueue("transfer"),
+		Compute:  sim.NewQueue("compute"),
+		UM:       &Region{Name: "UM", bytes: sim.NewTracker("UM"), total: total},
+		TM:       &Region{Name: "TM", bytes: sim.NewTracker("TM"), total: total},
+		total:    total,
+	}
+}
+
+// DiskLoad schedules a disk→UM DMA of n bytes that becomes ready at `ready`.
+// It returns the transfer's start and completion times.
+func (m *Machine) DiskLoad(ready units.Duration, n units.Bytes) (start, end units.Duration) {
+	return m.Transfer.Acquire(ready, m.Dev.DiskBW.Time(n))
+}
+
+// RunKernel schedules a kernel of duration d (already including launch
+// overhead) that becomes ready at `ready` on the compute queue.
+func (m *Machine) RunKernel(ready, d units.Duration) (start, end units.Duration) {
+	return m.Compute.Acquire(ready, d)
+}
+
+// PeakBytes returns the maximum combined UM+TM residency.
+func (m *Machine) PeakBytes() units.Bytes { return units.Bytes(m.total.Peak()) }
+
+// AverageBytes returns the time-weighted mean combined residency.
+func (m *Machine) AverageBytes(horizon units.Duration) units.Bytes {
+	return units.Bytes(m.total.Average(horizon))
+}
+
+// OOM reports whether the run's combined peak exceeded the device app limit.
+func (m *Machine) OOM() bool { return m.PeakBytes() > m.Dev.AppLimit }
+
+// Horizon returns the time of the last recorded event across queues and
+// memory, i.e. the natural end of the run.
+func (m *Machine) Horizon() units.Duration {
+	h := units.MaxDuration(m.Transfer.FreeAt(), m.Compute.FreeAt())
+	return units.MaxDuration(h, m.total.End())
+}
+
+// MemStats summarizes a run's memory behaviour.
+type MemStats struct {
+	Peak    units.Bytes
+	Average units.Bytes
+	UMPeak  units.Bytes
+	TMPeak  units.Bytes
+	OOM     bool
+}
+
+// Stats computes memory statistics over the given horizon (use Horizon()
+// for the natural one).
+func (m *Machine) Stats(horizon units.Duration) MemStats {
+	return MemStats{
+		Peak:    m.PeakBytes(),
+		Average: m.AverageBytes(horizon),
+		UMPeak:  m.UM.Peak(),
+		TMPeak:  m.TM.Peak(),
+		OOM:     m.OOM(),
+	}
+}
+
+// MemorySeries exposes the combined residency step function for trace plots
+// (Figure 6).
+func (m *Machine) MemorySeries() []sim.Sample { return m.total.Series() }

@@ -1,0 +1,149 @@
+package gpusim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/units"
+)
+
+func TestDiskLoadUsesFigure1Bandwidth(t *testing.T) {
+	m := New(device.OnePlus12())
+	// 150 MB at 1.5 GB/s ≈ 97.7 ms.
+	_, end := m.DiskLoad(0, 150*units.MB)
+	if end < 95 || end > 100 {
+		t.Errorf("150MB disk load ends at %v, want ~97.7ms", end)
+	}
+	// Second load serializes behind the first.
+	start2, _ := m.DiskLoad(0, units.MB)
+	if start2 != end {
+		t.Errorf("second load starts at %v, want %v", start2, end)
+	}
+}
+
+func TestTransferComputeOverlap(t *testing.T) {
+	m := New(device.OnePlus12())
+	_, tEnd := m.DiskLoad(0, 150*units.MB)
+	_, kEnd := m.RunKernel(0, 50)
+	// Independent queues: the kernel must not wait for the DMA.
+	if kEnd != 50 {
+		t.Errorf("kernel end = %v, want 50 (queues must be independent)", kEnd)
+	}
+	if h := m.Horizon(); h != tEnd {
+		t.Errorf("horizon = %v, want %v", h, tEnd)
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	m := New(device.OnePlus12())
+	m.UM.Hold(0, 100, units.GB)
+	m.TM.Hold(50, 150, 2*units.GB)
+	if p := m.PeakBytes(); p != 3*units.GB {
+		t.Errorf("combined peak = %v, want 3 GB", p)
+	}
+	if p := m.UM.Peak(); p != units.GB {
+		t.Errorf("UM peak = %v, want 1 GB", p)
+	}
+	if p := m.TM.Peak(); p != 2*units.GB {
+		t.Errorf("TM peak = %v, want 2 GB", p)
+	}
+	// Average over [0,150]: (1GB*100 + 2GB*100)/150 = 2 GB.
+	want := float64(2 * units.GB)
+	if a := float64(m.AverageBytes(150)); math.Abs(a-want) > 1e-3*want {
+		t.Errorf("average = %v, want %v", a, want)
+	}
+}
+
+func TestOOMDetection(t *testing.T) {
+	mi6 := New(device.XiaomiMi6())
+	mi6.UM.Hold(0, 10, 4*units.GB) // above the Mi 6's 3 GB app limit
+	if !mi6.OOM() {
+		t.Error("4 GB on Mi 6 must OOM")
+	}
+	op12 := New(device.OnePlus12())
+	op12.UM.Hold(0, 10, 4*units.GB)
+	if op12.OOM() {
+		t.Error("4 GB on OnePlus 12 must not OOM")
+	}
+}
+
+func TestZeroAndEmptyHolds(t *testing.T) {
+	m := New(device.OnePlus12())
+	m.UM.Hold(5, 5, units.GB) // empty interval: ignored
+	m.UM.Hold(0, 10, 0)       // zero bytes: ignored
+	if m.PeakBytes() != 0 {
+		t.Errorf("peak = %v, want 0", m.PeakBytes())
+	}
+	if m.OOM() {
+		t.Error("empty machine cannot OOM")
+	}
+}
+
+func TestNegativeHoldPanics(t *testing.T) {
+	m := New(device.OnePlus12())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative hold should panic")
+		}
+	}()
+	m.UM.Hold(0, 1, -1)
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	m := New(device.Pixel8())
+	m.UM.Hold(0, 10, units.GB)
+	m.RunKernel(0, 20)
+	s := m.Stats(m.Horizon())
+	if s.Peak != units.GB || s.UMPeak != units.GB || s.TMPeak != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.OOM {
+		t.Error("1 GB on Pixel 8 must not OOM")
+	}
+}
+
+func TestCombinedPeakProperty(t *testing.T) {
+	// Property: combined peak is at most UM peak + TM peak and at least
+	// max(UM peak, TM peak).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(device.OnePlus12())
+		for i := 0; i < 40; i++ {
+			from := units.Duration(rng.Float64() * 100)
+			to := from + units.Duration(rng.Float64()*100)
+			n := units.Bytes(rng.Intn(1 << 28))
+			if rng.Intn(2) == 0 {
+				m.UM.Hold(from, to, n)
+			} else {
+				m.TM.Hold(from, to, n)
+			}
+		}
+		um, tm, combined := m.UM.Peak(), m.TM.Peak(), m.PeakBytes()
+		lower := um
+		if tm > lower {
+			lower = tm
+		}
+		return combined >= lower && combined <= um+tm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemorySeriesMonotoneTime(t *testing.T) {
+	m := New(device.OnePlus12())
+	m.UM.Hold(10, 20, units.MB)
+	m.TM.Hold(5, 30, 2*units.MB)
+	series := m.MemorySeries()
+	for i := 1; i < len(series); i++ {
+		if series[i].At < series[i-1].At {
+			t.Fatal("memory series not time-ordered")
+		}
+	}
+	if len(series) == 0 || series[len(series)-1].Value != 0 {
+		t.Error("series must return to zero after all frees")
+	}
+}

@@ -1,0 +1,232 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/opclass"
+	"repro/internal/units"
+)
+
+func matmulNode(weight, in units.Bytes, macs units.MACs) *graph.Node {
+	return &graph.Node{Name: "mm", Parts: []graph.Part{{
+		Kind: graph.MatMul, Weight: weight, InBytes: in, OutBytes: in, MACs: macs,
+	}}}
+}
+
+func softmaxNode(in units.Bytes) *graph.Node {
+	return &graph.Node{Name: "sm", Parts: []graph.Part{{
+		Kind: graph.Softmax, InBytes: in, OutBytes: in, MACs: units.MACs(in) * 2,
+	}}}
+}
+
+func TestKernelTimeRoofline(t *testing.T) {
+	cm := NewCostModel(device.OnePlus12())
+	// Compute-bound: huge MACs, tiny data.
+	heavy := matmulNode(units.KB, units.KB, 1_000_000_000)
+	// Memory-bound: tiny MACs, big data.
+	light := matmulNode(100*units.MB, units.MB, 1000)
+
+	hc := cm.KernelTime(heavy, Texture25D)
+	// 2 GFLOPs at 2800 GFLOPS / 0.7 eff ≈ 1.02 ms.
+	if hc < 0.9 || hc > 1.2 {
+		t.Errorf("compute-bound kernel = %v ms, want ~1.02", hc)
+	}
+	lc := cm.KernelTime(light, Texture25D)
+	// ~102MB at ~502GB/s ≈ 0.2 ms.
+	if lc < 0.15 || lc > 0.3 {
+		t.Errorf("memory-bound kernel = %v ms, want ~0.2", lc)
+	}
+}
+
+func TestTextureLayoutFasterForMemoryBound(t *testing.T) {
+	cm := NewCostModel(device.OnePlus12())
+	n := matmulNode(50*units.MB, units.MB, 1000)
+	tex := cm.KernelTime(n, Texture25D)
+	lin := cm.KernelTime(n, Linear)
+	if tex >= lin {
+		t.Errorf("texture %v must beat linear %v on memory-bound kernels", tex, lin)
+	}
+	// Romou reports up to 3.5×; our mix should land in (2, 8).
+	ratio := float64(lin) / float64(tex)
+	if ratio < 2 || ratio > 8 {
+		t.Errorf("texture speedup = %.1fx, want 2-8x", ratio)
+	}
+}
+
+func TestTransformTimeScalesLinearly(t *testing.T) {
+	cm := NewCostModel(device.OnePlus12())
+	t1 := cm.TransformTime(10 * units.MB)
+	t2 := cm.TransformTime(20 * units.MB)
+	launch := cm.Dev.KernelLaunch
+	if math.Abs(float64(t2-launch)-2*float64(t1-launch)) > 1e-6 {
+		t.Errorf("transform not linear: %v vs %v", t1, t2)
+	}
+}
+
+func TestOverlapSlowdownShape(t *testing.T) {
+	// Figure 2: at equal extra volume (ratio 1), Softmax and LayerNorm
+	// suffer far more than MatMul; elementwise sits low.
+	sm := OverlapSlowdown(graph.Softmax, 1)
+	ln := OverlapSlowdown(graph.LayerNorm, 1)
+	mm := OverlapSlowdown(graph.MatMul, 1)
+	add := OverlapSlowdown(graph.Add, 1)
+	if !(sm > ln && ln > mm && mm > add) {
+		t.Errorf("ordering violated: softmax %v layernorm %v matmul %v add %v", sm, ln, mm, add)
+	}
+	// Hierarchical ops cross 30% overhead before ratio 0.5.
+	if OverlapSlowdown(graph.Softmax, 0.5) < 1.30 {
+		t.Error("softmax must cross 30% overhead by ratio 0.5")
+	}
+	// MatMul stays under 20% at ratio 1.
+	if OverlapSlowdown(graph.MatMul, 1) > 1.20 {
+		t.Error("matmul must stay under 20% at ratio 1")
+	}
+	if OverlapSlowdown(graph.MatMul, 0) != 1 {
+		t.Error("zero ratio must mean no slowdown")
+	}
+}
+
+func TestOverlapSlowdownMonotoneProperty(t *testing.T) {
+	kinds := []graph.OpKind{graph.MatMul, graph.Softmax, graph.Add, graph.Conv, graph.LayerNorm}
+	f := func(r1, r2 float64) bool {
+		a, b := math.Abs(math.Mod(r1, 5)), math.Abs(math.Mod(r2, 5))
+		if a > b {
+			a, b = b, a
+		}
+		for _, k := range kinds {
+			if OverlapSlowdown(k, a) > OverlapSlowdown(k, b)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlapRatioAtInverts(t *testing.T) {
+	for _, k := range []graph.OpKind{graph.MatMul, graph.Softmax, graph.Add, graph.Attention} {
+		for _, inc := range []float64{0.1, 0.2, 0.3, 3.0} {
+			r := OverlapRatioAt(k, inc)
+			got := OverlapSlowdown(k, r) - 1
+			if math.Abs(got-inc) > 1e-9 {
+				t.Errorf("%v: slowdown at inverse ratio = %v, want %v", k, got, inc)
+			}
+		}
+	}
+	if OverlapRatioAt(graph.MatMul, 0) != 0 {
+		t.Error("zero increase must mean zero ratio")
+	}
+}
+
+func TestLoadCapacityByClass(t *testing.T) {
+	cm := NewCostModel(device.OnePlus12())
+	// Hierarchical: zero capacity (§4.2 "we do not use this type of OPs").
+	if c := cm.LoadCapacityBytes(softmaxNode(10*units.MB), Texture25D); c != 0 {
+		t.Errorf("softmax capacity = %v, want 0", c)
+	}
+	// Reusable: substantial capacity.
+	mm := matmulNode(40*units.MB, 20*units.MB, 2_000_000_000)
+	if c := cm.LoadCapacityBytes(mm, Texture25D); c <= 0 {
+		t.Error("matmul capacity must be positive")
+	}
+	// Table 5: a large reusable kernel has more absolute capacity than a
+	// small elemental one, even though the elemental threshold is 300%.
+	small := &graph.Node{Name: "relu", Parts: []graph.Part{{
+		Kind: graph.ReLU, InBytes: 100 * units.KB, OutBytes: 100 * units.KB, MACs: 100,
+	}}}
+	if cm.LoadCapacityBytes(mm, Texture25D) <= cm.LoadCapacityBytes(small, Texture25D) {
+		t.Error("large reusable kernel must out-carry small elemental kernel")
+	}
+}
+
+func TestPipelinedBeatsUnrewritten(t *testing.T) {
+	cm := NewCostModel(device.OnePlus12())
+	n := matmulNode(40*units.MB, 20*units.MB, 2_000_000_000)
+	extra := 4 * units.MB
+	pip := cm.PipelinedTime(n, Texture25D, extra)
+	unre := cm.UnrewrittenOverlapTime(n, Texture25D, extra)
+	if pip >= unre {
+		t.Errorf("pipelined %v must beat unrewritten %v", pip, unre)
+	}
+	base := cm.KernelTime(n, Texture25D)
+	if pip < base {
+		t.Error("carrying extra load cannot be faster than the baseline")
+	}
+}
+
+func TestPipelinedNeverBelowBase(t *testing.T) {
+	cm := NewCostModel(device.OnePlus12())
+	nodes := []*graph.Node{
+		matmulNode(40*units.MB, 20*units.MB, 2_000_000_000),
+		softmaxNode(units.MB),
+		{Name: "w", Parts: []graph.Part{{Kind: graph.MatMul, Weight: units.MB}}}, // zero input
+	}
+	for _, n := range nodes {
+		base := cm.KernelTime(n, Texture25D)
+		for _, extra := range []units.Bytes{0, units.KB, units.MB, 64 * units.MB} {
+			if got := cm.PipelinedTime(n, Texture25D, extra); got < base {
+				t.Errorf("%s: pipelined %v below base %v at extra %v", n.Name, got, base, extra)
+			}
+		}
+	}
+}
+
+func TestPipelinedComputeBoundHidesStream(t *testing.T) {
+	cm := NewCostModel(device.OnePlus12())
+	// Heavily compute-bound matmul: a modest embedded stream must cost far
+	// less than a dedicated transform kernel would.
+	n := matmulNode(8*units.MB, 4*units.MB, 4_000_000_000)
+	base := cm.KernelTime(n, Texture25D)
+	extra := 4 * units.MB
+	embeddedCost := cm.PipelinedTime(n, Texture25D, extra) - base
+	dedicated := cm.TransformTime(extra)
+	if float64(embeddedCost) > 0.5*float64(dedicated) {
+		t.Errorf("embedded cost %v should be well below dedicated %v", embeddedCost, dedicated)
+	}
+}
+
+func TestPipelinedHierarchicalPaysDearly(t *testing.T) {
+	cm := NewCostModel(device.OnePlus12())
+	sm := softmaxNode(units.MB)
+	base := cm.KernelTime(sm, Texture25D)
+	got := cm.PipelinedTime(sm, Texture25D, units.MB)
+	// Streaming 1MB through a softmax must blow well past the 0% threshold.
+	if float64(got) < 1.3*float64(base) {
+		t.Errorf("softmax with 1MB stream = %v, want >1.3x base %v", got, base)
+	}
+}
+
+func TestGraphTimeAccumulates(t *testing.T) {
+	cm := NewCostModel(device.OnePlus12())
+	g := graphOf(t, 5)
+	per := cm.GraphTime(g, Texture25D, 1)
+	if per <= 0 {
+		t.Fatal("graph time must be positive")
+	}
+	slower := cm.GraphTime(g, Texture25D, 2)
+	if math.Abs(float64(slower)-2*float64(per)) > 1e-9 {
+		t.Errorf("inefficiency 2 must double time: %v vs %v", slower, per)
+	}
+}
+
+func graphOf(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New("t", 0)
+	for i := 0; i < n; i++ {
+		g.Op("mm", graph.Part{Kind: graph.MatMul, Weight: units.MB, InBytes: units.MB, OutBytes: units.MB, MACs: 1_000_000})
+	}
+	return g
+}
+
+func TestClassEfficiencyOrdering(t *testing.T) {
+	if !(classEfficiency(opclass.Elemental) > classEfficiency(opclass.Reusable) &&
+		classEfficiency(opclass.Reusable) > classEfficiency(opclass.Hierarchical)) {
+		t.Error("class efficiency ordering wrong")
+	}
+}

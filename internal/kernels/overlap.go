@@ -1,0 +1,179 @@
+package kernels
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/opclass"
+	"repro/internal/units"
+)
+
+// overlapCurve holds the coefficients of the quadratic slowdown model
+// slowdown(r) = 1 + a·r + b·r², where r is the ratio of extra streamed
+// bytes to the kernel's own input volume (the Figure 2 x-axis).
+type overlapCurve struct{ a, b float64 }
+
+// Per-kind curves calibrated to Figure 2: Softmax and LayerNorm blow up at
+// small ratios (they cross 20–30% overhead well before r=0.5); MatMul grows
+// slowly; elementwise ops sit in between with a shallow slope.
+var overlapCurves = map[graph.OpKind]overlapCurve{
+	graph.MatMul:    {a: 0.12, b: 0.02},
+	graph.Conv:      {a: 0.13, b: 0.02},
+	graph.Attention: {a: 0.15, b: 0.03},
+	graph.Softmax:   {a: 0.80, b: 1.20},
+	graph.LayerNorm: {a: 0.70, b: 1.00},
+	graph.GroupNorm: {a: 0.72, b: 1.05},
+}
+
+// classCurve is the fallback for kinds without a dedicated curve.
+func classCurve(c opclass.Class) overlapCurve {
+	switch c {
+	case opclass.Reusable:
+		return overlapCurve{a: 0.13, b: 0.02}
+	case opclass.Hierarchical:
+		return overlapCurve{a: 0.80, b: 1.10}
+	default: // elemental
+		return overlapCurve{a: 0.10, b: 0.01}
+	}
+}
+
+// curveFor resolves the slowdown curve for an operator kind.
+func curveFor(k graph.OpKind) overlapCurve {
+	if c, ok := overlapCurves[k]; ok {
+		return c
+	}
+	return classCurve(opclass.Classify(k))
+}
+
+// OverlapSlowdown returns the multiplicative latency factor for a kernel of
+// the given kind carrying extra load of `ratio` times its own input volume.
+func OverlapSlowdown(kind graph.OpKind, ratio float64) float64 {
+	if ratio <= 0 {
+		return 1
+	}
+	c := curveFor(kind)
+	return 1 + c.a*ratio + c.b*ratio*ratio
+}
+
+// OverlapRatioAt inverts OverlapSlowdown: the extra-load ratio at which the
+// kernel's latency increase reaches `increase` (e.g. 0.20 for the reusable
+// threshold). Solves a·r + b·r² = increase for r ≥ 0.
+func OverlapRatioAt(kind graph.OpKind, increase float64) float64 {
+	if increase <= 0 {
+		return 0
+	}
+	c := curveFor(kind)
+	if c.b == 0 {
+		if c.a == 0 {
+			return 0
+		}
+		return increase / c.a
+	}
+	// r = (-a + sqrt(a² + 4b·inc)) / (2b)
+	disc := c.a*c.a + 4*c.b*increase
+	return (-c.a + math.Sqrt(disc)) / (2 * c.b)
+}
+
+// Pipeline-hiding parameters by class: how efficiently the embedded stream
+// uses the UM→TM path, what fraction of the kernel's compute slack can hide
+// stream work, and how strongly streaming interferes with the kernel's own
+// memory traffic. Hierarchical kernels synchronize stepwise and leave
+// almost no room (§4.2).
+type pipelineParams struct {
+	streamEff    float64 // fraction of UM bandwidth the embedded stream gets
+	hideFrac     float64 // fraction of compute slack usable for hiding
+	interference float64 // contention slowdown coefficient
+}
+
+func pipelineFor(c opclass.Class) pipelineParams {
+	switch c {
+	case opclass.Reusable:
+		return pipelineParams{streamEff: 0.95, hideFrac: 1.0, interference: 0.05}
+	case opclass.Elemental:
+		return pipelineParams{streamEff: 0.90, hideFrac: 1.0, interference: 0.12}
+	default: // hierarchical
+		return pipelineParams{streamEff: 0.30, hideFrac: 0.30, interference: 0.90}
+	}
+}
+
+// PipelinedTime returns the latency of a kernel rewritten with embedded
+// pipeline loading (§4.4) carrying extraBytes of weight transforms.
+//
+// The model is physical: the stream's transfer work runs on the UM→TM path
+// while arithmetic proceeds, so work hidden behind the kernel's compute
+// slack (compute − memory time) is free; the visible remainder and a
+// class-dependent contention term extend the kernel. Compute-bound matmuls
+// therefore carry large streams nearly for free while hierarchical kernels
+// pay dearly — the Figure 2 behaviour.
+func (c *CostModel) PipelinedTime(n *graph.Node, l Layout, extraBytes units.Bytes) units.Duration {
+	base := c.KernelTime(n, l)
+	if extraBytes <= 0 {
+		return base
+	}
+	class := opclass.ClassifyNode(n)
+	pp := pipelineFor(class)
+
+	streamBW := units.Bandwidth(float64(c.Dev.UMBW) * pp.streamEff)
+	work := streamBW.Time(extraBytes)
+
+	compute := c.computeTime(n)
+	mem := c.memTime(n, l)
+	slack := units.Duration(0)
+	if compute > mem {
+		slack = compute - mem
+	}
+	hidden := units.Duration(float64(slack) * pp.hideFrac)
+	visible := units.Duration(0)
+	if work > hidden {
+		visible = work - hidden
+	}
+	interference := units.Duration(pp.interference * float64(minDuration(work, base)))
+	return base + visible + interference
+}
+
+func minDuration(a, b units.Duration) units.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// UnrewrittenOverlapTime returns the latency of carrying extraBytes without
+// kernel rewriting: the naive interleave of Figure 5(a)'s branchy variant,
+// where per-thread conditionals cause warp divergence and the transform is
+// not hidden behind arithmetic. Used by the Figure 7 ablation.
+func (c *CostModel) UnrewrittenOverlapTime(n *graph.Node, l Layout, extraBytes units.Bytes) units.Duration {
+	const divergencePenalty = 1.18 // branchy load/compute interleave
+	base := c.KernelTime(n, l)
+	if extraBytes == 0 {
+		return base
+	}
+	return units.Duration(float64(base)*divergencePenalty) + c.TransformTime(extraBytes)
+}
+
+// LoadCapacityBytes returns C_ℓ in bytes for a node: the largest extra load
+// whose PipelinedTime stays within the class threshold of the baseline
+// (§4.2 — 0% hierarchical, 20% reusable, 300% elemental), additionally
+// bounded by the bytes the UM side can physically deliver during the
+// allowed runtime. Found by bisection on the pipelined cost model.
+func (c *CostModel) LoadCapacityBytes(n *graph.Node, l Layout) units.Bytes {
+	class := opclass.ClassifyNode(n)
+	threshold := class.Threshold()
+	if threshold <= 0 {
+		return 0
+	}
+	base := c.KernelTime(n, l)
+	budget := units.Duration(float64(base) * (1 + threshold))
+	byBandwidth := c.Dev.UMBW.Bytes(budget)
+
+	lo, hi := units.Bytes(0), byBandwidth
+	for i := 0; i < 40 && lo < hi; i++ {
+		mid := lo + (hi-lo+1)/2
+		if c.PipelinedTime(n, l, mid) <= budget {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,185 @@
+package kernels
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+	"repro/internal/units"
+)
+
+// Figure 5's three matrix-kernel variants as templates. The rewritten
+// (pipelined) kernel enforces a uniform load–compute schedule: every thread
+// executes the same instruction sequence, so there is no warp divergence,
+// and each iteration prefetches the next streamed tile while computing on
+// the current one.
+
+var naiveTemplate = NewTemplate("naive", `// {{name}}: baseline kernel (Figure 5a)
+__kernel void {{name}}(__read_only image2d_t tensorA,
+                       __read_only image2d_t tensorB,
+                       __write_only image2d_t tensorC) {
+    const int tid = get_global_id(0);
+    float4 acc = (float4)(0.0f);
+    float4 a = read_imagef(tensorA, smp, coord_a(tid));
+    for (int i = 0; i < {{k}}; ++i) {
+        float4 b = read_imagef(tensorB, smp, coord_b(i, tid));
+        acc = fma(a, b, acc);
+    }
+    write_imagef(tensorC, coord_c(tid), acc);
+}
+`)
+
+var pipelinedTemplate = NewTemplate("pipelined", `// {{name}}: rewritten kernel with pipeline loading (Figure 5b)
+// Streams {{streamBytes}} bytes of tensor-list L into texture memory while
+// computing; uniform schedule, branch-free.
+__kernel void {{name}}(__read_only image2d_t tensorA,
+                       __read_only image2d_t tensorB,
+                       __write_only image2d_t tensorC,
+                       __global const float4* stream_src,
+                       __write_only image2d_t stream_dst) {
+    const int tid = get_global_id(0);
+    const int c = {{c}}; // ws / thread_num: pipelined iterations
+    float4 acc = (float4)(0.0f);
+    float4 a = read_imagef(tensorA, smp, coord_a(tid));
+    for (int i = 0; i < c; ++i) {
+        float4 b = read_imagef(tensorB, smp, coord_b(i, tid));
+        acc = fma(a, b, acc);
+        float4 v = vload4(0, stream_src + (i * {{threads}} + tid) * 4);
+        write_imagef(stream_dst, stream_coord(i * {{threads}} + tid), v);
+    }
+    for (int i = c; i < {{k}}; ++i) {
+        float4 b = read_imagef(tensorB, smp, coord_b(i, tid));
+        acc = fma(a, b, acc);
+    }
+    write_imagef(tensorC, coord_c(tid), acc);
+}
+`)
+
+var branchyTemplate = NewTemplate("branchy", `// {{name}}: naive interleave with divergent branches (rejected design)
+__kernel void {{name}}(__read_only image2d_t tensorA,
+                       __read_only image2d_t tensorB,
+                       __write_only image2d_t tensorC,
+                       __global const float4* stream_src,
+                       __write_only image2d_t stream_dst) {
+    const int tid = get_global_id(0);
+    float4 acc = (float4)(0.0f);
+    float4 a = read_imagef(tensorA, smp, coord_a(tid));
+    if (tid < {{compSize}}) {
+        for (int i = 0; i < {{k}}; ++i) {
+            float4 b = read_imagef(tensorB, smp, coord_b(i, tid));
+            acc = fma(a, b, acc);
+            if (tid < {{ws}}) {
+                float4 v = vload4(0, stream_src + tid * 4);
+                write_imagef(stream_dst, stream_coord(tid), v);
+            }
+        }
+        write_imagef(tensorC, coord_c(tid), acc);
+    } else {
+        if (tid < {{ws}}) {
+            float4 v = vload4(0, stream_src + tid * 4);
+            write_imagef(stream_dst, stream_coord(tid), v);
+        }
+    }
+}
+`)
+
+// Kernel is a generated GPU kernel.
+type Kernel struct {
+	Name       string
+	Source     string
+	Pipelined  bool        // carries embedded pipeline loading
+	StreamSize units.Bytes // bytes streamed by the embedded loads
+}
+
+// BranchFree reports whether the kernel source contains no conditional
+// branches — the §4.4 SIMT-efficiency property the rewriter guarantees.
+func (k Kernel) BranchFree() bool {
+	return !strings.Contains(k.Source, "if (") && !strings.Contains(k.Source, "else")
+}
+
+// Rewriter instantiates kernels from templates following the overlap plan.
+type Rewriter struct {
+	Threads int // GPU threads per dispatch (GWS)
+}
+
+// NewRewriter returns a rewriter with the default dispatch width.
+func NewRewriter() *Rewriter { return &Rewriter{Threads: 256} }
+
+// kname builds an OpenCL-safe kernel symbol from a node name.
+func kname(n *graph.Node, suffix string) string {
+	repl := strings.NewReplacer(".", "_", "-", "_", " ", "_")
+	return fmt.Sprintf("k%d_%s_%s", n.ID, repl.Replace(n.Name), suffix)
+}
+
+// reductionDepth approximates the kernel's inner loop trip count from its
+// input volume (texels of depth 4, fp16).
+func reductionDepth(n *graph.Node) int {
+	texels := int64(n.InBytes()) / int64(tensor.TexelDepth*tensor.FP16.Size())
+	if texels < 1 {
+		texels = 1
+	}
+	if texels > 1<<20 {
+		texels = 1 << 20
+	}
+	return int(texels)
+}
+
+// Generate produces the kernel for a node. With streamBytes == 0 the naive
+// baseline template is used; otherwise the branch-free pipelined template
+// embeds loads for streamBytes of upcoming weights (Figure 5b).
+func (r *Rewriter) Generate(n *graph.Node, streamBytes units.Bytes) (Kernel, error) {
+	k := reductionDepth(n)
+	if streamBytes <= 0 {
+		src, err := naiveTemplate.Render(map[string]string{
+			"name": kname(n, "naive"),
+			"k":    strconv.Itoa(k),
+		})
+		if err != nil {
+			return Kernel{}, err
+		}
+		return Kernel{Name: kname(n, "naive"), Source: src}, nil
+	}
+
+	// Pipelined iterations: spread the streamed texels over the dispatch,
+	// clamped to the compute loop so the pipeline drains before the tail.
+	texels := int64(streamBytes) / int64(tensor.TexelDepth*tensor.FP16.Size())
+	c := int(texels / int64(r.Threads))
+	if c < 1 {
+		c = 1
+	}
+	if c > k {
+		c = k
+	}
+	src, err := pipelinedTemplate.Render(map[string]string{
+		"name":        kname(n, "pipelined"),
+		"k":           strconv.Itoa(k),
+		"c":           strconv.Itoa(c),
+		"threads":     strconv.Itoa(r.Threads),
+		"streamBytes": strconv.FormatInt(int64(streamBytes), 10),
+	})
+	if err != nil {
+		return Kernel{}, err
+	}
+	return Kernel{
+		Name: kname(n, "pipelined"), Source: src,
+		Pipelined: true, StreamSize: streamBytes,
+	}, nil
+}
+
+// GenerateBranchy produces the rejected divergent variant for comparison
+// (used by the rewriting ablation and tests).
+func (r *Rewriter) GenerateBranchy(n *graph.Node, streamBytes units.Bytes) (Kernel, error) {
+	texels := int64(streamBytes) / int64(tensor.TexelDepth*tensor.FP16.Size())
+	src, err := branchyTemplate.Render(map[string]string{
+		"name":     kname(n, "branchy"),
+		"k":        strconv.Itoa(reductionDepth(n)),
+		"compSize": strconv.Itoa(r.Threads),
+		"ws":       strconv.FormatInt(texels, 10),
+	})
+	if err != nil {
+		return Kernel{}, err
+	}
+	return Kernel{Name: kname(n, "branchy"), Source: src, StreamSize: streamBytes}, nil
+}

@@ -1,0 +1,152 @@
+package kernels
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The paper generates GPU kernels from Jinja templates (§4.4). This is a
+// minimal text-template engine with the two constructs those templates
+// need: variable substitution and integer-range loops.
+//
+//	{{name}}                 — substitute a variable
+//	{%for i in 0..4%}…{%endfor%} — repeat the body, binding i to 0,1,2,3
+//
+// Loop bounds may themselves be variables. Loops nest; unknown variables
+// and unterminated loops are errors, so template bugs surface in tests
+// rather than as malformed kernel source.
+
+// Template is a parsed kernel template.
+type Template struct {
+	name string
+	text string
+}
+
+// NewTemplate wraps kernel source text as a template.
+func NewTemplate(name, text string) *Template { return &Template{name: name, text: text} }
+
+// Render substitutes vars into the template.
+func (t *Template) Render(vars map[string]string) (string, error) {
+	out, rest, err := render(t.text, vars, false)
+	if err != nil {
+		return "", fmt.Errorf("template %s: %w", t.name, err)
+	}
+	if rest != "" {
+		return "", fmt.Errorf("template %s: unexpected {%%endfor%%}", t.name)
+	}
+	return out, nil
+}
+
+// render processes text until EOF or, when inLoop is set, a matching
+// {%endfor%}. It returns the rendered output and the unconsumed tail.
+func render(text string, vars map[string]string, inLoop bool) (out, rest string, err error) {
+	var b strings.Builder
+	for {
+		i := strings.Index(text, "{")
+		if i < 0 || i+1 >= len(text) {
+			if inLoop {
+				return "", "", fmt.Errorf("missing {%%endfor%%}")
+			}
+			b.WriteString(text)
+			return b.String(), "", nil
+		}
+		b.WriteString(text[:i])
+		text = text[i:]
+		switch {
+		case strings.HasPrefix(text, "{{"):
+			end := strings.Index(text, "}}")
+			if end < 0 {
+				return "", "", fmt.Errorf("unterminated {{")
+			}
+			name := strings.TrimSpace(text[2:end])
+			v, ok := vars[name]
+			if !ok {
+				return "", "", fmt.Errorf("unknown variable %q", name)
+			}
+			b.WriteString(v)
+			text = text[end+2:]
+		case strings.HasPrefix(text, "{%"):
+			end := strings.Index(text, "%}")
+			if end < 0 {
+				return "", "", fmt.Errorf("unterminated {%%")
+			}
+			directive := strings.TrimSpace(text[2:end])
+			text = text[end+2:]
+			switch {
+			case directive == "endfor":
+				if !inLoop {
+					return "", "", fmt.Errorf("stray {%%endfor%%}")
+				}
+				return b.String(), text, nil
+			case strings.HasPrefix(directive, "for "):
+				varName, lo, hi, err := parseFor(directive, vars)
+				if err != nil {
+					return "", "", err
+				}
+				var body, tail string
+				for i := lo; i < hi; i++ {
+					inner := copyVars(vars)
+					inner[varName] = strconv.Itoa(i)
+					body, tail, err = render(text, inner, true)
+					if err != nil {
+						return "", "", err
+					}
+					b.WriteString(body)
+				}
+				if lo >= hi {
+					// Still must consume the loop body.
+					if _, tail, err = render(text, vars, true); err != nil {
+						return "", "", err
+					}
+				}
+				text = tail
+			default:
+				return "", "", fmt.Errorf("unknown directive %q", directive)
+			}
+		default:
+			b.WriteByte(text[0])
+			text = text[1:]
+		}
+	}
+}
+
+// parseFor parses "for i in LO..HI" with variable or literal bounds.
+func parseFor(directive string, vars map[string]string) (name string, lo, hi int, err error) {
+	fields := strings.Fields(directive)
+	if len(fields) != 4 || fields[0] != "for" || fields[2] != "in" {
+		return "", 0, 0, fmt.Errorf("malformed loop %q", directive)
+	}
+	bounds := strings.SplitN(fields[3], "..", 2)
+	if len(bounds) != 2 {
+		return "", 0, 0, fmt.Errorf("malformed range %q", fields[3])
+	}
+	lo, err = resolveInt(bounds[0], vars)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	hi, err = resolveInt(bounds[1], vars)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	return fields[1], lo, hi, nil
+}
+
+func resolveInt(s string, vars map[string]string) (int, error) {
+	if v, ok := vars[s]; ok {
+		s = v
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad loop bound %q", s)
+	}
+	return n, nil
+}
+
+func copyVars(vars map[string]string) map[string]string {
+	out := make(map[string]string, len(vars)+1)
+	for k, v := range vars {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package kernels
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/units"
+)
+
+func TestTemplateSubstitution(t *testing.T) {
+	tpl := NewTemplate("t", "kernel {{name}} size {{n}}")
+	out, err := tpl.Render(map[string]string{"name": "mm", "n": "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "kernel mm size 4" {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestTemplateUnknownVariable(t *testing.T) {
+	if _, err := NewTemplate("t", "{{missing}}").Render(nil); err == nil {
+		t.Fatal("unknown variable must error")
+	}
+}
+
+func TestTemplateLoop(t *testing.T) {
+	tpl := NewTemplate("t", "{%for i in 0..3%}[{{i}}]{%endfor%}")
+	out, err := tpl.Render(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "[0][1][2]" {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestTemplateLoopVariableBounds(t *testing.T) {
+	tpl := NewTemplate("t", "{%for i in 0..n%}x{%endfor%}")
+	out, err := tpl.Render(map[string]string{"n": "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "xxxxx" {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestTemplateNestedLoops(t *testing.T) {
+	tpl := NewTemplate("t", "{%for i in 0..2%}{%for j in 0..2%}({{i}},{{j}}){%endfor%}{%endfor%}")
+	out, err := tpl.Render(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "(0,0)(0,1)(1,0)(1,1)" {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestTemplateEmptyLoop(t *testing.T) {
+	tpl := NewTemplate("t", "a{%for i in 0..0%}x{%endfor%}b")
+	out, err := tpl.Render(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "ab" {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestTemplateErrors(t *testing.T) {
+	cases := []string{
+		"{%for i in 0..2%}no end",
+		"{%endfor%}",
+		"{{unclosed",
+		"{%for malformed%}{%endfor%}",
+		"{%for i in a..b%}{%endfor%}",
+		"{%unknown%}",
+	}
+	for _, src := range cases {
+		if _, err := NewTemplate("t", src).Render(nil); err == nil {
+			t.Errorf("template %q must error", src)
+		}
+	}
+}
+
+func TestGeneratedNaiveKernel(t *testing.T) {
+	n := &graph.Node{ID: 3, Name: "h0.mlp.fc1", Parts: []graph.Part{{
+		Kind: graph.MatMul, Weight: units.MB, InBytes: 64 * units.KB, OutBytes: 64 * units.KB, MACs: 1e6,
+	}}}
+	k, err := NewRewriter().Generate(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Pipelined {
+		t.Error("zero stream bytes must yield the naive kernel")
+	}
+	if !strings.Contains(k.Source, "__kernel void k3_h0_mlp_fc1_naive") {
+		t.Errorf("kernel name mangling wrong:\n%s", k.Source)
+	}
+	if !k.BranchFree() {
+		t.Error("naive kernel must be branch-free")
+	}
+}
+
+func TestGeneratedPipelinedKernelIsBranchFree(t *testing.T) {
+	n := &graph.Node{ID: 7, Name: "h1.attn.q", Parts: []graph.Part{{
+		Kind: graph.MatMul, Weight: 4 * units.MB, InBytes: units.MB, OutBytes: units.MB, MACs: 1e8,
+	}}}
+	k, err := NewRewriter().Generate(n, 2*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.Pipelined || k.StreamSize != 2*units.MB {
+		t.Errorf("kernel = %+v", k)
+	}
+	// §4.4's core property: the rewritten kernel has no conditionals.
+	if !k.BranchFree() {
+		t.Errorf("pipelined kernel must be branch-free:\n%s", k.Source)
+	}
+	// And it must actually contain the pipeline load.
+	if !strings.Contains(k.Source, "vload4") || !strings.Contains(k.Source, "stream_dst") {
+		t.Error("pipelined kernel must embed stream loads")
+	}
+}
+
+func TestBranchyVariantHasBranches(t *testing.T) {
+	n := &graph.Node{ID: 1, Name: "mm", Parts: []graph.Part{{
+		Kind: graph.MatMul, Weight: units.MB, InBytes: units.MB, OutBytes: units.MB, MACs: 1e6,
+	}}}
+	k, err := NewRewriter().GenerateBranchy(n, units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.BranchFree() {
+		t.Error("the rejected branchy variant must contain branches")
+	}
+}
+
+func TestPipelineIterationsClamped(t *testing.T) {
+	// A tiny kernel with a huge stream: c must clamp to k so the template
+	// still renders a valid loop structure.
+	n := &graph.Node{ID: 2, Name: "small", Parts: []graph.Part{{
+		Kind: graph.Add, InBytes: units.KB, OutBytes: units.KB,
+	}}}
+	k, err := NewRewriter().Generate(n, 100*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(k.Source, "const int c =") {
+		t.Error("pipelined kernel missing c")
+	}
+}

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("geomean(2,8) = %v, want 4", g)
+	}
+	if g := GeoMean([]float64{5}); math.Abs(g-5) > 1e-9 {
+		t.Errorf("geomean(5) = %v, want 5", g)
+	}
+	// Zero/negative entries (unsupported cells) are skipped.
+	if g := GeoMean([]float64{2, 0, 8, -1}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("geomean with skips = %v, want 4", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("geomean(nil) = %v, want 0", g)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); math.Abs(m-2) > 1e-9 {
+		t.Errorf("mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("mean(nil) = %v", m)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(8.44) != "8.4x" {
+		t.Errorf("Ratio = %q", Ratio(8.44))
+	}
+	if Ratio(0) != "–" || Ratio(-2) != "–" {
+		t.Error("non-positive ratios must render as dash")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Model", "Init", "Exec")
+	tb.Row("GPTN-S", "3529", "337")
+	tb.Row("ViT", "2550")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Model") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	// Columns align: "Init" starts at the same offset in header and rows.
+	off := strings.Index(lines[0], "Init")
+	if strings.Index(lines[2], "3529") != off {
+		t.Errorf("column misaligned:\n%s", out)
+	}
+	// Missing trailing cells render as padding, not panics.
+	if !strings.Contains(lines[3], "2550") {
+		t.Errorf("row content lost:\n%s", out)
+	}
+}

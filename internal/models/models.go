@@ -1,0 +1,255 @@
+// Package models builds the 11 evaluation models of Table 6 as lowered
+// computational graphs.
+//
+// The real artifact loads ONNX binaries; here each model is synthesized from
+// its published architecture (depth, width, heads, input size) so that
+// parameter count, MAC count, and lowered-operator count match Table 6. The
+// planner and runtime only consume the lowered DAG — operator kinds, weight
+// sizes, activation volumes, MACs — so matching those statistics reproduces
+// the scheduling problem the paper solves. Lowered-layer counts are matched
+// exactly: graph lowering on mobile emits layout ops (Reshape/Transpose)
+// whose exact number depends on the frontend, so builders pad with layout
+// ops distributed across blocks to the published count.
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+	"repro/internal/units"
+)
+
+// Spec describes one evaluation model (one row of Table 6).
+type Spec struct {
+	Name      string
+	Abbr      string
+	InputType string
+	Task      string
+
+	// Paper-reported characteristics, used for validation and reporting.
+	PaperParamsM float64 // millions of parameters
+	PaperMACsG   float64 // billions of MACs
+	PaperLayers  int     // lowered operator count
+
+	build func() *graph.Graph
+}
+
+// Build constructs the model graph. Each call returns a fresh graph.
+func (s Spec) Build() *graph.Graph { return s.build() }
+
+// All returns the 11 models in Table 6 order.
+func All() []Spec {
+	return []Spec{
+		{Name: "GPTNeo-Small", Abbr: "GPTN-S", InputType: "Text", Task: "NLP",
+			PaperParamsM: 164, PaperMACsG: 16, PaperLayers: 606, build: buildGPTNeoSmall},
+		{Name: "GPTNeo-1.3B", Abbr: "GPTN-1.3B", InputType: "Text", Task: "NLP",
+			PaperParamsM: 1419, PaperMACsG: 170, PaperLayers: 1110, build: buildGPTNeo13B},
+		{Name: "GPTNeo-2.7B", Abbr: "GPTN-2.7B", InputType: "Text", Task: "NLP",
+			PaperParamsM: 2781, PaperMACsG: 342, PaperLayers: 1446, build: buildGPTNeo27B},
+		{Name: "ResNet50", Abbr: "ResNet", InputType: "Image", Task: "Classification",
+			PaperParamsM: 25.6, PaperMACsG: 4.1, PaperLayers: 141, build: buildResNet50},
+		{Name: "SegmentAnything-2", Abbr: "SAM-2", InputType: "Image", Task: "Segmentation",
+			PaperParamsM: 215, PaperMACsG: 218, PaperLayers: 1668, build: buildSAM2},
+		{Name: "ViT", Abbr: "ViT", InputType: "Image", Task: "Classification",
+			PaperParamsM: 103, PaperMACsG: 21, PaperLayers: 819, build: buildViT},
+		{Name: "DeepViT", Abbr: "DeepViT", InputType: "Image", Task: "Classification",
+			PaperParamsM: 204, PaperMACsG: 42, PaperLayers: 1395, build: buildDeepViT},
+		{Name: "StableDiffusion-UNet", Abbr: "SD-UNet", InputType: "Image", Task: "Generation",
+			PaperParamsM: 860, PaperMACsG: 78, PaperLayers: 1271, build: buildSDUNet},
+		{Name: "Whisper-Medium", Abbr: "Whisper-M", InputType: "Audio", Task: "Speech Recognition",
+			PaperParamsM: 356, PaperMACsG: 55, PaperLayers: 2026, build: buildWhisperM},
+		{Name: "DepthAnything-Small", Abbr: "DepthA-S", InputType: "Video", Task: "Segmentation",
+			PaperParamsM: 24.3, PaperMACsG: 14, PaperLayers: 1108, build: buildDepthAnythingS},
+		{Name: "DepthAnything-Large", Abbr: "DepthA-L", InputType: "Video", Task: "Segmentation",
+			PaperParamsM: 333, PaperMACsG: 180, PaperLayers: 2007, build: buildDepthAnythingL},
+	}
+}
+
+// ByAbbr looks a model up by its Table 6 abbreviation.
+func ByAbbr(abbr string) (Spec, bool) {
+	for _, s := range All() {
+		if s.Abbr == abbr {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// MustByAbbr is ByAbbr that panics on unknown abbreviations.
+func MustByAbbr(abbr string) Spec {
+	s, ok := ByAbbr(abbr)
+	if !ok {
+		panic(fmt.Sprintf("models: unknown model %q", abbr))
+	}
+	return s
+}
+
+// builder provides chained op construction over a graph.
+type builder struct {
+	g    *graph.Graph
+	dt   tensor.DType
+	last graph.NodeID
+	any  bool // whether any node exists yet
+}
+
+func newBuilder(name string) *builder {
+	return &builder{g: graph.New(name, tensor.FP16), dt: tensor.FP16}
+}
+
+// chain appends a single-part node consuming the previous node.
+func (b *builder) chain(name string, p graph.Part) graph.NodeID {
+	var inputs []graph.NodeID
+	if b.any {
+		inputs = []graph.NodeID{b.last}
+	}
+	id := b.g.Add(name, inputs, p)
+	b.last, b.any = id, true
+	return id
+}
+
+// join appends a node consuming explicit inputs (residual adds, concats).
+func (b *builder) join(name string, inputs []graph.NodeID, p graph.Part) graph.NodeID {
+	id := b.g.Add(name, inputs, p)
+	b.last, b.any = id, true
+	return id
+}
+
+// weight converts a parameter count to bytes in the graph dtype.
+func (b *builder) weight(params int64) units.Bytes {
+	return units.Bytes(params) * b.dt.Size()
+}
+
+// act converts an element count to activation bytes.
+func (b *builder) act(elems int64) units.Bytes {
+	return units.Bytes(elems) * b.dt.Size()
+}
+
+// matmul emits a dense layer: seq tokens, din -> dout, with bias.
+func (b *builder) matmul(name string, seq, din, dout int64) graph.NodeID {
+	return b.chain(name, graph.Part{
+		Kind:     graph.MatMul,
+		Weight:   b.weight(din*dout + dout),
+		InBytes:  b.act(seq * din),
+		OutBytes: b.act(seq * dout),
+		MACs:     units.MACs(seq * din * dout),
+	})
+}
+
+// layernorm emits a LayerNorm over seq×d.
+func (b *builder) layernorm(name string, seq, d int64) graph.NodeID {
+	return b.chain(name, graph.Part{
+		Kind:     graph.LayerNorm,
+		Weight:   b.weight(2 * d),
+		InBytes:  b.act(seq * d),
+		OutBytes: b.act(seq * d),
+		MACs:     units.MACs(8 * seq * d),
+	})
+}
+
+// elemwise emits a weightless elementwise op.
+func (b *builder) elemwise(name string, kind graph.OpKind, elems int64) graph.NodeID {
+	return b.chain(name, graph.Part{
+		Kind:     kind,
+		InBytes:  b.act(elems),
+		OutBytes: b.act(elems),
+		MACs:     units.MACs(4 * elems),
+	})
+}
+
+// residual emits an Add joining the current chain with a skip node.
+func (b *builder) residual(name string, skip graph.NodeID, elems int64) graph.NodeID {
+	return b.join(name, []graph.NodeID{b.last, skip}, graph.Part{
+		Kind:     graph.Add,
+		InBytes:  b.act(2 * elems),
+		OutBytes: b.act(elems),
+		MACs:     units.MACs(elems),
+	})
+}
+
+// layout emits one weightless layout op (alternating Reshape/Transpose).
+func (b *builder) layout(i int, elems int64) graph.NodeID {
+	kind := graph.Reshape
+	name := "reshape"
+	if i%2 == 1 {
+		kind = graph.Transpose
+		name = "transpose"
+	}
+	return b.chain(fmt.Sprintf("%s_%d", name, i), graph.Part{
+		Kind:     kind,
+		InBytes:  b.act(elems),
+		OutBytes: b.act(elems),
+	})
+}
+
+// conv emits a 2D convolution: cin×h×w input, k×k kernel, stride s.
+func (b *builder) conv(name string, cin, cout, k, h, w, s int64) graph.NodeID {
+	oh, ow := h/s, w/s
+	return b.chain(name, graph.Part{
+		Kind:     graph.Conv,
+		Weight:   b.weight(cin*cout*k*k + cout),
+		InBytes:  b.act(cin * h * w),
+		OutBytes: b.act(cout * oh * ow),
+		MACs:     units.MACs(cin * cout * k * k * oh * ow),
+	})
+}
+
+// distributor spreads a fixed number of filler layout ops across blocks.
+type distributor struct {
+	remaining int
+	perBlock  int
+	extra     int // first `extra` blocks get one more
+	idx       int
+}
+
+func newDistributor(total, blocks int) *distributor {
+	if blocks <= 0 {
+		blocks = 1
+	}
+	return &distributor{remaining: total, perBlock: total / blocks, extra: total % blocks}
+}
+
+// next returns the filler count for the next block.
+func (d *distributor) next() int {
+	n := d.perBlock
+	if d.idx < d.extra {
+		n++
+	}
+	d.idx++
+	if n > d.remaining {
+		n = d.remaining
+	}
+	d.remaining -= n
+	return n
+}
+
+// rest returns all remaining filler (used at the model tail).
+func (d *distributor) rest() int {
+	n := d.remaining
+	d.remaining = 0
+	return n
+}
+
+// buildExact runs build twice: once with no filler to count core ops, then
+// with target-core filler distributed over blocks. It panics if the core
+// already exceeds the target, which indicates a mis-specified architecture.
+func buildExact(target, blocks int, build func(fill *distributor) *builder) *graph.Graph {
+	core := build(newDistributor(0, blocks)).g
+	delta := target - core.Len()
+	if delta < 0 {
+		panic(fmt.Sprintf("models: %s core has %d ops, exceeds Table 6 target %d",
+			core.Name, core.Len(), target))
+	}
+	g := build(newDistributor(delta, blocks)).g
+	if g.Len() != target {
+		panic(fmt.Sprintf("models: %s built %d ops, want %d", g.Name, g.Len(), target))
+	}
+	return g
+}
+
+// fillLayout appends n layout ops to the chain.
+func (b *builder) fillLayout(n int, elems int64) {
+	for i := 0; i < n; i++ {
+		b.layout(i, elems)
+	}
+}

@@ -1,0 +1,138 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/opclass"
+)
+
+// TestTable6Characteristics validates every model against its Table 6 row:
+// lowered layer count must match exactly (builders pad lowering layout ops
+// to the published count); parameters and MACs must be within 10%, since
+// they are derived from the published architectures rather than copied.
+func TestTable6Characteristics(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Abbr, func(t *testing.T) {
+			g := spec.Build()
+			if err := g.Validate(); err != nil {
+				t.Fatalf("graph invalid: %v", err)
+			}
+			if g.Len() != spec.PaperLayers {
+				t.Errorf("layers = %d, want %d", g.Len(), spec.PaperLayers)
+			}
+			paramsM := float64(g.Params()) / 1e6
+			if rel := math.Abs(paramsM-spec.PaperParamsM) / spec.PaperParamsM; rel > 0.10 {
+				t.Errorf("params = %.1fM, want %.0fM (off %.1f%%)", paramsM, spec.PaperParamsM, rel*100)
+			}
+			macsG := g.TotalMACs().GigaMACs()
+			if rel := math.Abs(macsG-spec.PaperMACsG) / spec.PaperMACsG; rel > 0.15 {
+				t.Errorf("MACs = %.1fG, want %.0fG (off %.1f%%)", macsG, spec.PaperMACsG, rel*100)
+			}
+		})
+	}
+}
+
+func TestAllCount(t *testing.T) {
+	if len(All()) != 11 {
+		t.Fatalf("All() = %d models, want 11 (Table 6)", len(All()))
+	}
+}
+
+func TestByAbbr(t *testing.T) {
+	s, ok := ByAbbr("SD-UNet")
+	if !ok || s.Name != "StableDiffusion-UNet" {
+		t.Fatalf("ByAbbr(SD-UNet) = %+v, %v", s, ok)
+	}
+	if _, ok := ByAbbr("nope"); ok {
+		t.Fatal("unknown abbr should miss")
+	}
+}
+
+func TestMustByAbbrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustByAbbr on unknown model should panic")
+		}
+	}()
+	MustByAbbr("nope")
+}
+
+func TestBuildsAreIndependent(t *testing.T) {
+	s := MustByAbbr("ResNet")
+	g1, g2 := s.Build(), s.Build()
+	if g1 == g2 {
+		t.Fatal("Build must return fresh graphs")
+	}
+	g1.Replace(5, []*graph.Node{{Name: "x", Parts: g1.Node(5).Parts}})
+	if g1.Len() == g2.Len()+1 || g2.Len() != s.PaperLayers {
+		t.Fatal("mutating one build affected another")
+	}
+}
+
+func TestOperatorMixIsRealistic(t *testing.T) {
+	// Every model must contain weighted reusable ops (the streaming
+	// targets), hierarchical ops (the no-overlap barriers, except pure-CNN
+	// ResNet which uses folded BatchNorm), and layout ops (what SmartMem
+	// optimizes away).
+	for _, spec := range All() {
+		g := spec.Build()
+		var weighted, hierarchical, layout int
+		for _, n := range g.Nodes() {
+			if n.Weight() > 0 {
+				weighted++
+			}
+			switch opclass.ClassifyNode(n) {
+			case opclass.Hierarchical:
+				hierarchical++
+			}
+			switch n.Kind() {
+			case graph.Reshape, graph.Transpose, graph.Concat:
+				layout++
+			}
+		}
+		if weighted < 10 {
+			t.Errorf("%s: only %d weighted nodes", spec.Abbr, weighted)
+		}
+		if hierarchical == 0 && spec.Abbr != "ResNet" {
+			t.Errorf("%s: no hierarchical nodes", spec.Abbr)
+		}
+		if layout == 0 {
+			t.Errorf("%s: no layout nodes", spec.Abbr)
+		}
+	}
+}
+
+func TestWeightOwnership(t *testing.T) {
+	// §3.1: each weight is owned by its consuming node; the first consumer
+	// index i_w is the node ID. Weighted nodes must therefore be spread
+	// through the graph, not front-loaded (otherwise streaming is moot).
+	for _, spec := range All() {
+		g := spec.Build()
+		ids := g.WeightedNodes()
+		last := ids[len(ids)-1]
+		if int(last) < g.Len()/2 {
+			t.Errorf("%s: all weights in the first half of the graph", spec.Abbr)
+		}
+	}
+}
+
+func TestModelScaleOrdering(t *testing.T) {
+	// Within a family, bigger variants must dominate.
+	gS := MustByAbbr("GPTN-S").Build()
+	g13 := MustByAbbr("GPTN-1.3B").Build()
+	g27 := MustByAbbr("GPTN-2.7B").Build()
+	if !(gS.Params() < g13.Params() && g13.Params() < g27.Params()) {
+		t.Error("GPT-Neo params not monotone in size")
+	}
+	if !(gS.TotalMACs() < g13.TotalMACs() && g13.TotalMACs() < g27.TotalMACs()) {
+		t.Error("GPT-Neo MACs not monotone in size")
+	}
+	dS := MustByAbbr("DepthA-S").Build()
+	dL := MustByAbbr("DepthA-L").Build()
+	if dS.Params() >= dL.Params() {
+		t.Error("DepthAnything params not monotone")
+	}
+}

@@ -1,0 +1,80 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/units"
+)
+
+// buildResNet50 lowers the standard ResNet-50 (He et al.) at 224×224 with
+// BatchNorm folded into the preceding convolution, as mobile deployments do.
+// Stage plan [3,4,6,3] bottlenecks; 25.6 M params, ~4.1 GMACs.
+func buildResNet50() *graph.Graph {
+	stageBlocks := []int{3, 4, 6, 3}
+	totalBlocks := 0
+	for _, n := range stageBlocks {
+		totalBlocks += n
+	}
+	return buildExact(141, totalBlocks, func(fill *distributor) *builder {
+		b := newBuilder("ResNet50")
+		b.conv("conv1", 3, 64, 7, 224, 224, 2)
+		b.elemwise("conv1.relu", graph.ReLU, 64*112*112)
+		b.chain("maxpool", graph.Part{
+			Kind: graph.Pool, InBytes: b.act(64 * 112 * 112), OutBytes: b.act(64 * 56 * 56),
+			MACs: units.MACs(64 * 56 * 56 * 9),
+		})
+
+		cin := int64(64)
+		spatial := int64(56)
+		for si, blocks := range stageBlocks {
+			width := int64(64) << si // 64,128,256,512
+			cout := 4 * width
+			for bi := 0; bi < blocks; bi++ {
+				stride := int64(1)
+				if bi == 0 && si > 0 {
+					stride = 2
+				}
+				prefix := fmt.Sprintf("layer%d.%d", si+1, bi)
+				in := b.last
+				outSp := spatial / stride
+
+				b.conv(prefix+".conv1", cin, width, 1, spatial, spatial, 1)
+				b.elemwise(prefix+".relu1", graph.ReLU, width*spatial*spatial)
+				b.conv(prefix+".conv2", width, width, 3, spatial, spatial, stride)
+				b.elemwise(prefix+".relu2", graph.ReLU, width*outSp*outSp)
+				b.conv(prefix+".conv3", width, cout, 1, outSp, outSp, 1)
+				main := b.last
+
+				if cin != cout || stride != 1 {
+					// Downsample branch re-rooted at the block input.
+					b.last = in
+					b.conv(prefix+".downsample", cin, cout, 1, spatial, spatial, stride)
+					short := b.last
+					b.join(prefix+".add", []graph.NodeID{main, short}, graph.Part{
+						Kind: graph.Add, InBytes: b.act(2 * cout * outSp * outSp),
+						OutBytes: b.act(cout * outSp * outSp), MACs: units.MACs(cout * outSp * outSp),
+					})
+				} else {
+					b.join(prefix+".add", []graph.NodeID{main, in}, graph.Part{
+						Kind: graph.Add, InBytes: b.act(2 * cout * outSp * outSp),
+						OutBytes: b.act(cout * outSp * outSp), MACs: units.MACs(cout * outSp * outSp),
+					})
+				}
+				b.elemwise(prefix+".relu3", graph.ReLU, cout*outSp*outSp)
+				b.fillLayout(fill.next(), cout*outSp*outSp)
+
+				cin = cout
+				spatial = outSp
+			}
+		}
+
+		b.chain("avgpool", graph.Part{
+			Kind: graph.Pool, InBytes: b.act(cin * spatial * spatial), OutBytes: b.act(cin),
+			MACs: units.MACs(cin * spatial * spatial),
+		})
+		b.matmul("fc", 1, cin, 1000)
+		b.fillLayout(fill.rest(), cin)
+		return b
+	})
+}

@@ -1,0 +1,391 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/units"
+)
+
+// attnCfg parameterizes one lowered attention/MLP transformer block.
+type attnCfg struct {
+	seq    int64 // tokens at this block
+	d      int64 // model width
+	heads  int64
+	ff     int64 // feed-forward width (usually 4d)
+	window int64 // attention window in tokens; 0 = full attention
+	kvSeq  int64 // cross-attention source length; 0 = self-attention
+	kvDim  int64 // cross-attention source width; 0 = d
+}
+
+func (c attnCfg) attnSpan() int64 {
+	if c.kvSeq > 0 {
+		return c.kvSeq
+	}
+	if c.window > 0 && c.window < c.seq {
+		return c.window
+	}
+	return c.seq
+}
+
+// attention emits the lowered attention sub-graph: QKV projections, head
+// reshapes, scores, softmax, context, output projection, and residual.
+// It returns the residual output node.
+func (b *builder) attention(prefix string, c attnCfg, skip graph.NodeID) graph.NodeID {
+	span := c.attnSpan()
+	kvDim := c.kvDim
+	if kvDim == 0 {
+		kvDim = c.d
+	}
+	kvSeq := c.seq
+	if c.kvSeq > 0 {
+		kvSeq = c.kvSeq
+	}
+
+	b.layernorm(prefix+".ln", c.seq, c.d)
+	b.matmul(prefix+".q", c.seq, c.d, c.d)
+	b.matmul(prefix+".k", kvSeq, kvDim, c.d)
+	b.matmul(prefix+".v", kvSeq, kvDim, c.d)
+	b.layout(0, c.seq*c.d) // reshape q into heads
+	b.layout(1, kvSeq*c.d) // transpose k
+	b.layout(0, kvSeq*c.d) // reshape v
+
+	scoreElems := c.heads * c.seq * span
+	b.chain(prefix+".scores", graph.Part{
+		Kind:     graph.Attention,
+		InBytes:  b.act(c.seq*c.d + kvSeq*c.d),
+		OutBytes: b.act(scoreElems),
+		MACs:     units.MACs(c.seq * span * c.d),
+	})
+	b.chain(prefix+".softmax", graph.Part{
+		Kind:     graph.Softmax,
+		InBytes:  b.act(scoreElems),
+		OutBytes: b.act(scoreElems),
+		MACs:     units.MACs(3 * scoreElems),
+	})
+	b.chain(prefix+".context", graph.Part{
+		Kind:     graph.Attention,
+		InBytes:  b.act(scoreElems + kvSeq*c.d),
+		OutBytes: b.act(c.seq * c.d),
+		MACs:     units.MACs(c.seq * span * c.d),
+	})
+	b.layout(1, c.seq*c.d) // transpose heads back
+	b.layout(0, c.seq*c.d) // merge heads
+	b.matmul(prefix+".proj", c.seq, c.d, c.d)
+	return b.residual(prefix+".add", skip, c.seq*c.d)
+}
+
+// mlp emits the LayerNorm → FC → GeLU → FC → residual tail of a block.
+func (b *builder) mlp(prefix string, c attnCfg, skip graph.NodeID) graph.NodeID {
+	b.layernorm(prefix+".ln", c.seq, c.d)
+	b.matmul(prefix+".fc1", c.seq, c.d, c.ff)
+	b.elemwise(prefix+".gelu", graph.GeLU, c.seq*c.ff)
+	b.matmul(prefix+".fc2", c.seq, c.ff, c.d)
+	return b.residual(prefix+".add", skip, c.seq*c.d)
+}
+
+// transformerBlock emits one full pre-norm block plus fill layout ops.
+func (b *builder) transformerBlock(prefix string, c attnCfg, fill int) {
+	skip := b.last
+	mid := b.attention(prefix+".attn", c, skip)
+	b.mlp(prefix+".mlp", c, mid)
+	b.fillLayout(fill, c.seq*c.d)
+}
+
+// decoderBlock emits a block with self-attention, cross-attention over an
+// encoder sequence, and an MLP (Whisper decoder, SAM-2 memory attention).
+func (b *builder) decoderBlock(prefix string, c attnCfg, encSeq, encDim int64, fill int) {
+	skip := b.last
+	selfCfg := c
+	selfCfg.kvSeq, selfCfg.kvDim = 0, 0
+	mid := b.attention(prefix+".self", selfCfg, skip)
+	crossCfg := c
+	crossCfg.kvSeq, crossCfg.kvDim = encSeq, encDim
+	mid = b.attention(prefix+".cross", crossCfg, mid)
+	b.mlp(prefix+".mlp", c, mid)
+	b.fillLayout(fill, c.seq*c.d)
+}
+
+// embeddingOp emits a table-lookup embedding (no MACs).
+func (b *builder) embeddingOp(name string, rows, d, seq int64) graph.NodeID {
+	return b.chain(name, graph.Part{
+		Kind:     graph.Embedding,
+		Weight:   b.weight(rows * d),
+		InBytes:  b.act(seq),
+		OutBytes: b.act(seq * d),
+	})
+}
+
+// --- GPT-Neo family (§5.1, Table 6 rows 1-3) ---
+
+type gptCfg struct {
+	d, blocks, heads, seq, vocab, maxPos int64
+}
+
+func buildGPT(name string, cfg gptCfg, targetLayers int) *graph.Graph {
+	return buildExact(targetLayers, int(cfg.blocks), func(fill *distributor) *builder {
+		b := newBuilder(name)
+		b.embeddingOp("wte", cfg.vocab, cfg.d, cfg.seq)
+		wte := b.last
+		b.embeddingOp("wpe", cfg.maxPos, cfg.d, cfg.seq)
+		b.residual("embed.add", wte, cfg.seq*cfg.d)
+		bc := attnCfg{seq: cfg.seq, d: cfg.d, heads: cfg.heads, ff: 4 * cfg.d}
+		for i := int64(0); i < cfg.blocks; i++ {
+			b.transformerBlock(fmt.Sprintf("h%d", i), bc, fill.next())
+		}
+		b.layernorm("ln_f", cfg.seq, cfg.d)
+		b.matmul("lm_head", cfg.seq, cfg.d, cfg.vocab)
+		b.fillLayout(fill.rest(), cfg.seq*cfg.d)
+		return b
+	})
+}
+
+func buildGPTNeoSmall() *graph.Graph {
+	return buildGPT("GPTNeo-Small", gptCfg{d: 768, blocks: 12, heads: 12, seq: 128, vocab: 50257, maxPos: 2048}, 606)
+}
+
+func buildGPTNeo13B() *graph.Graph {
+	return buildGPT("GPTNeo-1.3B", gptCfg{d: 2048, blocks: 24, heads: 16, seq: 128, vocab: 50257, maxPos: 2048}, 1110)
+}
+
+func buildGPTNeo27B() *graph.Graph {
+	return buildGPT("GPTNeo-2.7B", gptCfg{d: 2560, blocks: 32, heads: 20, seq: 128, vocab: 50257, maxPos: 2048}, 1446)
+}
+
+// --- ViT family ---
+
+type vitCfg struct {
+	d, blocks, heads, tokens int64
+	patch, image             int64
+	classes                  int64
+}
+
+func buildViTLike(name string, cfg vitCfg, targetLayers int) *graph.Graph {
+	return buildExact(targetLayers, int(cfg.blocks), func(fill *distributor) *builder {
+		b := newBuilder(name)
+		b.conv("patch_embed", 3, cfg.d, cfg.patch, cfg.image, cfg.image, cfg.patch)
+		b.chain("cls_concat", graph.Part{
+			Kind: graph.Concat, InBytes: b.act(cfg.tokens * cfg.d), OutBytes: b.act(cfg.tokens * cfg.d),
+		})
+		b.chain("pos_add", graph.Part{
+			Kind: graph.Add, Weight: b.weight(cfg.tokens * cfg.d),
+			InBytes: b.act(cfg.tokens * cfg.d), OutBytes: b.act(cfg.tokens * cfg.d),
+			MACs: units.MACs(cfg.tokens * cfg.d),
+		})
+		bc := attnCfg{seq: cfg.tokens, d: cfg.d, heads: cfg.heads, ff: 4 * cfg.d}
+		for i := int64(0); i < cfg.blocks; i++ {
+			b.transformerBlock(fmt.Sprintf("blk%d", i), bc, fill.next())
+		}
+		b.layernorm("ln_f", cfg.tokens, cfg.d)
+		if cfg.classes > 0 {
+			b.matmul("head", 1, cfg.d, cfg.classes)
+		}
+		b.fillLayout(fill.rest(), cfg.tokens*cfg.d)
+		return b
+	})
+}
+
+func buildViT() *graph.Graph {
+	return buildViTLike("ViT", vitCfg{d: 768, blocks: 14, heads: 12, tokens: 197, patch: 16, image: 224, classes: 1000}, 819)
+}
+
+func buildDeepViT() *graph.Graph {
+	// DeepViT deepens ViT with re-attention; the lowered op mix matches a
+	// deeper ViT with extra per-block layout traffic.
+	return buildViTLike("DeepViT", vitCfg{d: 768, blocks: 28, heads: 12, tokens: 197, patch: 16, image: 224, classes: 1000}, 1395)
+}
+
+// --- Whisper (encoder-decoder) ---
+
+func buildWhisperM() *graph.Graph {
+	const (
+		d       = 1024
+		heads   = 16
+		encSeq  = 250
+		decSeq  = 48
+		vocab   = 5000
+		eBlocks = 12
+		dBlocks = 12
+	)
+	return buildExact(2026, eBlocks+dBlocks, func(fill *distributor) *builder {
+		b := newBuilder("Whisper-Medium")
+		// Mel-spectrogram conv frontend (2×1D conv, stride 2 on the second).
+		b.chain("conv1", graph.Part{
+			Kind: graph.Conv, Weight: b.weight(80*d*3 + d),
+			InBytes: b.act(80 * 2 * encSeq), OutBytes: b.act(2 * encSeq * d),
+			MACs: units.MACs(80 * d * 3 * 2 * encSeq),
+		})
+		b.elemwise("conv1.gelu", graph.GeLU, 2*encSeq*d)
+		b.chain("conv2", graph.Part{
+			Kind: graph.Conv, Weight: b.weight(d*d*3 + d),
+			InBytes: b.act(2 * encSeq * d), OutBytes: b.act(encSeq * d),
+			MACs: units.MACs(d * d * 3 * encSeq),
+		})
+		b.elemwise("conv2.gelu", graph.GeLU, encSeq*d)
+		b.chain("enc.pos", graph.Part{
+			Kind: graph.Add, Weight: b.weight(encSeq * d),
+			InBytes: b.act(encSeq * d), OutBytes: b.act(encSeq * d),
+			MACs: units.MACs(encSeq * d),
+		})
+		ec := attnCfg{seq: encSeq, d: d, heads: heads, ff: 4 * d}
+		for i := 0; i < eBlocks; i++ {
+			b.transformerBlock(fmt.Sprintf("enc%d", i), ec, fill.next())
+		}
+		b.layernorm("enc.ln_f", encSeq, d)
+
+		b.embeddingOp("dec.wte", vocab, d, decSeq)
+		wte := b.last
+		b.chain("dec.pos", graph.Part{
+			Kind: graph.Add, Weight: b.weight(448 * d),
+			InBytes: b.act(decSeq * d), OutBytes: b.act(decSeq * d),
+			MACs: units.MACs(decSeq * d),
+		})
+		b.join("dec.embed", []graph.NodeID{b.last, wte}, graph.Part{
+			Kind: graph.Add, InBytes: b.act(2 * decSeq * d), OutBytes: b.act(decSeq * d),
+			MACs: units.MACs(decSeq * d),
+		})
+		dc := attnCfg{seq: decSeq, d: d, heads: heads, ff: 4 * d}
+		for i := 0; i < dBlocks; i++ {
+			b.decoderBlock(fmt.Sprintf("dec%d", i), dc, encSeq, d, fill.next())
+		}
+		b.layernorm("dec.ln_f", decSeq, d)
+		b.matmul("dec.head", decSeq, d, vocab)
+		b.fillLayout(fill.rest(), decSeq*d)
+		return b
+	})
+}
+
+// --- SAM-2 (Hiera image encoder + neck + memory attention + decoder) ---
+
+func buildSAM2() *graph.Graph {
+	type stage struct {
+		blocks, d, tokens, window int64
+	}
+	stages := []stage{ // Hiera-L on a 512² frame, patch 4.
+		{blocks: 2, d: 144, tokens: 16384, window: 256},
+		{blocks: 6, d: 288, tokens: 4096, window: 256},
+		{blocks: 36, d: 576, tokens: 1024, window: 256},
+		{blocks: 4, d: 1152, tokens: 256, window: 0},
+	}
+	totalBlocks := 0
+	for _, s := range stages {
+		totalBlocks += int(s.blocks)
+	}
+	return buildExact(1668, totalBlocks+4, func(fill *distributor) *builder {
+		b := newBuilder("SegmentAnything-2")
+		b.conv("patch_embed", 3, stages[0].d, 7, 512, 512, 4)
+		prev := stages[0]
+		for si, s := range stages {
+			if si > 0 {
+				// Stage transition: strided projection halving the token grid.
+				b.chain(fmt.Sprintf("stage%d.proj", si), graph.Part{
+					Kind: graph.Conv, Weight: b.weight(prev.d*s.d + s.d),
+					InBytes: b.act(prev.tokens * prev.d), OutBytes: b.act(s.tokens * s.d),
+					MACs: units.MACs(prev.d * s.d * s.tokens),
+				})
+			}
+			bc := attnCfg{seq: s.tokens, d: s.d, heads: s.d / 72, ff: 4 * s.d, window: s.window}
+			for i := int64(0); i < s.blocks; i++ {
+				b.transformerBlock(fmt.Sprintf("stage%d.blk%d", si, i), bc, fill.next())
+			}
+			prev = s
+		}
+		// FPN neck: lateral 1×1 convs to a 256-wide feature pyramid.
+		const neckD = 256
+		for si, s := range stages {
+			b.chain(fmt.Sprintf("neck.lateral%d", si), graph.Part{
+				Kind: graph.Conv, Weight: b.weight(s.d*neckD + neckD),
+				InBytes: b.act(s.tokens * s.d), OutBytes: b.act(s.tokens * neckD),
+				MACs: units.MACs(s.d * neckD * s.tokens),
+			})
+		}
+		b.conv("neck.fuse1", neckD, neckD, 3, 64, 64, 1)
+		b.conv("neck.fuse2", neckD, neckD, 3, 64, 64, 1)
+		// Memory attention: 2 cross-attention blocks over past-frame tokens.
+		mc := attnCfg{seq: 1024, d: neckD, heads: 8, ff: 4 * neckD}
+		for i := 0; i < 2; i++ {
+			b.decoderBlock(fmt.Sprintf("mem%d", i), mc, 1024, neckD, fill.next())
+		}
+		// Mask decoder: two-way transformer + upscaling head.
+		tc := attnCfg{seq: 1024, d: neckD, heads: 8, ff: 2 * neckD}
+		for i := 0; i < 2; i++ {
+			b.transformerBlock(fmt.Sprintf("dec%d", i), tc, fill.next())
+		}
+		b.conv("dec.upscale1", neckD, neckD/2, 2, 64, 64, 1)
+		b.elemwise("dec.gelu", graph.GeLU, 128*128*64)
+		b.conv("dec.upscale2", neckD/2, neckD/4, 2, 128, 128, 1)
+		b.matmul("dec.iou_head", 1, neckD, 4)
+		b.fillLayout(fill.rest(), 1024*neckD)
+		return b
+	})
+}
+
+// --- DepthAnything (ViT encoder + DPT fusion head) ---
+
+type depthCfg struct {
+	d, blocks, heads, tokens int64
+	feat                     int64 // DPT fusion width
+	spatial                  int64 // feature map side at head input
+}
+
+func buildDepthAnything(name string, cfg depthCfg, targetLayers int) *graph.Graph {
+	return buildExact(targetLayers, int(cfg.blocks)+4, func(fill *distributor) *builder {
+		b := newBuilder(name)
+		b.conv("patch_embed", 3, cfg.d, 14, cfg.spatial*14, cfg.spatial*14, 14)
+		b.chain("pos_add", graph.Part{
+			Kind: graph.Add, Weight: b.weight(cfg.tokens * cfg.d),
+			InBytes: b.act(cfg.tokens * cfg.d), OutBytes: b.act(cfg.tokens * cfg.d),
+			MACs: units.MACs(cfg.tokens * cfg.d),
+		})
+		bc := attnCfg{seq: cfg.tokens, d: cfg.d, heads: cfg.heads, ff: 4 * cfg.d}
+		for i := int64(0); i < cfg.blocks; i++ {
+			b.transformerBlock(fmt.Sprintf("blk%d", i), bc, fill.next())
+		}
+		// DPT head: four reassemble taps fused top-down at cfg.feat width.
+		// The deepest tap (widest dim) is processed at the coarsest spatial
+		// resolution; resolution doubles toward the shallow taps, capped so
+		// the fusion trunk stays within mobile feature-map budgets.
+		dims := []int64{4 * cfg.feat, 2 * cfg.feat, cfg.feat, cfg.feat / 2}
+		sp := cfg.spatial
+		for i, dim := range dims {
+			b.chain(fmt.Sprintf("dpt.reassemble%d", i), graph.Part{
+				Kind: graph.Conv, Weight: b.weight(cfg.d*dim + dim),
+				InBytes: b.act(cfg.tokens * cfg.d), OutBytes: b.act(sp * sp * dim),
+				MACs: units.MACs(cfg.d * dim * sp * sp),
+			})
+			b.conv(fmt.Sprintf("dpt.proj%d", i), dim, cfg.feat, 3, sp, sp, 1)
+			// Fusion residual unit: two 3×3 convs + ReLUs + skip.
+			skip := b.last
+			b.elemwise(fmt.Sprintf("dpt.relu%d.0", i), graph.ReLU, sp*sp*cfg.feat)
+			b.conv(fmt.Sprintf("dpt.conv%d.0", i), cfg.feat, cfg.feat, 3, sp, sp, 1)
+			b.elemwise(fmt.Sprintf("dpt.relu%d.1", i), graph.ReLU, sp*sp*cfg.feat)
+			b.conv(fmt.Sprintf("dpt.conv%d.1", i), cfg.feat, cfg.feat, 3, sp, sp, 1)
+			b.residual(fmt.Sprintf("dpt.fuse%d", i), skip, sp*sp*cfg.feat)
+			b.chain(fmt.Sprintf("dpt.up%d", i), graph.Part{
+				Kind: graph.Upsample, InBytes: b.act(sp * sp * cfg.feat),
+				OutBytes: b.act(4 * sp * sp * cfg.feat),
+			})
+			b.fillLayout(fill.next(), sp*sp*cfg.feat)
+			if i < 2 {
+				sp *= 2
+			}
+		}
+		sp *= 2
+		b.conv("head.conv1", cfg.feat, cfg.feat/2, 3, sp, sp, 1)
+		b.elemwise("head.relu", graph.ReLU, sp*sp*cfg.feat/2)
+		b.conv("head.conv2", cfg.feat/2, 32, 3, sp, sp, 1)
+		b.conv("head.out", 32, 1, 1, sp, sp, 1)
+		b.fillLayout(fill.rest(), sp*sp*32)
+		return b
+	})
+}
+
+func buildDepthAnythingS() *graph.Graph {
+	return buildDepthAnything("DepthAnything-Small",
+		depthCfg{d: 384, blocks: 12, heads: 6, tokens: 440, feat: 64, spatial: 21}, 1108)
+}
+
+func buildDepthAnythingL() *graph.Graph {
+	return buildDepthAnything("DepthAnything-Large",
+		depthCfg{d: 1024, blocks: 24, heads: 16, tokens: 440, feat: 256, spatial: 21}, 2007)
+}

@@ -1,0 +1,158 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/units"
+)
+
+// buildSDUNet lowers the Stable Diffusion v1.5 denoising UNet (Rombach et
+// al.): base width 320, channel multipliers [1,2,4,4], cross-attention to a
+// 77×768 text context, one transformer depth per attention block. The paper
+// evaluates a 32×32 latent (256² image), which yields ~78 GMACs per step.
+func buildSDUNet() *graph.Graph {
+	const (
+		base    = int64(320)
+		ctxSeq  = int64(77)
+		ctxDim  = int64(768)
+		tembDim = int64(1280)
+		latent  = int64(32)
+	)
+	mults := []int64{1, 2, 4, 4}
+	attnAt := func(level int) bool { return level < 3 }
+
+	// Block count for the filler distributor: resblocks + attention blocks.
+	nBlocks := 0
+	for level := range mults {
+		nBlocks += 2 // down resblocks
+		if attnAt(level) {
+			nBlocks += 2
+		}
+		nBlocks += 3 // up resblocks
+		if attnAt(level) {
+			nBlocks += 3
+		}
+	}
+	nBlocks += 3 // mid: res, attn, res
+
+	return buildExact(1271, nBlocks, func(fill *distributor) *builder {
+		b := newBuilder("StableDiffusion-UNet")
+
+		resblock := func(prefix string, cin, cout, sp int64, fillN int) {
+			in := b.last
+			b.chain(prefix+".norm1", groupNorm(b, cin, sp))
+			b.elemwise(prefix+".silu1", graph.SiLU, cin*sp*sp)
+			b.conv(prefix+".conv1", cin, cout, 3, sp, sp, 1)
+			b.matmul(prefix+".temb", 1, tembDim, cout)
+			b.chain(prefix+".norm2", groupNorm(b, cout, sp))
+			b.elemwise(prefix+".silu2", graph.SiLU, cout*sp*sp)
+			b.conv(prefix+".conv2", cout, cout, 3, sp, sp, 1)
+			main := b.last
+			if cin != cout {
+				b.last = in
+				b.conv(prefix+".skip", cin, cout, 1, sp, sp, 1)
+				in = b.last
+			}
+			b.join(prefix+".add", []graph.NodeID{main, in}, graph.Part{
+				Kind: graph.Add, InBytes: b.act(2 * cout * sp * sp),
+				OutBytes: b.act(cout * sp * sp), MACs: units.MACs(cout * sp * sp),
+			})
+			b.fillLayout(fillN, cout*sp*sp)
+		}
+
+		attnblock := func(prefix string, c, sp int64, fillN int) {
+			seq := sp * sp
+			in := b.last
+			b.chain(prefix+".norm", groupNorm(b, c, sp))
+			b.conv(prefix+".proj_in", c, c, 1, sp, sp, 1)
+			cfg := attnCfg{seq: seq, d: c, heads: c / 40, ff: 4 * c}
+			mid := b.attention(prefix+".self", cfg, b.last)
+			cross := cfg
+			cross.kvSeq, cross.kvDim = ctxSeq, ctxDim
+			mid = b.attention(prefix+".cross", cross, mid)
+			// Feed-forward (mult 4).
+			b.layernorm(prefix+".ff.ln", seq, c)
+			b.matmul(prefix+".ff.fc1", seq, c, 4*c)
+			b.elemwise(prefix+".ff.gelu", graph.GeLU, seq*4*c)
+			b.matmul(prefix+".ff.fc2", seq, 4*c, c)
+			b.residual(prefix+".ff.add", mid, seq*c)
+			b.conv(prefix+".proj_out", c, c, 1, sp, sp, 1)
+			b.residual(prefix+".add", in, c*sp*sp)
+			b.fillLayout(fillN, c*sp*sp)
+		}
+
+		// Time embedding MLP.
+		b.matmul("time.fc1", 1, base, tembDim)
+		b.elemwise("time.silu", graph.SiLU, tembDim)
+		b.matmul("time.fc2", 1, tembDim, tembDim)
+
+		b.conv("conv_in", 4, base, 3, latent, latent, 1)
+
+		type skip struct{ ch, sp int64 }
+		skips := []skip{{base, latent}} // conv_in output feeds the last up block
+
+		ch := base
+		sp := latent
+		for level, mult := range mults {
+			cout := base * mult
+			for i := 0; i < 2; i++ {
+				resblock(fmt.Sprintf("down%d.res%d", level, i), ch, cout, sp, fill.next())
+				ch = cout
+				if attnAt(level) {
+					attnblock(fmt.Sprintf("down%d.attn%d", level, i), ch, sp, fill.next())
+				}
+				skips = append(skips, skip{ch, sp})
+			}
+			if level < len(mults)-1 {
+				b.conv(fmt.Sprintf("down%d.downsample", level), ch, ch, 3, sp, sp, 2)
+				sp /= 2
+				skips = append(skips, skip{ch, sp})
+			}
+		}
+
+		resblock("mid.res1", ch, ch, sp, fill.next())
+		attnblock("mid.attn", ch, sp, fill.next())
+		resblock("mid.res2", ch, ch, sp, fill.next())
+
+		for level := len(mults) - 1; level >= 0; level-- {
+			cout := base * mults[level]
+			for i := 0; i < 3; i++ {
+				sk := skips[len(skips)-1]
+				skips = skips[:len(skips)-1]
+				// Skip concat doubles the input channels of the resblock.
+				b.chain(fmt.Sprintf("up%d.cat%d", level, i), graph.Part{
+					Kind: graph.Concat, InBytes: b.act((ch + sk.ch) * sp * sp),
+					OutBytes: b.act((ch + sk.ch) * sp * sp),
+				})
+				resblock(fmt.Sprintf("up%d.res%d", level, i), ch+sk.ch, cout, sp, fill.next())
+				ch = cout
+				if attnAt(level) {
+					attnblock(fmt.Sprintf("up%d.attn%d", level, i), ch, sp, fill.next())
+				}
+			}
+			if level > 0 {
+				b.chain(fmt.Sprintf("up%d.upsample", level), graph.Part{
+					Kind: graph.Upsample, InBytes: b.act(ch * sp * sp), OutBytes: b.act(ch * sp * sp * 4),
+				})
+				sp *= 2
+				b.conv(fmt.Sprintf("up%d.conv", level), ch, ch, 3, sp, sp, 1)
+			}
+		}
+
+		b.chain("out.norm", groupNorm(b, ch, sp))
+		b.elemwise("out.silu", graph.SiLU, ch*sp*sp)
+		b.conv("conv_out", ch, 4, 3, sp, sp, 1)
+		b.fillLayout(fill.rest(), 4*sp*sp)
+		return b
+	})
+}
+
+// groupNorm builds a GroupNorm part over a c×sp×sp feature map.
+func groupNorm(b *builder, c, sp int64) graph.Part {
+	return graph.Part{
+		Kind: graph.GroupNorm, Weight: b.weight(2 * c),
+		InBytes: b.act(c * sp * sp), OutBytes: b.act(c * sp * sp),
+		MACs: units.MACs(8 * c * sp * sp),
+	}
+}

@@ -1,0 +1,139 @@
+// Package multimodel implements the FIFO multi-DNN workloads of §2.2 and
+// §5.3: a queue of inference requests over several distinct models executed
+// back-to-back on one device, with per-request latency and a machine-wide
+// memory trace (Figure 6).
+//
+// Each request runs cold — the defining property of the FIFO scenario is
+// that models swap in and out, paying load and layout-transform cost on
+// every activation under preloading frameworks, which is exactly the
+// overhead FlashMem's streaming avoids.
+package multimodel
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/gpusim"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Request is one queued inference.
+type Request struct {
+	Model string // display name
+	Index int    // position in the FIFO
+}
+
+// Event is one completed inference.
+type Event struct {
+	Request
+	Start units.Duration
+	End   units.Duration
+}
+
+// Latency returns the request's end-to-end latency.
+func (e Event) Latency() units.Duration { return e.End - e.Start }
+
+// Trace is a full FIFO run outcome.
+type Trace struct {
+	Device string
+	Events []Event
+	Memory []sim.Sample // combined UM+TM residency over time
+
+	Peak    units.Bytes
+	Average units.Bytes
+	Total   units.Duration
+	OOM     bool
+}
+
+// Runner executes one model once on the shared machine, returning the
+// completion time of the inference that became ready at `at`.
+type Runner interface {
+	Name() string
+	RunOnce(m *gpusim.Machine, at units.Duration) (end units.Duration)
+}
+
+// FlashMemRunner adapts a prepared FlashMem model to the FIFO queue.
+type FlashMemRunner struct {
+	Engine *core.Engine
+	Prep   *core.Prepared
+}
+
+// Name returns the model name.
+func (r *FlashMemRunner) Name() string { return r.Prep.Graph.Name }
+
+// RunOnce executes the prepared plan once.
+func (r *FlashMemRunner) RunOnce(m *gpusim.Machine, at units.Duration) units.Duration {
+	return r.Engine.ExecuteOn(m, r.Prep, at).ExecEnd
+}
+
+// BaselineRunner adapts a preloading framework to the FIFO queue.
+type BaselineRunner struct {
+	Framework *baselines.Framework
+	Graph     *graph.Graph
+}
+
+// Name returns the model name.
+func (r *BaselineRunner) Name() string { return r.Graph.Name }
+
+// RunOnce executes the preloading strategy once (full load + transform +
+// inference, as each FIFO activation requires).
+func (r *BaselineRunner) RunOnce(m *gpusim.Machine, at units.Duration) units.Duration {
+	rep := r.Framework.ExecuteOn(m, r.Graph, at)
+	return at + rep.Init + rep.Exec
+}
+
+// RunFIFO executes the given request order on one machine. order[i] indexes
+// into runners; iterations of the same model may be interleaved arbitrarily
+// (Figure 6 interleaves four models × 10 iterations).
+func RunFIFO(m *gpusim.Machine, runners []Runner, order []int) (*Trace, error) {
+	tr := &Trace{Device: m.Dev.Name}
+	cursor := units.Duration(0)
+	for i, ri := range order {
+		if ri < 0 || ri >= len(runners) {
+			return nil, fmt.Errorf("multimodel: order[%d] = %d out of range", i, ri)
+		}
+		r := runners[ri]
+		end := r.RunOnce(m, cursor)
+		tr.Events = append(tr.Events, Event{
+			Request: Request{Model: r.Name(), Index: i},
+			Start:   cursor,
+			End:     end,
+		})
+		cursor = end
+	}
+	tr.Total = cursor
+	tr.Memory = m.MemorySeries()
+	tr.Peak = m.PeakBytes()
+	tr.Average = m.AverageBytes(cursor)
+	tr.OOM = m.OOM()
+	return tr, nil
+}
+
+// RoundRobin builds an order that interleaves n runners for iters rounds:
+// 0,1,..,n-1, 0,1,..,n-1, ...
+func RoundRobin(n, iters int) []int {
+	order := make([]int, 0, n*iters)
+	for it := 0; it < iters; it++ {
+		for r := 0; r < n; r++ {
+			order = append(order, r)
+		}
+	}
+	return order
+}
+
+// Shuffled builds a deterministic pseudo-random order with each runner
+// appearing exactly iters times (the paper runs models "sequentially in a
+// random order").
+func Shuffled(n, iters int, seed uint64) []int {
+	order := RoundRobin(n, iters)
+	s := seed
+	for i := len(order) - 1; i > 0; i-- {
+		s = s*6364136223846793005 + 1442695040888963407
+		j := int(s % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}

@@ -1,0 +1,159 @@
+package multimodel
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/gpusim"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+	"repro/internal/units"
+)
+
+func toy(name string, blocks int) *graph.Graph {
+	g := graph.New(name, tensor.FP16)
+	for i := 0; i < blocks; i++ {
+		g.Op("mm", graph.Part{Kind: graph.MatMul, Weight: 8 * units.MB, InBytes: units.MB, OutBytes: units.MB, MACs: 4e9})
+		g.Op("gelu", graph.Part{Kind: graph.GeLU, InBytes: units.MB, OutBytes: units.MB, MACs: 1e6})
+	}
+	return g
+}
+
+func fastEngine() *core.Engine {
+	o := core.DefaultOptions(device.OnePlus12())
+	o.Config.SolveTimeout = 40 * time.Millisecond
+	o.Config.MaxBranches = 2000
+	o.Fusion.Rounds = 1
+	return core.NewEngine(o)
+}
+
+func flashRunners(t *testing.T, e *core.Engine, names ...string) []Runner {
+	t.Helper()
+	var rs []Runner
+	for i, n := range names {
+		prep, err := e.Prepare(toy(n, 6+2*i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs = append(rs, &FlashMemRunner{Engine: e, Prep: prep})
+	}
+	return rs
+}
+
+func TestFIFOSequential(t *testing.T) {
+	e := fastEngine()
+	rs := flashRunners(t, e, "a", "b")
+	m := gpusim.New(device.OnePlus12())
+	tr, err := RunFIFO(m, rs, []int{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 3 {
+		t.Fatalf("events = %d, want 3", len(tr.Events))
+	}
+	// Strict FIFO: each event starts when the previous one ends.
+	for i := 1; i < len(tr.Events); i++ {
+		if tr.Events[i].Start != tr.Events[i-1].End {
+			t.Errorf("event %d starts at %v, previous ends %v", i, tr.Events[i].Start, tr.Events[i-1].End)
+		}
+	}
+	if tr.Total != tr.Events[2].End {
+		t.Error("total must equal last event end")
+	}
+	if tr.Peak <= 0 || tr.Average <= 0 {
+		t.Error("memory stats empty")
+	}
+}
+
+func TestMemoryReturnsToZeroBetweenModels(t *testing.T) {
+	e := fastEngine()
+	rs := flashRunners(t, e, "a", "b")
+	m := gpusim.New(device.OnePlus12())
+	tr, err := RunFIFO(m, rs, RoundRobin(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last := tr.Memory[len(tr.Memory)-1].Value; last != 0 {
+		t.Errorf("memory does not drain after FIFO run: %v", last)
+	}
+}
+
+func TestFlashMemFIFOBeatsMNN(t *testing.T) {
+	e := fastEngine()
+	ga, gb := toy("a", 6), toy("b", 8)
+	prepA, err := e.Prepare(ga)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepB, err := e.Prepare(gb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := RoundRobin(2, 5)
+
+	fmM := gpusim.New(device.OnePlus12())
+	fmTrace, err := RunFIFO(fmM, []Runner{
+		&FlashMemRunner{Engine: e, Prep: prepA},
+		&FlashMemRunner{Engine: e, Prep: prepB},
+	}, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mnn := baselines.MNN()
+	mnnM := gpusim.New(device.OnePlus12())
+	mnnTrace, err := RunFIFO(mnnM, []Runner{
+		&BaselineRunner{Framework: mnn, Graph: ga},
+		&BaselineRunner{Framework: mnn, Graph: gb},
+	}, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if fmTrace.Total >= mnnTrace.Total {
+		t.Errorf("FlashMem FIFO %v not faster than MNN %v", fmTrace.Total, mnnTrace.Total)
+	}
+	if fmTrace.Peak >= mnnTrace.Peak {
+		t.Errorf("FlashMem FIFO peak %v not below MNN %v", fmTrace.Peak, mnnTrace.Peak)
+	}
+}
+
+func TestOrderValidation(t *testing.T) {
+	e := fastEngine()
+	rs := flashRunners(t, e, "a")
+	if _, err := RunFIFO(gpusim.New(device.OnePlus12()), rs, []int{0, 1}); err == nil {
+		t.Fatal("out-of-range order index must error")
+	}
+}
+
+func TestOrders(t *testing.T) {
+	rr := RoundRobin(3, 2)
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if rr[i] != want[i] {
+			t.Fatalf("RoundRobin = %v", rr)
+		}
+	}
+	sh := Shuffled(3, 4, 42)
+	if len(sh) != 12 {
+		t.Fatalf("Shuffled len = %d", len(sh))
+	}
+	counts := map[int]int{}
+	for _, v := range sh {
+		counts[v]++
+	}
+	for r := 0; r < 3; r++ {
+		if counts[r] != 4 {
+			t.Errorf("runner %d appears %d times, want 4", r, counts[r])
+		}
+	}
+	sh2 := Shuffled(3, 4, 42)
+	for i := range sh {
+		if sh[i] != sh2[i] {
+			t.Fatal("Shuffled must be deterministic per seed")
+		}
+	}
+}

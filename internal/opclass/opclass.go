@@ -1,0 +1,86 @@
+// Package opclass classifies operators by their tolerance to concurrent
+// data loading, following Table 5 and §4.2 of the paper.
+//
+// Three classes drive the load-capacity model:
+//
+//   - Elemental operators (ReLU, Add, ...) stream linearly with minimal
+//     internal dependencies: low compute intensity, medium load capacity.
+//     Threshold: 300% extra data relative to the kernel's own input.
+//   - Reusable operators (Conv, MatMul, Attention) have structured reuse and
+//     tiled loops: high capacity and the slowest relative latency growth.
+//     Threshold: 20%.
+//   - Hierarchical operators (Softmax, LayerNorm, ...) synchronize stepwise
+//     and leave no bandwidth for concurrent movement. Threshold: 0% — the
+//     planner never schedules loads into them.
+package opclass
+
+import "repro/internal/graph"
+
+// Class is an operator load-capacity class.
+type Class int
+
+// The three classes of Table 5.
+const (
+	Elemental Class = iota
+	Reusable
+	Hierarchical
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Elemental:
+		return "Elemental"
+	case Reusable:
+		return "Reusable"
+	case Hierarchical:
+		return "Hierarchical"
+	default:
+		return "Class(?)"
+	}
+}
+
+// Threshold returns the maximum tolerated relative latency increase when
+// overlapping data loading with this class (§4.2): the extra-load volume a
+// kernel may carry is capped where predicted slowdown crosses this fraction
+// of the baseline kernel latency.
+func (c Class) Threshold() float64 {
+	switch c {
+	case Elemental:
+		return 3.00 // 300%
+	case Reusable:
+		return 0.20 // 20%
+	case Hierarchical:
+		return 0 // never overlap
+	default:
+		return 0
+	}
+}
+
+// Classify maps an operator kind to its class. Layout ops (Reshape,
+// Transpose, Concat) behave like elemental streams; normalizations and
+// Softmax are hierarchical; matrix/convolution engines are reusable.
+func Classify(k graph.OpKind) Class {
+	switch k {
+	case graph.MatMul, graph.Conv, graph.DepthwiseConv, graph.Attention, graph.Embedding:
+		return Reusable
+	case graph.Softmax, graph.LayerNorm, graph.GroupNorm, graph.BatchNorm:
+		return Hierarchical
+	default:
+		return Elemental
+	}
+}
+
+// ClassifyNode classifies a (possibly fused) node. Fusing a hierarchical
+// part anywhere into a kernel inherits the hierarchical synchronization
+// barrier, so the most restrictive class among parts wins; otherwise the
+// dominant part's class is used.
+func ClassifyNode(n *graph.Node) Class {
+	c := Classify(n.Kind())
+	for _, p := range n.Parts {
+		if Classify(p.Kind) == Hierarchical {
+			return Hierarchical
+		}
+	}
+	return c
+}

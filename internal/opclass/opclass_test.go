@@ -1,0 +1,79 @@
+package opclass
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		kind graph.OpKind
+		want Class
+	}{
+		{graph.MatMul, Reusable},
+		{graph.Conv, Reusable},
+		{graph.Attention, Reusable},
+		{graph.Softmax, Hierarchical},
+		{graph.LayerNorm, Hierarchical},
+		{graph.GroupNorm, Hierarchical},
+		{graph.ReLU, Elemental},
+		{graph.Add, Elemental},
+		{graph.GeLU, Elemental},
+		{graph.Reshape, Elemental},
+		{graph.Transpose, Elemental},
+	}
+	for _, c := range cases {
+		if got := Classify(c.kind); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.kind, got, c.want)
+		}
+	}
+}
+
+func TestThresholdsMatchPaper(t *testing.T) {
+	// §4.2: 0% hierarchical, 20% reusable, 300% elemental.
+	if Hierarchical.Threshold() != 0 {
+		t.Error("hierarchical threshold must be 0")
+	}
+	if Reusable.Threshold() != 0.20 {
+		t.Error("reusable threshold must be 0.20")
+	}
+	if Elemental.Threshold() != 3.0 {
+		t.Error("elemental threshold must be 3.0")
+	}
+}
+
+func TestClassifyNodeFusedHierarchicalWins(t *testing.T) {
+	// MatMul+Add+LayerNorm fused: the LayerNorm barrier dominates.
+	n := &graph.Node{Parts: []graph.Part{
+		{Kind: graph.MatMul, MACs: 1000},
+		{Kind: graph.Add},
+		{Kind: graph.LayerNorm},
+	}}
+	if got := ClassifyNode(n); got != Hierarchical {
+		t.Errorf("fused node with LayerNorm = %v, want Hierarchical", got)
+	}
+}
+
+func TestClassifyNodeDominant(t *testing.T) {
+	// MatMul+GeLU: dominant part is the MatMul.
+	n := &graph.Node{Parts: []graph.Part{
+		{Kind: graph.MatMul, MACs: 1000},
+		{Kind: graph.GeLU, MACs: 1},
+	}}
+	if got := ClassifyNode(n); got != Reusable {
+		t.Errorf("MatMul+GeLU = %v, want Reusable", got)
+	}
+	// Pure elemental node stays elemental.
+	e := &graph.Node{Parts: []graph.Part{{Kind: graph.Add, MACs: 5}}}
+	if got := ClassifyNode(e); got != Elemental {
+		t.Errorf("Add node = %v, want Elemental", got)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Elemental.String() != "Elemental" || Reusable.String() != "Reusable" ||
+		Hierarchical.String() != "Hierarchical" {
+		t.Error("class names wrong")
+	}
+}

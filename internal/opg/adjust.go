@@ -1,0 +1,82 @@
+package opg
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/units"
+)
+
+// AdjustLoadStarts applies the profile-guided prefetch adjustment of §3.2:
+// using a static per-layer time estimate, it moves each weight's disk-load
+// start (z_w) early enough that the transfer finishes before the weight's
+// first transform layer begins, modelling disk-queue backlog so consecutive
+// large weights do not assume the full disk bandwidth each. Earlier loads
+// lengthen unified-memory residency, so moves are budgeted: a weight's z_w
+// only moves earlier while the projected UM in-flight bytes at every newly
+// covered layer stay within umBudget (M_peak spans weights in both UM and
+// TM, §3.1). Disk-bound models therefore stall rather than flood UM —
+// the λ≈0.9 memory-priority trade.
+//
+// layerTime estimates the execution latency of one layer; diskBW is the
+// storage bandwidth. Only LoadStart fields change; C1 is preserved because
+// loads only move earlier.
+func AdjustLoadStarts(p *Plan, g *graph.Graph, layerTime func(graph.NodeID) units.Duration, diskBW units.Bandwidth, umBudget units.Bytes) {
+	// Prefix start-time estimates: est[l] = Σ_{k<l} layerTime(k).
+	est := make([]units.Duration, g.Len()+1)
+	for i := 0; i < g.Len(); i++ {
+		est[i+1] = est[i] + layerTime(graph.NodeID(i))
+	}
+
+	// Projected UM residency per layer from the unadjusted plan: a weight
+	// occupies UM from z_w until its last transform layer.
+	umLoad := make([]int64, g.Len())
+	addSpan := func(from, to graph.NodeID, b units.Bytes) {
+		for l := from; l <= to && int(l) < len(umLoad); l++ {
+			umLoad[l] += int64(b)
+		}
+	}
+	lastTransform := func(wp *WeightPlan) graph.NodeID {
+		return wp.Transforms[len(wp.Transforms)-1].Layer
+	}
+	for i := range p.Weights {
+		if wp := &p.Weights[i]; !wp.Preload {
+			addSpan(wp.LoadStart, lastTransform(wp), wp.Bytes)
+		}
+	}
+
+	// Process weights in consumption order so disk-queue backlog accumulates
+	// the way the runtime will issue the loads.
+	order := make([]*WeightPlan, 0, len(p.Weights))
+	for i := range p.Weights {
+		if !p.Weights[i].Preload {
+			order = append(order, &p.Weights[i])
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Weight < order[j].Weight })
+
+	var diskFree units.Duration // when the disk queue drains
+	for _, wp := range order {
+		need := est[wp.Transforms[0].Layer] // first transform layer start
+		loadTime := diskBW.Time(wp.Bytes)
+
+		// Earliest useful start given queue backlog; walk z earlier until the
+		// load (queued behind prior loads) completes by `need`, we hit 0, or
+		// the UM budget at a newly covered layer would be exceeded.
+		z := wp.LoadStart
+		for z > 0 {
+			start := units.MaxDuration(est[z], diskFree)
+			if start+loadTime <= need {
+				break
+			}
+			if umBudget > 0 && umLoad[z-1]+int64(wp.Bytes) > int64(umBudget) {
+				break
+			}
+			z--
+			umLoad[z] += int64(wp.Bytes)
+		}
+		wp.LoadStart = z
+		start := units.MaxDuration(est[z], diskFree)
+		diskFree = start + loadTime
+	}
+}

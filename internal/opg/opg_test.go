@@ -1,0 +1,322 @@
+package opg
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cpsat"
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/profiler"
+	"repro/internal/tensor"
+	"repro/internal/units"
+)
+
+// toyGraph builds a linear chain alternating weighted matmuls with
+// elemental and hierarchical ops.
+func toyGraph(blocks int, weightBytes units.Bytes) *graph.Graph {
+	g := graph.New("toy", tensor.FP16)
+	for i := 0; i < blocks; i++ {
+		g.Op("add", graph.Part{Kind: graph.Add, InBytes: 4 * units.MB, OutBytes: 4 * units.MB, MACs: 1e6})
+		g.Op("mm", graph.Part{Kind: graph.MatMul, Weight: weightBytes, InBytes: 4 * units.MB, OutBytes: 4 * units.MB, MACs: 2e9})
+		g.Op("ln", graph.Part{Kind: graph.LayerNorm, Weight: 4 * units.KB, InBytes: 4 * units.MB, OutBytes: 4 * units.MB, MACs: 1e7})
+	}
+	return g
+}
+
+// flatCapacity gives every non-hierarchical node the same capacity.
+func flatCapacity(c units.Bytes) Capacity {
+	return func(n *graph.Node) units.Bytes {
+		switch n.Kind() {
+		case graph.Softmax, graph.LayerNorm, graph.GroupNorm, graph.BatchNorm:
+			return 0
+		default:
+			return c
+		}
+	}
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SolveTimeout = 100 * time.Millisecond
+	cfg.MaxBranches = 5000
+	return cfg
+}
+
+func TestChunks(t *testing.T) {
+	if Chunks(0, units.MB) != 0 {
+		t.Error("0 bytes = 0 chunks")
+	}
+	if Chunks(units.MB, units.MB) != 1 {
+		t.Error("1MB/1MB = 1 chunk")
+	}
+	if Chunks(units.MB+1, units.MB) != 2 {
+		t.Error("1MB+1 = 2 chunks")
+	}
+}
+
+func TestSolveToyPlanValid(t *testing.T) {
+	g := toyGraph(10, 8*units.MB)
+	caps := flatCapacity(6 * units.MB)
+	cfg := testConfig()
+	p := Solve(g, caps, cfg)
+	if err := p.Validate(g, caps, cfg); err != nil {
+		t.Fatalf("plan invalid: %v", err)
+	}
+	if len(p.Weights) != len(g.WeightedNodes()) {
+		t.Fatalf("planned %d weights, graph has %d", len(p.Weights), len(g.WeightedNodes()))
+	}
+}
+
+func TestFirstLayerWeightsPreloaded(t *testing.T) {
+	g := graph.New("front", tensor.FP16)
+	g.Op("embed", graph.Part{Kind: graph.Embedding, Weight: 10 * units.MB, InBytes: units.KB, OutBytes: units.MB})
+	g.Op("mm", graph.Part{Kind: graph.MatMul, Weight: 4 * units.MB, InBytes: units.MB, OutBytes: units.MB, MACs: 1e9})
+	cfg := testConfig()
+	p := Solve(g, flatCapacity(8*units.MB), cfg)
+	w0, ok := p.ByWeight(0)
+	if !ok || !w0.Preload {
+		t.Fatal("the first layer's weight must be in W (§3.1)")
+	}
+}
+
+func TestStreamingDominatesWithCapacity(t *testing.T) {
+	// Ample capacity: most weight bytes should stream, not preload.
+	g := toyGraph(20, 4*units.MB)
+	cfg := testConfig()
+	p := Solve(g, flatCapacity(16*units.MB), cfg)
+	if f := p.OverlapFraction(); f < 0.5 {
+		t.Errorf("overlap fraction = %.2f, want >= 0.5 with ample capacity", f)
+	}
+}
+
+func TestTightMPeakForcesPreload(t *testing.T) {
+	g := toyGraph(20, 4*units.MB)
+	caps := flatCapacity(16 * units.MB)
+
+	loose := testConfig()
+	loose.MPeak = 500 * units.MB
+	tight := testConfig()
+	tight.MPeak = 2 * units.MB // less than one weight
+
+	pl := Solve(g, caps, loose)
+	pt := Solve(g, caps, tight)
+	if pt.OverlapFraction() > pl.OverlapFraction() {
+		t.Errorf("tight M_peak overlap %.2f must not exceed loose %.2f",
+			pt.OverlapFraction(), pl.OverlapFraction())
+	}
+	if err := pt.Validate(g, caps, tight); err != nil {
+		t.Fatalf("tight plan invalid: %v", err)
+	}
+}
+
+func TestZeroCapacityEverywhereMeansFullPreload(t *testing.T) {
+	g := toyGraph(5, 2*units.MB)
+	cfg := testConfig()
+	p := Solve(g, flatCapacity(0), cfg)
+	for _, w := range p.Weights {
+		if !w.Preload {
+			t.Fatalf("weight %d streamed despite zero capacity", w.Weight)
+		}
+	}
+	if p.OverlapFraction() != 0 {
+		t.Error("overlap fraction must be 0")
+	}
+}
+
+func TestPlanInvariantsProperty(t *testing.T) {
+	// Property (DESIGN.md): for random graphs/configs the plan validates.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		blocks := 3 + rng.Intn(12)
+		wBytes := units.Bytes(1+rng.Intn(16)) * units.MB
+		capBytes := units.Bytes(rng.Intn(20)) * units.MB
+		g := toyGraph(blocks, wBytes)
+		caps := flatCapacity(capBytes)
+		cfg := testConfig()
+		cfg.MPeak = units.Bytes(4+rng.Intn(200)) * units.MB
+		cfg.Window = 8 + rng.Intn(60)
+		p := Solve(g, caps, cfg)
+		return p.Validate(g, caps, cfg) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRealModelPlan(t *testing.T) {
+	g := models.MustByAbbr("ViT").Build()
+	caps := profiler.AnalyticCapacityFunc(device.OnePlus12())
+	cfg := testConfig()
+	p := Solve(g, caps, cfg)
+	if err := p.Validate(g, caps, cfg); err != nil {
+		t.Fatalf("ViT plan invalid: %v", err)
+	}
+	if p.Stats.Windows == 0 {
+		t.Error("no windows solved")
+	}
+	if p.Stats.Status != cpsat.Optimal && p.Stats.Status != cpsat.Feasible {
+		t.Errorf("status = %v", p.Stats.Status)
+	}
+	// A transformer on a flagship device should stream the bulk of weights.
+	if f := p.OverlapFraction(); f < 0.3 {
+		t.Errorf("ViT overlap fraction = %.2f, want >= 0.3", f)
+	}
+}
+
+func TestSolveStatsBreakdownPopulated(t *testing.T) {
+	g := toyGraph(15, 6*units.MB)
+	p := Solve(g, flatCapacity(8*units.MB), testConfig())
+	st := p.Stats
+	if st.ProcessTime <= 0 || st.BuildTime <= 0 || st.SolveTime <= 0 {
+		t.Errorf("stats breakdown not populated: %+v", st)
+	}
+}
+
+func TestAdjustLoadStartsMovesEarlier(t *testing.T) {
+	g := toyGraph(20, 16*units.MB)
+	caps := flatCapacity(32 * units.MB)
+	cfg := testConfig()
+	p := Solve(g, caps, cfg)
+
+	before := map[graph.NodeID]graph.NodeID{}
+	for _, w := range p.Weights {
+		before[w.Weight] = w.LoadStart
+	}
+	// Fast kernels (0.05ms) vs 16MB loads at 1.5GB/s (~10.4ms): loads must
+	// move much earlier.
+	AdjustLoadStarts(p, g, func(graph.NodeID) units.Duration { return 0.05 }, units.GBps(1.5), cfg.MPeak)
+
+	moved := false
+	for _, w := range p.Weights {
+		if w.Preload {
+			continue
+		}
+		if w.LoadStart > before[w.Weight] {
+			t.Fatalf("weight %d load start moved later: %d -> %d", w.Weight, before[w.Weight], w.LoadStart)
+		}
+		if w.LoadStart < before[w.Weight] {
+			moved = true
+		}
+		if len(w.Transforms) > 0 && w.LoadStart > w.Transforms[0].Layer {
+			t.Fatalf("C1 violated after adjust for weight %d", w.Weight)
+		}
+	}
+	if !moved {
+		t.Error("no load start moved despite slow disk")
+	}
+	if err := p.Validate(g, caps, cfg); err != nil {
+		t.Fatalf("plan invalid after adjust: %v", err)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	g := toyGraph(5, 4*units.MB)
+	caps := flatCapacity(8 * units.MB)
+	cfg := testConfig()
+	p := Solve(g, caps, cfg)
+
+	// Corrupt C0: drop a chunk from a streamed weight.
+	for i := range p.Weights {
+		if !p.Weights[i].Preload && len(p.Weights[i].Transforms) > 0 {
+			p.Weights[i].Transforms[0].Chunks++
+			break
+		}
+	}
+	if err := p.Validate(g, caps, cfg); err == nil {
+		t.Fatal("Validate must catch a C0 violation")
+	}
+}
+
+func TestPreloadBytesAndFraction(t *testing.T) {
+	p := &Plan{ChunkSize: units.MB, Weights: []WeightPlan{
+		{Weight: 1, Bytes: 10 * units.MB, Chunks: 10, Preload: true},
+		{Weight: 3, Bytes: 30 * units.MB, Chunks: 30,
+			LoadStart: 1, Transforms: []Assignment{{Layer: 2, Chunks: 30}}},
+	}}
+	if p.PreloadBytes() != 10*units.MB {
+		t.Errorf("preload bytes = %v", p.PreloadBytes())
+	}
+	if f := p.OverlapFraction(); f != 0.75 {
+		t.Errorf("overlap fraction = %v, want 0.75", f)
+	}
+}
+
+func TestFallbackLadderEngagesUnderPressure(t *testing.T) {
+	// Joint infeasibility: each 8MB weight individually fits its candidate
+	// capacity (12 × 3MB), but a window of them cannot all stream — the CP
+	// proves it and the ladder (soft threshold → incremental preload →
+	// greedy) must engage, and the plan must still validate.
+	g := toyGraph(16, 8*units.MB)
+	caps := flatCapacity(3 * units.MB)
+	cfg := testConfig()
+	p := Solve(g, caps, cfg)
+	fb := p.Stats.Fallbacks
+	if fb.SoftThreshold+fb.IncrementalPreload+fb.Greedy == 0 {
+		t.Error("expected fallback activation under pressure")
+	}
+	if err := p.Validate(g, caps, cfg); err != nil {
+		t.Fatalf("plan invalid: %v", err)
+	}
+}
+
+func TestPrefilterPreloadsOversizedWeights(t *testing.T) {
+	// A weight larger than M_peak can never be in flight: it must land in
+	// W directly, without poisoning the window CP for its neighbours.
+	g := toyGraph(6, 32*units.MB)
+	caps := flatCapacity(64 * units.MB)
+	cfg := testConfig()
+	cfg.MPeak = 8 * units.MB
+	p := Solve(g, caps, cfg)
+	for _, w := range p.Weights {
+		if w.Bytes > cfg.MPeak && !w.Preload {
+			t.Errorf("weight %d (%v) exceeds M_peak yet streamed", w.Weight, w.Bytes)
+		}
+	}
+	if err := p.Validate(g, caps, cfg); err != nil {
+		t.Fatalf("plan invalid: %v", err)
+	}
+}
+
+func TestPlanSerializationRoundTrip(t *testing.T) {
+	g := toyGraph(8, 6*units.MB)
+	caps := flatCapacity(10 * units.MB)
+	cfg := testConfig()
+	p := Solve(g, caps, cfg)
+
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Model != p.Model || back.ChunkSize != p.ChunkSize || len(back.Weights) != len(p.Weights) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, p)
+	}
+	// The decoded plan must still satisfy C0-C3 against the graph.
+	if err := back.Validate(g, caps, cfg); err != nil {
+		t.Fatalf("decoded plan invalid: %v", err)
+	}
+	if back.OverlapFraction() != p.OverlapFraction() {
+		t.Error("overlap fraction changed across serialization")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(strings.NewReader("not json")); err == nil {
+		t.Error("garbage must fail to decode")
+	}
+	if _, err := Decode(strings.NewReader(`{"version":99,"chunk_size":1}`)); err == nil {
+		t.Error("wrong version must fail")
+	}
+	if _, err := Decode(strings.NewReader(`{"version":1,"chunk_size":0}`)); err == nil {
+		t.Error("zero chunk size must fail")
+	}
+}

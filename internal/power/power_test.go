@@ -1,0 +1,63 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/gpusim"
+	"repro/internal/units"
+)
+
+func TestIdleOnly(t *testing.T) {
+	m := gpusim.New(device.OnePlus12())
+	u := Default().Measure(m, 2*units.Second)
+	if math.Abs(u.AveragePowerW-Default().Idle) > 1e-9 {
+		t.Errorf("idle power = %v, want %v", u.AveragePowerW, Default().Idle)
+	}
+	if math.Abs(u.EnergyJ-Default().Idle*2) > 1e-9 {
+		t.Errorf("idle energy = %v, want %v", u.EnergyJ, Default().Idle*2)
+	}
+}
+
+func TestBusyPhasesAdd(t *testing.T) {
+	m := gpusim.New(device.OnePlus12())
+	m.RunKernel(0, units.Second) // 1 s compute
+	m.DiskLoad(0, 1500*units.MB) // ~1 s transfer at 1.5 GB/s
+	u := Default().Measure(m, 2*units.Second)
+	p := Default()
+	wantE := p.Idle*2 + p.Compute*1 + p.Transfer*float64(m.Transfer.BusyTotal().Seconds())
+	if math.Abs(u.EnergyJ-wantE) > 1e-6 {
+		t.Errorf("energy = %v, want %v", u.EnergyJ, wantE)
+	}
+	if u.AveragePowerW <= p.Idle {
+		t.Error("busy run must draw more than idle")
+	}
+}
+
+func TestEnergyEqualsAvgPowerTimesLatency(t *testing.T) {
+	m := gpusim.New(device.OnePlus12())
+	m.RunKernel(0, 500)
+	horizon := units.Duration(800)
+	u := Default().Measure(m, horizon)
+	if math.Abs(u.EnergyJ-u.AveragePowerW*horizon.Seconds()) > 1e-9 {
+		t.Error("energy must equal average power times horizon")
+	}
+}
+
+func TestZeroHorizon(t *testing.T) {
+	m := gpusim.New(device.OnePlus12())
+	if u := Default().Measure(m, 0); u.EnergyJ != 0 || u.AveragePowerW != 0 {
+		t.Errorf("zero horizon must be zero usage, got %+v", u)
+	}
+}
+
+func TestBusyClampedToHorizon(t *testing.T) {
+	m := gpusim.New(device.OnePlus12())
+	m.RunKernel(0, 10*units.Second)
+	u := Default().Measure(m, units.Second) // observe only the first second
+	p := Default()
+	if max := p.Idle + p.Compute + p.Transfer; u.AveragePowerW > max+1e-9 {
+		t.Errorf("average power %v exceeds physical max %v", u.AveragePowerW, max)
+	}
+}

@@ -1,0 +1,72 @@
+package profiler
+
+import (
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/units"
+)
+
+// OverlapPoint is one point of the Figure 2 sweep: the latency increase a
+// kernel suffers when forced to stream extra data of Ratio× its own input.
+type OverlapPoint struct {
+	Kind       graph.OpKind
+	Ratio      float64
+	Baseline   units.Duration
+	Latency    units.Duration
+	IncreaseMS float64 // absolute increase, the figure's y-axis
+	Relative   float64 // relative increase, where the 20%/30% markers live
+}
+
+// figure2Kernels are the five operators plotted in Figure 2, sized like the
+// transformer kernels of the motivating study.
+func figure2Kernels() []*graph.Node {
+	mk := func(kind graph.OpKind, in units.Bytes, weight units.Bytes, macsPerByte int64) *graph.Node {
+		return &graph.Node{Name: kind.String(), Parts: []graph.Part{{
+			Kind: kind, InBytes: in, OutBytes: in, Weight: weight,
+			MACs: units.MACs(int64(in) * macsPerByte),
+		}}}
+	}
+	return []*graph.Node{
+		mk(graph.MatMul, 4*units.MB, 8*units.MB, 256),
+		mk(graph.Attention, 2*units.MB, 0, 128),
+		mk(graph.Add, units.MB, 0, 2), // representative elementwise op
+		mk(graph.LayerNorm, units.MB, 0, 8),
+		mk(graph.Softmax, units.MB, 0, 8),
+	}
+}
+
+// Figure2Sweep reproduces the Figure 2 measurement: each kernel carries
+// additional data volume ratios from 0 to maxRatio in the given step, and
+// the latency increase is recorded.
+func Figure2Sweep(dev device.Device, maxRatio, step float64) []OverlapPoint {
+	cm := kernels.NewCostModel(dev)
+	var out []OverlapPoint
+	for _, n := range figure2Kernels() {
+		base := cm.KernelTime(n, kernels.Texture25D)
+		for r := step; r <= maxRatio+1e-9; r += step {
+			extra := units.Bytes(r * float64(n.InBytes()))
+			lat := cm.PipelinedTime(n, kernels.Texture25D, extra)
+			out = append(out, OverlapPoint{
+				Kind:       n.Kind(),
+				Ratio:      r,
+				Baseline:   base,
+				Latency:    lat,
+				IncreaseMS: float64(lat - base),
+				Relative:   float64(lat-base) / float64(base),
+			})
+		}
+	}
+	return out
+}
+
+// ThresholdCrossing returns the smallest swept ratio at which the kind's
+// relative increase reaches the given fraction, or -1 if it never does.
+func ThresholdCrossing(points []OverlapPoint, kind graph.OpKind, frac float64) float64 {
+	for _, p := range points {
+		if p.Kind == kind && p.Relative >= frac {
+			return p.Ratio
+		}
+	}
+	return -1
+}

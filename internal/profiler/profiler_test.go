@@ -1,0 +1,161 @@
+package profiler
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/units"
+	"repro/internal/xgb"
+)
+
+// fastOptions keeps profiler tests quick: a coarser grid and smaller
+// ensemble than production defaults.
+func fastOptions() Options {
+	p := xgb.DefaultParams()
+	p.Trees = 60
+	return Options{
+		NoiseFrac: 0.02,
+		Ratios:    []float64{0, 0.25, 0.5, 0.75, 1, 1.5, 2, 3},
+		XGB:       p,
+	}
+}
+
+func testProfile(t *testing.T) *Profile {
+	t.Helper()
+	p, err := Run(device.OnePlus12(), fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mkNode(kind graph.OpKind, in, weight units.Bytes, macs units.MACs) *graph.Node {
+	return &graph.Node{Name: "n", Parts: []graph.Part{{
+		Kind: kind, InBytes: in, OutBytes: in, Weight: weight, MACs: macs,
+	}}}
+}
+
+func TestRunTrainsOnFullSweep(t *testing.T) {
+	p := testProfile(t)
+	// 8 kinds × 5 sizes × 8 ratios.
+	if p.Samples != 8*5*8 {
+		t.Errorf("samples = %d, want 320", p.Samples)
+	}
+}
+
+func TestPredictionTracksCostModel(t *testing.T) {
+	p := testProfile(t)
+	cm := kernels.NewCostModel(device.OnePlus12())
+	n := mkNode(graph.MatMul, 4*units.MB, 8*units.MB, units.MACs(4*units.MB)*256)
+	for _, r := range []float64{0, 0.5, 1.0} {
+		extra := units.Bytes(r * float64(n.InBytes()))
+		pred := float64(p.PredictLatency(n, extra))
+		truth := float64(cm.PipelinedTime(n, kernels.Texture25D, extra))
+		if pred < 0.5*truth || pred > 2*truth {
+			t.Errorf("ratio %v: predicted %v vs truth %v (off >2x)", r, pred, truth)
+		}
+	}
+}
+
+func TestLoadCapacityHierarchicalZero(t *testing.T) {
+	p := testProfile(t)
+	n := mkNode(graph.Softmax, units.MB, 0, units.MACs(units.MB)*8)
+	if c := p.LoadCapacity(n); c != 0 {
+		t.Errorf("softmax capacity = %v, want 0", c)
+	}
+	ln := mkNode(graph.LayerNorm, units.MB, 0, units.MACs(units.MB)*8)
+	if c := p.LoadCapacity(ln); c != 0 {
+		t.Errorf("layernorm capacity = %v, want 0", c)
+	}
+}
+
+func TestLoadCapacityOrdering(t *testing.T) {
+	p := testProfile(t)
+	// Table 5: a big matmul carries more than a small elementwise op.
+	mm := mkNode(graph.MatMul, 4*units.MB, 8*units.MB, units.MACs(4*units.MB)*256)
+	relu := mkNode(graph.ReLU, 64*units.KB, 0, units.MACs(64*units.KB)*2)
+	cm, cr := p.LoadCapacity(mm), p.LoadCapacity(relu)
+	if cm <= 0 || cr <= 0 {
+		t.Fatalf("capacities must be positive: matmul %v relu %v", cm, cr)
+	}
+	if cm <= cr {
+		t.Errorf("matmul capacity %v must exceed small relu capacity %v", cm, cr)
+	}
+}
+
+func TestLoadCapacityNearAnalytic(t *testing.T) {
+	p := testProfile(t)
+	analytic := AnalyticCapacityFunc(device.OnePlus12())
+	// On a kernel inside the profiled distribution, the learned capacity
+	// should land within a small factor of the analytic one.
+	n := mkNode(graph.MatMul, units.MB, 2*units.MB, units.MACs(units.MB)*256)
+	got, want := float64(p.LoadCapacity(n)), float64(analytic(n))
+	if want <= 0 {
+		t.Fatal("analytic capacity must be positive")
+	}
+	if got < 0.3*want || got > 3*want {
+		t.Errorf("profiled capacity %v vs analytic %v: off more than 3x", got, want)
+	}
+}
+
+func TestZeroInputCapacityZero(t *testing.T) {
+	p := testProfile(t)
+	n := mkNode(graph.MatMul, 0, units.MB, 1000)
+	if c := p.LoadCapacity(n); c != 0 {
+		t.Errorf("zero-input kernel capacity = %v, want 0", c)
+	}
+}
+
+func TestNoiseDeterministicBounded(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		v := noise(i, 0.05)
+		if v < 0.95 || v > 1.05 {
+			t.Fatalf("noise(%d) = %v outside [0.95,1.05]", i, v)
+		}
+		if v != noise(i, 0.05) {
+			t.Fatal("noise must be deterministic")
+		}
+	}
+}
+
+func TestFigure2SweepShape(t *testing.T) {
+	pts := Figure2Sweep(device.OnePlus12(), 2.0, 0.125)
+	// 5 kernels × 16 ratios.
+	if len(pts) != 5*16 {
+		t.Fatalf("points = %d, want 80", len(pts))
+	}
+	// Hierarchical ops cross 20% early; matmul crosses late or never.
+	smCross := ThresholdCrossing(pts, graph.Softmax, 0.20)
+	lnCross := ThresholdCrossing(pts, graph.LayerNorm, 0.20)
+	mmCross := ThresholdCrossing(pts, graph.MatMul, 0.20)
+	if smCross < 0 || smCross > 0.5 {
+		t.Errorf("softmax 20%% crossing at ratio %v, want <=0.5", smCross)
+	}
+	if lnCross < 0 || lnCross > 0.5 {
+		t.Errorf("layernorm 20%% crossing at ratio %v, want <=0.5", lnCross)
+	}
+	if mmCross >= 0 && mmCross < 1.0 {
+		t.Errorf("matmul crosses 20%% at ratio %v, want >=1.0 or never", mmCross)
+	}
+	// Absolute latency increase at equal ratio orders like Figure 2's
+	// curves: hierarchical ops highest, elementwise modest, matmul lowest.
+	at1 := map[graph.OpKind]float64{}
+	for _, p := range pts {
+		if p.Ratio == 1.0 {
+			at1[p.Kind] = p.IncreaseMS
+		}
+	}
+	if !(at1[graph.Softmax] > at1[graph.Add] && at1[graph.Add] > at1[graph.MatMul]) {
+		t.Errorf("absolute increase at ratio 1 misordered: %v", at1)
+	}
+	// Latency increase is monotone in ratio for each kind.
+	byKind := map[graph.OpKind]float64{}
+	for _, p := range pts {
+		if last, ok := byKind[p.Kind]; ok && p.IncreaseMS < last-1e-12 {
+			t.Errorf("%v: increase not monotone", p.Kind)
+		}
+		byKind[p.Kind] = p.IncreaseMS
+	}
+}

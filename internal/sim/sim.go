@@ -1,0 +1,135 @@
+// Package sim provides the discrete-event simulation core used by the mobile
+// GPU model: an event engine with a monotone clock, serialized FIFO resources
+// (command queues, DMA channels), and step-function trackers for integrating
+// quantities like resident memory and power over simulated time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// event is a scheduled callback. seq breaks ties so same-time events run in
+// schedule order, keeping the simulation deterministic.
+type event struct {
+	at  units.Duration
+	seq int
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now    units.Duration
+	seq    int
+	events eventHeap
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() units.Duration { return e.now }
+
+// Schedule runs fn at time at. Scheduling in the past panics: it would break
+// clock monotonicity, which downstream trackers rely on.
+func (e *Engine) Schedule(at units.Duration, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// After schedules fn d after the current time.
+func (e *Engine) After(d units.Duration, fn func()) { e.Schedule(e.now+d, fn) }
+
+// Step executes the next pending event, advancing the clock. It reports
+// whether an event was run.
+func (e *Engine) Step() bool {
+	if e.events.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run processes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+// Queue is a serialized FIFO resource: a GPU command queue or a DMA channel.
+// Work items occupy it back-to-back; an item requested while the queue is
+// busy starts when the queue frees up. All times are absolute.
+type Queue struct {
+	Name string
+
+	busyUntil units.Duration
+	busyTotal units.Duration
+	items     int
+}
+
+// NewQueue returns a named idle queue.
+func NewQueue(name string) *Queue { return &Queue{Name: name} }
+
+// Acquire reserves the queue for an item of duration d that becomes ready at
+// time at. It returns the item's start and end times.
+func (q *Queue) Acquire(at, d units.Duration) (start, end units.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: queue %s negative duration %v", q.Name, d))
+	}
+	start = units.MaxDuration(at, q.busyUntil)
+	end = start + d
+	q.busyUntil = end
+	q.busyTotal += d
+	q.items++
+	return start, end
+}
+
+// FreeAt returns the earliest time the queue can start new work.
+func (q *Queue) FreeAt() units.Duration { return q.busyUntil }
+
+// BusyTotal returns the cumulative busy time of the queue.
+func (q *Queue) BusyTotal() units.Duration { return q.busyTotal }
+
+// Items returns how many work items the queue has processed.
+func (q *Queue) Items() int { return q.items }
+
+// Utilization returns busy time divided by the elapsed horizon.
+func (q *Queue) Utilization(horizon units.Duration) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return float64(q.busyTotal) / float64(horizon)
+}
+
+// Reset returns the queue to idle, clearing statistics.
+func (q *Queue) Reset() {
+	q.busyUntil = 0
+	q.busyTotal = 0
+	q.items = 0
+}

@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.Schedule(5, func() { got = append(got, 2) })
+	e.Schedule(1, func() { got = append(got, 0) })
+	e.Schedule(3, func() { got = append(got, 1) })
+	e.Run()
+	want := []int{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 5 {
+		t.Errorf("final clock = %v, want 5", e.Now())
+	}
+}
+
+func TestEngineTieBreakBySchedulingOrder(t *testing.T) {
+	var e Engine
+	var got []string
+	e.Schedule(2, func() { got = append(got, "a") })
+	e.Schedule(2, func() { got = append(got, "b") })
+	e.Schedule(2, func() { got = append(got, "c") })
+	e.Run()
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("same-time events ran out of order: %v", got)
+	}
+}
+
+func TestEngineCascadingEvents(t *testing.T) {
+	var e Engine
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		if depth < 10 {
+			depth++
+			e.After(1, recurse)
+		}
+	}
+	e.Schedule(0, recurse)
+	e.Run()
+	if depth != 10 {
+		t.Errorf("cascade depth = %d, want 10", depth)
+	}
+	if e.Now() != 10 {
+		t.Errorf("clock = %v, want 10", e.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var e Engine
+	e.Schedule(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past should panic")
+		}
+	}()
+	e.Schedule(1, func() {})
+}
+
+func TestEngineClockMonotone(t *testing.T) {
+	// Property: regardless of random scheduling, observed clock is monotone.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var e Engine
+		last := units.Duration(-1)
+		ok := true
+		for i := 0; i < 50; i++ {
+			at := units.Duration(rng.Float64() * 100)
+			e.Schedule(at, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueSerialization(t *testing.T) {
+	q := NewQueue("compute")
+	s1, e1 := q.Acquire(0, 10)
+	if s1 != 0 || e1 != 10 {
+		t.Fatalf("first item got [%v,%v], want [0,10]", s1, e1)
+	}
+	// Requested at t=5 while busy until 10: must wait.
+	s2, e2 := q.Acquire(5, 5)
+	if s2 != 10 || e2 != 15 {
+		t.Fatalf("second item got [%v,%v], want [10,15]", s2, e2)
+	}
+	// Requested after the queue went idle: starts immediately.
+	s3, _ := q.Acquire(20, 1)
+	if s3 != 20 {
+		t.Fatalf("third item start = %v, want 20", s3)
+	}
+	if q.Items() != 3 {
+		t.Errorf("items = %d, want 3", q.Items())
+	}
+	if q.BusyTotal() != 16 {
+		t.Errorf("busy total = %v, want 16", q.BusyTotal())
+	}
+	if u := q.Utilization(32); math.Abs(u-0.5) > 1e-9 {
+		t.Errorf("utilization = %v, want 0.5", u)
+	}
+}
+
+func TestQueueNoOverlapProperty(t *testing.T) {
+	// Property: items acquired in arbitrary ready order never overlap.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewQueue("q")
+		lastEnd := units.Duration(0)
+		at := units.Duration(0)
+		for i := 0; i < 40; i++ {
+			at += units.Duration(rng.Float64() * 3)
+			d := units.Duration(rng.Float64() * 5)
+			s, e := q.Acquire(at, d)
+			if s < lastEnd || e < s {
+				return false
+			}
+			lastEnd = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueNegativeDurationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative duration should panic")
+		}
+	}()
+	NewQueue("q").Acquire(0, -1)
+}
+
+func TestQueueReset(t *testing.T) {
+	q := NewQueue("q")
+	q.Acquire(0, 10)
+	q.Reset()
+	if q.FreeAt() != 0 || q.Items() != 0 || q.BusyTotal() != 0 {
+		t.Error("reset did not clear queue state")
+	}
+}
+
+func TestTrackerPeakAverage(t *testing.T) {
+	tr := NewTracker("mem")
+	tr.AddRange(0, 10, 100) // 100 on [0,10)
+	tr.AddRange(5, 10, 50)  // +50 on [5,10): peak 150
+	if p := tr.Peak(); p != 150 {
+		t.Errorf("peak = %v, want 150", p)
+	}
+	// Integral over [0,10] = 100*10 + 50*5 = 1250 -> avg 125.
+	if a := tr.Average(10); math.Abs(a-125) > 1e-9 {
+		t.Errorf("average = %v, want 125", a)
+	}
+}
+
+func TestTrackerNegativePanics(t *testing.T) {
+	tr := NewTracker("mem")
+	tr.Add(0, 10)
+	tr.Add(1, -20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative series should panic")
+		}
+	}()
+	tr.Series()
+}
+
+func TestTrackerOutOfOrderInsert(t *testing.T) {
+	tr := NewTracker("mem")
+	tr.Add(10, -5)
+	tr.Add(0, 5)
+	s := tr.Series()
+	if len(s) != 2 || s[0].At != 0 || s[0].Value != 5 || s[1].Value != 0 {
+		t.Errorf("series = %+v, want [{0 5} {10 0}]", s)
+	}
+}
+
+func TestTrackerIntegralStopsAtHorizon(t *testing.T) {
+	tr := NewTracker("p")
+	tr.AddRange(0, 100, 2)
+	if got := tr.Integral(10); math.Abs(got-20) > 1e-9 {
+		t.Errorf("integral over [0,10] = %v, want 20", got)
+	}
+}
+
+func TestTrackerConservationProperty(t *testing.T) {
+	// Property: for any set of matched AddRange calls the series returns to 0
+	// and peak >= average.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewTracker("m")
+		var horizon units.Duration
+		for i := 0; i < 30; i++ {
+			from := units.Duration(rng.Float64() * 50)
+			to := from + units.Duration(rng.Float64()*50)
+			if to > horizon {
+				horizon = to
+			}
+			tr.AddRange(from, to, float64(1+rng.Intn(100)))
+		}
+		s := tr.Series()
+		if len(s) == 0 {
+			return true
+		}
+		if math.Abs(s[len(s)-1].Value) > 1e-6 {
+			return false
+		}
+		return tr.Peak() >= tr.Average(horizon)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// Sample is one point of a step-function time series: the value holds from
+// At until the next sample.
+type Sample struct {
+	At    units.Duration
+	Value float64
+}
+
+// Tracker records a step function over simulated time and integrates it.
+// It is used for resident memory (bytes) and instantaneous power (watts).
+// Events may be added out of order; the series is sorted lazily.
+type Tracker struct {
+	name    string
+	deltas  []Sample // delta events, not absolute values
+	sorted  bool
+	current float64
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker(name string) *Tracker { return &Tracker{name: name} }
+
+// Add applies a delta at time at. Negative running values are a modelling
+// bug (e.g. freeing memory twice) and are caught in Series.
+func (t *Tracker) Add(at units.Duration, delta float64) {
+	t.deltas = append(t.deltas, Sample{At: at, Value: delta})
+	t.current += delta
+	t.sorted = false
+}
+
+// AddRange is shorthand for a value that exists on [from, to).
+func (t *Tracker) AddRange(from, to units.Duration, v float64) {
+	if to < from {
+		panic(fmt.Sprintf("sim: tracker %s range [%v,%v) inverted", t.name, from, to))
+	}
+	t.Add(from, v)
+	t.Add(to, -v)
+}
+
+// Current returns the net sum of all deltas (the value after the last event
+// if all events are in the past).
+func (t *Tracker) Current() float64 { return t.current }
+
+// Series returns the step function as absolute values at each change point,
+// merged at equal timestamps. It panics if the running value dips below
+// -epsilon, which indicates a double-free style modelling bug.
+func (t *Tracker) Series() []Sample {
+	if !t.sorted {
+		sort.SliceStable(t.deltas, func(i, j int) bool { return t.deltas[i].At < t.deltas[j].At })
+		t.sorted = true
+	}
+	const eps = 1e-6
+	var out []Sample
+	running := 0.0
+	for i := 0; i < len(t.deltas); {
+		at := t.deltas[i].At
+		for i < len(t.deltas) && t.deltas[i].At == at {
+			running += t.deltas[i].Value
+			i++
+		}
+		if running < -eps {
+			panic(fmt.Sprintf("sim: tracker %s negative value %v at %v", t.name, running, at))
+		}
+		out = append(out, Sample{At: at, Value: running})
+	}
+	return out
+}
+
+// Peak returns the maximum value the series attains.
+func (t *Tracker) Peak() float64 {
+	peak := 0.0
+	for _, s := range t.Series() {
+		if s.Value > peak {
+			peak = s.Value
+		}
+	}
+	return peak
+}
+
+// Average returns the time-weighted mean value on [0, horizon]. Values
+// before time 0 do not exist; the series is assumed to start at 0.
+func (t *Tracker) Average(horizon units.Duration) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return t.Integral(horizon) / float64(horizon)
+}
+
+// Integral returns the integral of the step function over [0, horizon].
+// For memory in bytes this is byte·ms; for power in watts over ms it is
+// millijoules.
+func (t *Tracker) Integral(horizon units.Duration) float64 {
+	series := t.Series()
+	total := 0.0
+	for i, s := range series {
+		if s.At >= horizon {
+			break
+		}
+		end := horizon
+		if i+1 < len(series) && series[i+1].At < horizon {
+			end = series[i+1].At
+		}
+		total += s.Value * float64(end-s.At)
+	}
+	return total
+}
+
+// End returns the time of the final event, i.e. the natural horizon.
+func (t *Tracker) End() units.Duration {
+	series := t.Series()
+	if len(series) == 0 {
+		return 0
+	}
+	return series[len(series)-1].At
+}

@@ -1,0 +1,155 @@
+// Package tensor models tensor shapes, element types, and the 2.5D texture
+// layout used by mobile GPUs (§2.1 of the paper).
+//
+// Mobile GPUs (Adreno, Mali) expose texture memory as 2D images whose texels
+// hold four scalar channels (RGBA). The "2.5D" layout reorganizes an
+// arbitrary tensor into a Width×Height grid of depth-4 texels so the texture
+// cache can exploit 2D spatial locality. This package provides the tiling,
+// its inverse (for the bijection property test), and the byte accounting
+// including padding of the final partial texel.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// DType is a tensor element type.
+type DType int
+
+// Supported element types. The evaluation uses fp16 on device (fp32 trends
+// match, per the paper's appendix note).
+const (
+	FP16 DType = iota
+	FP32
+)
+
+// Size returns the byte width of one element.
+func (d DType) Size() units.Bytes {
+	switch d {
+	case FP16:
+		return 2
+	case FP32:
+		return 4
+	default:
+		panic(fmt.Sprintf("tensor: unknown dtype %d", int(d)))
+	}
+}
+
+// String names the dtype.
+func (d DType) String() string {
+	switch d {
+	case FP16:
+		return "fp16"
+	case FP32:
+		return "fp32"
+	default:
+		return fmt.Sprintf("dtype(%d)", int(d))
+	}
+}
+
+// Shape is a tensor shape; dimensions are listed outermost first.
+type Shape []int
+
+// Elems returns the number of elements, or 0 for an empty shape.
+func (s Shape) Elems() int64 {
+	if len(s) == 0 {
+		return 0
+	}
+	n := int64(1)
+	for _, d := range s {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dim in shape %v", []int(s)))
+		}
+		n *= int64(d)
+	}
+	return n
+}
+
+// Bytes returns the linear (unified-memory) size of the tensor.
+func (s Shape) Bytes(dt DType) units.Bytes {
+	return units.Bytes(s.Elems()) * dt.Size()
+}
+
+// String formats the shape like [a b c].
+func (s Shape) String() string { return fmt.Sprint([]int(s)) }
+
+// TexelDepth is the channel count of one texel in the 2.5D layout.
+const TexelDepth = 4
+
+// TexLayout describes a tensor packed into a 2D texture of depth-4 texels.
+type TexLayout struct {
+	Width  int   // texels per row
+	Height int   // rows
+	Elems  int64 // logical element count (before texel padding)
+}
+
+// ErrTooLarge reports a tensor that cannot fit a single texture allocation
+// even at the maximum dimension. Callers split such tensors into multiple
+// images (the weights slicer does this chunk-wise).
+var ErrTooLarge = errors.New("tensor: exceeds maximum texture dimensions")
+
+// Tile25D packs a tensor with the given shape into a 2.5D texture layout.
+// maxDim is the device's maximum texture width/height in texels (16384 on
+// recent Adreno). The layout fills rows of up to maxDim texels.
+func Tile25D(s Shape, maxDim int) (TexLayout, error) {
+	if maxDim <= 0 {
+		return TexLayout{}, fmt.Errorf("tensor: invalid maxDim %d", maxDim)
+	}
+	elems := s.Elems()
+	if elems == 0 {
+		return TexLayout{Width: 0, Height: 0, Elems: 0}, nil
+	}
+	texels := (elems + TexelDepth - 1) / TexelDepth
+	width := texels
+	height := int64(1)
+	if width > int64(maxDim) {
+		width = int64(maxDim)
+		height = (texels + width - 1) / width
+	}
+	if height > int64(maxDim) {
+		return TexLayout{}, fmt.Errorf("%w: need %d rows (max %d)", ErrTooLarge, height, maxDim)
+	}
+	return TexLayout{Width: int(width), Height: int(height), Elems: elems}, nil
+}
+
+// Texels returns the number of allocated texels including row padding.
+func (l TexLayout) Texels() int64 { return int64(l.Width) * int64(l.Height) }
+
+// Bytes returns the texture allocation size: all texels, all four channels,
+// including the padding of the final partial row and texel.
+func (l TexLayout) Bytes(dt DType) units.Bytes {
+	return units.Bytes(l.Texels()) * TexelDepth * dt.Size()
+}
+
+// PaddingOverhead returns the fraction of allocated bytes that is padding.
+func (l TexLayout) PaddingOverhead() float64 {
+	alloc := l.Texels() * TexelDepth
+	if alloc == 0 {
+		return 0
+	}
+	return float64(alloc-l.Elems) / float64(alloc)
+}
+
+// Coord maps a logical element index to its (x, y, channel) texture
+// coordinate. Index must be in [0, Elems).
+func (l TexLayout) Coord(elem int64) (x, y, c int) {
+	if elem < 0 || elem >= l.Elems {
+		panic(fmt.Sprintf("tensor: element %d out of range [0,%d)", elem, l.Elems))
+	}
+	texel := elem / TexelDepth
+	c = int(elem % TexelDepth)
+	x = int(texel % int64(l.Width))
+	y = int(texel / int64(l.Width))
+	return x, y, c
+}
+
+// Index is the inverse of Coord.
+func (l TexLayout) Index(x, y, c int) int64 {
+	if x < 0 || x >= l.Width || y < 0 || y >= l.Height || c < 0 || c >= TexelDepth {
+		panic(fmt.Sprintf("tensor: coord (%d,%d,%d) out of layout %dx%d", x, y, c, l.Width, l.Height))
+	}
+	return (int64(y)*int64(l.Width)+int64(x))*TexelDepth + int64(c)
+}

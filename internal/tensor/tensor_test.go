@@ -1,0 +1,147 @@
+package tensor
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestDTypeSize(t *testing.T) {
+	if FP16.Size() != 2 || FP32.Size() != 4 {
+		t.Fatal("dtype sizes wrong")
+	}
+	if FP16.String() != "fp16" || FP32.String() != "fp32" {
+		t.Fatal("dtype names wrong")
+	}
+}
+
+func TestShapeElemsBytes(t *testing.T) {
+	s := Shape{4, 3, 2}
+	if s.Elems() != 24 {
+		t.Errorf("elems = %d, want 24", s.Elems())
+	}
+	if s.Bytes(FP16) != 48 {
+		t.Errorf("bytes = %d, want 48", s.Bytes(FP16))
+	}
+	if (Shape{}).Elems() != 0 {
+		t.Error("empty shape should have 0 elems")
+	}
+}
+
+func TestShapeNonPositiveDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive dim should panic")
+		}
+	}()
+	Shape{3, 0}.Elems()
+}
+
+func TestTile25DSmall(t *testing.T) {
+	// 10 elements -> 3 texels -> fits one row.
+	l, err := Tile25D(Shape{10}, 16384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Width != 3 || l.Height != 1 {
+		t.Errorf("layout = %dx%d, want 3x1", l.Width, l.Height)
+	}
+	// Padding: 3 texels * 4 = 12 slots for 10 elems -> 2/12.
+	if got := l.PaddingOverhead(); got < 0.16 || got > 0.17 {
+		t.Errorf("padding = %v, want 2/12", got)
+	}
+}
+
+func TestTile25DWraps(t *testing.T) {
+	// 100 texels with maxDim 16 -> width 16, height 7.
+	l, err := Tile25D(Shape{400}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Width != 16 || l.Height != 7 {
+		t.Errorf("layout = %dx%d, want 16x7", l.Width, l.Height)
+	}
+	if l.Texels() != 112 {
+		t.Errorf("texels = %d, want 112", l.Texels())
+	}
+	if l.Bytes(FP32) != units.Bytes(112*4*4) {
+		t.Errorf("bytes = %d, want %d", l.Bytes(FP32), 112*4*4)
+	}
+}
+
+func TestTile25DTooLarge(t *testing.T) {
+	_, err := Tile25D(Shape{100}, 2) // 25 texels need 13 rows > 2
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+}
+
+func TestTile25DZeroShape(t *testing.T) {
+	l, err := Tile25D(Shape{}, 16384)
+	if err != nil || l.Texels() != 0 {
+		t.Fatalf("empty shape: layout %v err %v", l, err)
+	}
+}
+
+func TestCoordIndexBijection(t *testing.T) {
+	// Property (DESIGN.md): pack∘unpack = identity for every element.
+	f := func(rawElems uint16, rawMax uint8) bool {
+		elems := int64(rawElems%4096) + 1
+		maxDim := int(rawMax%64) + 4
+		l, err := Tile25D(Shape{int(elems)}, maxDim)
+		if errors.Is(err, ErrTooLarge) {
+			return true // legitimately unrepresentable; slicer handles it
+		}
+		if err != nil {
+			return false
+		}
+		for e := int64(0); e < elems; e++ {
+			x, y, c := l.Coord(e)
+			if l.Index(x, y, c) != e {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesConservation(t *testing.T) {
+	// Property: texture allocation is never smaller than linear bytes and at
+	// most one row plus one texel larger.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		elems := 1 + rng.Intn(1_000_000)
+		maxDim := 64 + rng.Intn(4096)
+		s := Shape{elems}
+		l, err := Tile25D(s, maxDim)
+		if err != nil {
+			return true
+		}
+		linear := s.Bytes(FP16)
+		alloc := l.Bytes(FP16)
+		if alloc < linear {
+			return false
+		}
+		maxWaste := units.Bytes(maxDim+1) * TexelDepth * FP16.Size()
+		return alloc-linear <= maxWaste
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoordOutOfRangePanics(t *testing.T) {
+	l, _ := Tile25D(Shape{16}, 16384)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Coord should panic")
+		}
+	}()
+	l.Coord(16)
+}

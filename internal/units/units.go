@@ -1,0 +1,149 @@
+// Package units defines the physical quantities used throughout the
+// simulator: byte sizes, bandwidths, and simulated durations.
+//
+// Simulated time is kept as a float64 number of milliseconds rather than
+// time.Duration so that sub-microsecond kernel events and multi-second model
+// loads coexist without overflow or quantization, and so arithmetic with
+// bandwidths stays trivial.
+package units
+
+import "fmt"
+
+// Bytes is a size in bytes. Weight tensors on mobile easily exceed 4 GiB in
+// aggregate, so it is an int64.
+type Bytes int64
+
+// Common byte multiples.
+const (
+	KB Bytes = 1 << 10
+	MB Bytes = 1 << 20
+	GB Bytes = 1 << 30
+)
+
+// MiB returns the size in mebibytes as a float, for reporting.
+func (b Bytes) MiB() float64 { return float64(b) / float64(MB) }
+
+// GiB returns the size in gibibytes as a float, for reporting.
+func (b Bytes) GiB() float64 { return float64(b) / float64(GB) }
+
+// String formats the size with a binary unit suffix.
+func (b Bytes) String() string {
+	switch {
+	case b >= GB:
+		return fmt.Sprintf("%.2f GB", b.GiB())
+	case b >= MB:
+		return fmt.Sprintf("%.1f MB", b.MiB())
+	case b >= KB:
+		return fmt.Sprintf("%.1f KB", float64(b)/float64(KB))
+	default:
+		return fmt.Sprintf("%d B", int64(b))
+	}
+}
+
+// Duration is simulated time in milliseconds.
+type Duration float64
+
+// Common durations.
+const (
+	Microsecond Duration = 0.001
+	Millisecond Duration = 1
+	Second      Duration = 1000
+)
+
+// Milliseconds returns the duration as a float64 millisecond count.
+func (d Duration) Milliseconds() float64 { return float64(d) }
+
+// Seconds returns the duration in seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1000 }
+
+// String formats the duration with an appropriate unit.
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.2f s", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.2f ms", float64(d))
+	default:
+		return fmt.Sprintf("%.1f us", float64(d)*1000)
+	}
+}
+
+// Bandwidth is a transfer rate in bytes per millisecond. Constructed from
+// GB/s via GBps, which is how mobile memory hierarchies are specified.
+type Bandwidth float64
+
+// GBps converts a rate in gigabytes per second into a Bandwidth.
+func GBps(v float64) Bandwidth { return Bandwidth(v * float64(GB) / 1000) }
+
+// GBpsValue reports the bandwidth back in GB/s for display.
+func (bw Bandwidth) GBpsValue() float64 { return float64(bw) * 1000 / float64(GB) }
+
+// Time returns how long moving n bytes takes at this bandwidth.
+// A zero bandwidth yields +Inf-free behaviour by returning 0 for 0 bytes and
+// panicking otherwise: a zero-bandwidth channel is a configuration error.
+func (bw Bandwidth) Time(n Bytes) Duration {
+	if n == 0 {
+		return 0
+	}
+	if bw <= 0 {
+		panic(fmt.Sprintf("units: transfer of %v over zero bandwidth", n))
+	}
+	return Duration(float64(n) / float64(bw))
+}
+
+// Bytes returns how many bytes move in d at this bandwidth.
+func (bw Bandwidth) Bytes(d Duration) Bytes {
+	if d <= 0 {
+		return 0
+	}
+	return Bytes(float64(bw) * float64(d))
+}
+
+// String formats the bandwidth in GB/s.
+func (bw Bandwidth) String() string { return fmt.Sprintf("%.1f GB/s", bw.GBpsValue()) }
+
+// FLOPs counts floating point operations; MACs count multiply-accumulates
+// (1 MAC = 2 FLOPs).
+type FLOPs int64
+
+// MACs is a multiply-accumulate count.
+type MACs int64
+
+// FLOPs converts a MAC count to FLOPs.
+func (m MACs) FLOPs() FLOPs { return FLOPs(2 * m) }
+
+// GigaMACs reports the count in units of 1e9 MACs for display.
+func (m MACs) GigaMACs() float64 { return float64(m) / 1e9 }
+
+// Throughput is a compute rate in FLOPs per millisecond.
+type Throughput float64
+
+// GFLOPS converts a rate in gigaFLOPs per second into a Throughput.
+func GFLOPS(v float64) Throughput { return Throughput(v * 1e9 / 1000) }
+
+// Time returns how long f FLOPs take at this throughput.
+func (t Throughput) Time(f FLOPs) Duration {
+	if f == 0 {
+		return 0
+	}
+	if t <= 0 {
+		panic("units: compute on zero-throughput device")
+	}
+	return Duration(float64(f) / float64(t))
+}
+
+// MaxDuration returns the larger of two durations.
+func MaxDuration(a, b Duration) Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinBytes returns the smaller of two sizes.
+func MinBytes(a, b Bytes) Bytes {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,109 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{0, "0 B"},
+		{512, "512 B"},
+		{2 * KB, "2.0 KB"},
+		{3 * MB, "3.0 MB"},
+		{5 * GB, "5.00 GB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBandwidthTime(t *testing.T) {
+	bw := GBps(1) // 1 GB per 1000 ms
+	if got := bw.Time(GB); math.Abs(float64(got)-1000) > 1e-9 {
+		t.Errorf("1GB at 1GB/s = %v ms, want 1000", float64(got))
+	}
+	if got := bw.Time(0); got != 0 {
+		t.Errorf("0 bytes should take 0 time, got %v", got)
+	}
+	// Figure 1(a) disk bandwidth: 1.5 GB/s moving 150 MB ~ 97.66 ms.
+	disk := GBps(1.5)
+	got := disk.Time(150 * MB)
+	if got < 95 || got > 100 {
+		t.Errorf("150MB over 1.5GB/s = %v ms, want ~97.7", float64(got))
+	}
+}
+
+func TestBandwidthZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("transfer over zero bandwidth should panic")
+		}
+	}()
+	Bandwidth(0).Time(1)
+}
+
+func TestThroughput(t *testing.T) {
+	tp := GFLOPS(2000) // 2 TFLOPS
+	// 4.1 GMACs (ResNet50) = 8.2 GFLOPs -> 4.1 ms at 2 TFLOPS.
+	got := tp.Time(MACs(4_100_000_000).FLOPs())
+	if math.Abs(float64(got)-4.1) > 1e-6 {
+		t.Errorf("8.2 GFLOPs at 2 TFLOPS = %v ms, want 4.1", float64(got))
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	if s := Duration(0.5).String(); !strings.Contains(s, "us") {
+		t.Errorf("0.5ms should format as us, got %q", s)
+	}
+	if s := Duration(1500).String(); !strings.Contains(s, "s") {
+		t.Errorf("1500ms should format as s, got %q", s)
+	}
+	if s := Duration(12).String(); !strings.Contains(s, "ms") {
+		t.Errorf("12ms should format as ms, got %q", s)
+	}
+}
+
+func TestBandwidthRoundTrip(t *testing.T) {
+	// Time and Bytes must be inverse up to float precision.
+	f := func(raw float64, kb uint16) bool {
+		// Map raw into a physically sensible range (0.1 .. 1000 GB/s).
+		gbps := 0.1 + math.Mod(math.Abs(raw), 1000)
+		if math.IsNaN(gbps) || math.IsInf(gbps, 0) {
+			gbps = 1
+		}
+		bw := GBps(gbps)
+		n := Bytes(kb) * KB
+		back := bw.Bytes(bw.Time(n))
+		diff := math.Abs(float64(back - n))
+		return diff <= math.Max(1, 1e-9*float64(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMACsFLOPs(t *testing.T) {
+	if MACs(5).FLOPs() != 10 {
+		t.Errorf("5 MACs = %d FLOPs, want 10", MACs(5).FLOPs())
+	}
+	if g := MACs(16_000_000_000).GigaMACs(); math.Abs(g-16) > 1e-9 {
+		t.Errorf("GigaMACs = %v, want 16", g)
+	}
+}
+
+func TestMinMaxHelpers(t *testing.T) {
+	if MaxDuration(1, 2) != 2 || MaxDuration(3, 2) != 3 {
+		t.Error("MaxDuration wrong")
+	}
+	if MinBytes(1, 2) != 1 || MinBytes(3, 2) != 2 {
+		t.Error("MinBytes wrong")
+	}
+}

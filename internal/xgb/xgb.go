@@ -1,0 +1,251 @@
+// Package xgb implements gradient-boosted regression trees from scratch:
+// the stand-in for the XGBoost latency model of §4.2 (Figure 4).
+//
+// It is a deliberately small but honest GBT: squared-error loss, exact
+// greedy split search with variance-reduction gain, L2-regularized leaf
+// values, shrinkage, optional row subsampling, and depth/min-leaf limits.
+// Training is deterministic for a fixed seed.
+package xgb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Params configures training.
+type Params struct {
+	Trees        int     // number of boosting rounds
+	MaxDepth     int     // maximum tree depth (root = depth 0)
+	LearningRate float64 // shrinkage per tree
+	MinLeaf      int     // minimum samples per leaf
+	Lambda       float64 // L2 regularization on leaf values
+	Subsample    float64 // row subsampling fraction (0 or 1 = off)
+	Seed         int64
+}
+
+// DefaultParams returns the configuration used by the load-capacity
+// profiler: enough capacity for the kernel-latency surface, strong enough
+// regularization to stay smooth.
+func DefaultParams() Params {
+	return Params{Trees: 120, MaxDepth: 5, LearningRate: 0.12, MinLeaf: 4, Lambda: 1.0, Seed: 1}
+}
+
+// node is one tree node; leaves have feature == -1.
+type node struct {
+	feature     int
+	threshold   float64
+	left, right int32 // child indices within the tree's node slice
+	value       float64
+}
+
+type tree struct{ nodes []node }
+
+func (t *tree) predict(x []float64) float64 {
+	i := int32(0)
+	for {
+		n := t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// Model is a trained ensemble.
+type Model struct {
+	base     float64
+	trees    []*tree
+	shrink   float64
+	features int
+}
+
+// NumTrees returns the ensemble size.
+func (m *Model) NumTrees() int { return len(m.trees) }
+
+// Predict evaluates the ensemble on one feature vector.
+func (m *Model) Predict(x []float64) float64 {
+	if len(x) != m.features {
+		panic(fmt.Sprintf("xgb: predict with %d features, model has %d", len(x), m.features))
+	}
+	out := m.base
+	for _, t := range m.trees {
+		out += m.shrink * t.predict(x)
+	}
+	return out
+}
+
+// Train fits a GBT model to (X, y).
+func Train(X [][]float64, y []float64, p Params) (*Model, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, errors.New("xgb: empty or mismatched dataset")
+	}
+	nf := len(X[0])
+	for i, row := range X {
+		if len(row) != nf {
+			return nil, fmt.Errorf("xgb: row %d has %d features, want %d", i, len(row), nf)
+		}
+	}
+	if p.Trees <= 0 || p.MaxDepth < 0 || p.LearningRate <= 0 {
+		return nil, errors.New("xgb: invalid params")
+	}
+	if p.MinLeaf < 1 {
+		p.MinLeaf = 1
+	}
+
+	base := mean(y)
+	m := &Model{base: base, shrink: p.LearningRate, features: nf}
+	pred := make([]float64, len(y))
+	for i := range pred {
+		pred[i] = base
+	}
+	resid := make([]float64, len(y))
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	all := make([]int, len(y))
+	for i := range all {
+		all[i] = i
+	}
+
+	for round := 0; round < p.Trees; round++ {
+		for i := range y {
+			resid[i] = y[i] - pred[i]
+		}
+		rows := all
+		if p.Subsample > 0 && p.Subsample < 1 {
+			k := int(p.Subsample * float64(len(all)))
+			if k < p.MinLeaf {
+				k = p.MinLeaf
+			}
+			rows = samples(rng, len(all), k)
+		}
+		t := growTree(X, resid, rows, p)
+		m.trees = append(m.trees, t)
+		for i := range y {
+			pred[i] += p.LearningRate * t.predict(X[i])
+		}
+	}
+	return m, nil
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+func samples(rng *rand.Rand, n, k int) []int {
+	perm := rng.Perm(n)
+	return perm[:k]
+}
+
+// growTree builds one regression tree on the residuals of the given rows.
+func growTree(X [][]float64, resid []float64, rows []int, p Params) *tree {
+	t := &tree{}
+	t.build(X, resid, rows, 0, p)
+	return t
+}
+
+// build appends the subtree for rows and returns its node index.
+func (t *tree) build(X [][]float64, resid []float64, rows []int, depth int, p Params) int32 {
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{feature: -1})
+
+	// Regularized leaf value: sum(resid) / (count + lambda).
+	sum := 0.0
+	for _, r := range rows {
+		sum += resid[r]
+	}
+	leafValue := sum / (float64(len(rows)) + p.Lambda)
+	t.nodes[idx].value = leafValue
+
+	if depth >= p.MaxDepth || len(rows) < 2*p.MinLeaf {
+		return idx
+	}
+	feat, thr, gain := bestSplit(X, resid, rows, p)
+	if gain <= 1e-12 {
+		return idx
+	}
+
+	var left, right []int
+	for _, r := range rows {
+		if X[r][feat] <= thr {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	if len(left) < p.MinLeaf || len(right) < p.MinLeaf {
+		return idx
+	}
+	t.nodes[idx].feature = feat
+	t.nodes[idx].threshold = thr
+	t.nodes[idx].left = t.build(X, resid, left, depth+1, p)
+	t.nodes[idx].right = t.build(X, resid, right, depth+1, p)
+	return idx
+}
+
+// bestSplit runs exact greedy split search: for every feature, sort rows by
+// value and scan prefix sums, scoring the regularized variance-reduction
+// gain sumL²/(nL+λ) + sumR²/(nR+λ) − sum²/(n+λ).
+func bestSplit(X [][]float64, resid []float64, rows []int, p Params) (feat int, thr, gain float64) {
+	nf := len(X[rows[0]])
+	total := 0.0
+	for _, r := range rows {
+		total += resid[r]
+	}
+	n := float64(len(rows))
+	parent := total * total / (n + p.Lambda)
+	feat = -1
+
+	order := make([]int, len(rows))
+	for f := 0; f < nf; f++ {
+		copy(order, rows)
+		sort.Slice(order, func(i, j int) bool { return X[order[i]][f] < X[order[j]][f] })
+
+		sumL := 0.0
+		for i := 0; i < len(order)-1; i++ {
+			sumL += resid[order[i]]
+			// Can't split between equal feature values.
+			if X[order[i]][f] == X[order[i+1]][f] {
+				continue
+			}
+			nL := float64(i + 1)
+			nR := n - nL
+			if int(nL) < p.MinLeaf || int(nR) < p.MinLeaf {
+				continue
+			}
+			sumR := total - sumL
+			g := sumL*sumL/(nL+p.Lambda) + sumR*sumR/(nR+p.Lambda) - parent
+			if g > gain {
+				gain = g
+				feat = f
+				thr = (X[order[i]][f] + X[order[i+1]][f]) / 2
+			}
+		}
+	}
+	return feat, thr, gain
+}
+
+// MSE returns the mean squared error of the model on a dataset.
+func (m *Model) MSE(X [][]float64, y []float64) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range X {
+		d := m.Predict(X[i]) - y[i]
+		s += d * d
+	}
+	return s / float64(len(X))
+}

@@ -1,0 +1,179 @@
+package xgb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synth generates a nonlinear regression dataset resembling the kernel
+// latency surface: latency grows with size and ratio, with an interaction.
+func synth(n int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		size := rng.Float64() * 10
+		ratio := rng.Float64() * 2
+		class := float64(rng.Intn(3))
+		X[i] = []float64{class, size, ratio}
+		y[i] = 0.5*size + (0.2+0.8*class)*ratio*ratio + 0.1*size*ratio
+	}
+	return X, y
+}
+
+func TestTrainReducesError(t *testing.T) {
+	X, y := synth(600, 1)
+	m, err := Train(X, y, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline: predicting the mean.
+	mu := 0.0
+	for _, v := range y {
+		mu += v
+	}
+	mu /= float64(len(y))
+	varY := 0.0
+	for _, v := range y {
+		varY += (v - mu) * (v - mu)
+	}
+	varY /= float64(len(y))
+
+	mse := m.MSE(X, y)
+	if mse > 0.05*varY {
+		t.Errorf("train MSE %v must be <5%% of variance %v (R^2 > 0.95)", mse, varY)
+	}
+}
+
+func TestGeneralizes(t *testing.T) {
+	X, y := synth(800, 2)
+	Xt, yt := synth(200, 3)
+	m, err := Train(X, y, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := 0.0
+	for _, v := range yt {
+		mu += v
+	}
+	mu /= float64(len(yt))
+	varY := 0.0
+	for _, v := range yt {
+		varY += (v - mu) * (v - mu)
+	}
+	varY /= float64(len(yt))
+	if mse := m.MSE(Xt, yt); mse > 0.15*varY {
+		t.Errorf("test MSE %v too high vs variance %v", mse, varY)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	X, y := synth(300, 4)
+	p := DefaultParams()
+	p.Subsample = 0.8
+	m1, err1 := Train(X, y, p)
+	m2, err2 := Train(X, y, p)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	probe := []float64{1, 5, 1}
+	if m1.Predict(probe) != m2.Predict(probe) {
+		t.Error("same seed must give identical models")
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{7, 7, 7, 7}
+	m, err := Train(X, y, Params{Trees: 10, MaxDepth: 3, LearningRate: 0.3, MinLeaf: 1, Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{2.5}); math.Abs(got-7) > 0.5 {
+		t.Errorf("constant target: predict = %v, want ~7", got)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := Train(nil, nil, DefaultParams()); err == nil {
+		t.Error("empty dataset must error")
+	}
+	if _, err := Train([][]float64{{1}}, []float64{1, 2}, DefaultParams()); err == nil {
+		t.Error("mismatched X/y must error")
+	}
+	if _, err := Train([][]float64{{1}, {1, 2}}, []float64{1, 2}, DefaultParams()); err == nil {
+		t.Error("ragged rows must error")
+	}
+	if _, err := Train([][]float64{{1}}, []float64{1}, Params{Trees: 0, LearningRate: 0.1}); err == nil {
+		t.Error("zero trees must error")
+	}
+	if _, err := Train([][]float64{{1}}, []float64{1}, Params{Trees: 1, LearningRate: 0}); err == nil {
+		t.Error("zero learning rate must error")
+	}
+}
+
+func TestPredictWrongWidthPanics(t *testing.T) {
+	X, y := synth(100, 5)
+	m, _ := Train(X, y, Params{Trees: 5, MaxDepth: 2, LearningRate: 0.3, MinLeaf: 1, Lambda: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong feature width must panic")
+		}
+	}()
+	m.Predict([]float64{1})
+}
+
+func TestMonotoneSignal(t *testing.T) {
+	// A clean monotone signal must yield monotone-ish predictions across a
+	// coarse probe grid.
+	n := 400
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		v := float64(i) / float64(n) * 10
+		X[i] = []float64{v}
+		y[i] = 3 * v
+	}
+	m, err := Train(X, y, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(-1)
+	for v := 0.5; v < 10; v += 1.0 {
+		got := m.Predict([]float64{v})
+		if got < prev-0.5 {
+			t.Errorf("prediction dropped at %v: %v < %v", v, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	X, y := synth(50, 6)
+	p := DefaultParams()
+	p.MinLeaf = 25 // with 50 rows, only the root split is possible
+	m, err := Train(X, y, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every tree has at most 3 nodes (root + 2 leaves).
+	for _, tr := range m.trees {
+		if len(tr.nodes) > 3 {
+			t.Fatalf("tree has %d nodes despite MinLeaf=25", len(tr.nodes))
+		}
+	}
+}
+
+func TestNumTrees(t *testing.T) {
+	X, y := synth(100, 7)
+	p := DefaultParams()
+	p.Trees = 17
+	m, err := Train(X, y, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTrees() != 17 {
+		t.Errorf("NumTrees = %d, want 17", m.NumTrees())
+	}
+}

@@ -1,0 +1,122 @@
+package flashmem
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+	"repro/internal/multimodel"
+	"repro/internal/units"
+)
+
+// Session is a FIFO multi-DNN queue (§2.2): several planned models executed
+// back-to-back on one device, each activation paying only its streaming
+// cost rather than a full preload.
+type Session struct {
+	rt      *Runtime
+	models  []*Model
+	indices map[string]int
+}
+
+// NewSession starts an empty FIFO session on the runtime's device.
+func (rt *Runtime) NewSession() *Session {
+	return &Session{rt: rt, indices: map[string]int{}}
+}
+
+// Add registers a planned model with the session.
+func (s *Session) Add(m *Model) {
+	if _, dup := s.indices[m.abbr]; dup {
+		return
+	}
+	s.indices[m.abbr] = len(s.models)
+	s.models = append(s.models, m)
+}
+
+// SessionEvent is one completed request.
+type SessionEvent struct {
+	Model     string
+	StartMS   float64
+	EndMS     float64
+	LatencyMS float64
+}
+
+// SessionResult summarizes a FIFO run.
+type SessionResult struct {
+	Events    []SessionEvent
+	TotalMS   float64
+	PeakMemMB float64
+	AvgMemMB  float64
+	OOM       bool
+
+	// MemoryTrace samples the combined residency over time (Figure 6).
+	MemoryTrace []MemorySample
+}
+
+// MemorySample is one point of the session memory trace.
+type MemorySample struct {
+	AtMS float64
+	MB   float64
+}
+
+// RunFIFO executes the queued request order: order entries name registered
+// models. An empty order runs each model once in registration order.
+func (s *Session) RunFIFO(order []string) (*SessionResult, error) {
+	if len(s.models) == 0 {
+		return nil, fmt.Errorf("flashmem: empty session")
+	}
+	var idx []int
+	if len(order) == 0 {
+		for i := range s.models {
+			idx = append(idx, i)
+		}
+	} else {
+		for _, name := range order {
+			i, ok := s.indices[name]
+			if !ok {
+				return nil, fmt.Errorf("flashmem: model %q not in session", name)
+			}
+			idx = append(idx, i)
+		}
+	}
+	runners := make([]multimodel.Runner, len(s.models))
+	for i, m := range s.models {
+		runners[i] = &multimodel.FlashMemRunner{Engine: s.rt.engine, Prep: m.prep}
+	}
+	machine := gpusim.New(s.rt.dev)
+	tr, err := multimodel.RunFIFO(machine, runners, idx)
+	if err != nil {
+		return nil, err
+	}
+	res := &SessionResult{
+		TotalMS:   tr.Total.Milliseconds(),
+		PeakMemMB: tr.Peak.MiB(),
+		AvgMemMB:  tr.Average.MiB(),
+		OOM:       tr.OOM,
+	}
+	for _, e := range tr.Events {
+		res.Events = append(res.Events, SessionEvent{
+			Model:     e.Model,
+			StartMS:   e.Start.Milliseconds(),
+			EndMS:     e.End.Milliseconds(),
+			LatencyMS: e.Latency().Milliseconds(),
+		})
+	}
+	for _, sm := range tr.Memory {
+		res.MemoryTrace = append(res.MemoryTrace, MemorySample{
+			AtMS: sm.At.Milliseconds(),
+			MB:   units.Bytes(sm.Value).MiB(),
+		})
+	}
+	return res, nil
+}
+
+// Interleaved builds an order repeating the registered models round-robin
+// for the given number of iterations (the Figure 6 workload).
+func (s *Session) Interleaved(iterations int) []string {
+	var order []string
+	for it := 0; it < iterations; it++ {
+		for _, m := range s.models {
+			order = append(order, m.abbr)
+		}
+	}
+	return order
+}
