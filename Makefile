@@ -1,0 +1,34 @@
+# Targets mirror what .github/workflows/ci.yml runs: `make lint test-short`
+# is the per-push job, `make test bench` is the nightly job.
+
+GO ?= go
+
+.PHONY: build test test-short bench lint vet fmt fmt-check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+lint: fmt-check vet
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,171 @@
+package flashmem
+
+import (
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A generous wall-clock budget with a binding branch budget keeps solves
+// deterministic, so cached and cold plans are comparable.
+func deterministicBudget() Option {
+	return WithSolverBudget(5*time.Second, 500)
+}
+
+func TestWithPlanCache(t *testing.T) {
+	cache := NewPlanCache(0)
+	rt := New(OnePlus12(), deterministicBudget(), WithPlanCache(cache))
+
+	cold, err := rt.Load("ResNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Plan().FromCache {
+		t.Fatal("first load unexpectedly from cache")
+	}
+	warm, err := rt.Load("ResNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp := warm.Plan()
+	if !wp.FromCache {
+		t.Fatal("second load missed the cache")
+	}
+	if wp.Cache.Hits != 1 || wp.Cache.Misses != 1 {
+		t.Errorf("summary cache stats = %+v, want 1 hit / 1 miss", wp.Cache)
+	}
+
+	// The cache-hit plan is identical to the cold solve, and so is the run.
+	cp, wpNoCache := cold.Plan(), warm.Plan()
+	cp.FromCache, wpNoCache.FromCache = false, false
+	cp.Cache, wpNoCache.Cache = CacheStats{}, CacheStats{}
+	if !reflect.DeepEqual(cp, wpNoCache) {
+		t.Errorf("plan summaries differ: cold %+v warm %+v", cp, wpNoCache)
+	}
+	coldRes, warmRes := cold.Run(), warm.Run()
+	if coldRes != warmRes {
+		t.Errorf("cached run %+v != cold run %+v", warmRes, coldRes)
+	}
+
+	// A second runtime with the same device and options shares the cache.
+	rt2 := New(OnePlus12(), deterministicBudget(), WithPlanCache(cache))
+	m2, err := rt2.Load("ResNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Plan().FromCache {
+		t.Error("identical second runtime missed the cache")
+	}
+	// A runtime with different solver options must not share entries.
+	rt3 := New(OnePlus12(), deterministicBudget(), WithPlanCache(cache), WithLambda(0.5))
+	m3, err := rt3.Load("ResNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Plan().FromCache {
+		t.Error("different λ falsely hit the cache")
+	}
+}
+
+func TestWithNilPlanCacheIsNoop(t *testing.T) {
+	var pc *PlanCache // e.g. conditionally populated and left nil
+	rt := New(OnePlus12(), WithSolverBudget(40*time.Millisecond, 2500), WithPlanCache(pc))
+	m, err := rt.Load("ResNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Plan().FromCache {
+		t.Error("nil cache cannot serve plans")
+	}
+}
+
+func TestPlanCachePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.json")
+	cache := NewPlanCache(0)
+	rt := New(OnePlus12(), deterministicBudget(), WithPlanCache(cache))
+	m, err := rt.Load("DepthA-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Run()
+	if err := cache.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	reloaded := NewPlanCache(0)
+	if err := reloaded.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Len() != cache.Len() {
+		t.Fatalf("reloaded %d entries, want %d", reloaded.Len(), cache.Len())
+	}
+	rt2 := New(OnePlus12(), deterministicBudget(), WithPlanCache(reloaded))
+	m2, err := rt2.Load("DepthA-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Plan().FromCache {
+		t.Fatal("persisted plan not used")
+	}
+	if got := m2.Run(); got != want {
+		t.Errorf("round-tripped run %+v != original %+v", got, want)
+	}
+}
+
+// TestConcurrentSessionsShareCache exercises the thread-safety contract
+// under the race detector: many goroutines sharing one plan cache, loading
+// overlapping model sets on separate runtimes, and running FIFO sessions
+// concurrently. Cross-goroutine plan determinism is not asserted — two
+// goroutines that both miss solve independently, and wall-clock solver
+// cutoffs make independent solves only near-identical; plan identity for
+// actual cache hits is covered by TestWithPlanCache.
+func TestConcurrentSessionsShareCache(t *testing.T) {
+	cache := NewPlanCache(0)
+	abbrs := []string{"ResNet", "DepthA-S"}
+	const goroutines = 6
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	totals := make([]float64, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			rt := New(OnePlus12(), WithSolverBudget(40*time.Millisecond, 2500), WithPlanCache(cache))
+			s := rt.NewSession()
+			for _, abbr := range abbrs {
+				m, err := rt.Load(abbr)
+				if err != nil {
+					errs <- err
+					return
+				}
+				s.Add(m)
+			}
+			res, err := s.RunFIFO(s.Interleaved(2))
+			if err != nil {
+				errs <- err
+				return
+			}
+			totals[slot] = res.TotalMS
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for i, total := range totals {
+		if total <= 0 {
+			t.Errorf("goroutine %d: degenerate session total %v", i, total)
+		}
+	}
+	s := cache.Stats()
+	if s.Entries != len(abbrs) {
+		t.Errorf("cache entries = %d, want %d (one per distinct model)", s.Entries, len(abbrs))
+	}
+	if s.Hits+s.Misses == 0 {
+		t.Error("no cache traffic recorded")
+	}
+}

@@ -1,19 +1,24 @@
 // Command flashbench regenerates the paper's tables and figures on the
-// simulated device.
+// simulated device. Experiments fan out over a bounded worker pool, and an
+// optional plan-cache snapshot warm-starts the solver across invocations.
 //
 // Usage:
 //
-//	flashbench -exp all                 # everything (several minutes)
+//	flashbench -exp all                 # everything, in parallel
 //	flashbench -exp table7,table8      # specific experiments
 //	flashbench -exp fig6 -iters 10     # the multi-model trace
 //	flashbench -models ViT,ResNet      # restrict the model set
 //	flashbench -budget 500ms           # per-window CP budget
+//	flashbench -jobs 4 -workers 2      # 4 experiments × 2 cells each
+//	flashbench -cache plans.json       # persist solved plans across runs
 //
 // Experiment ids: table1 table4 table6 table7 table8 table9 fig2 fig6 fig7
-// fig8 fig9 fig10 abl-chunk abl-window abl-fallback abl-cache abl-capacity.
+// fig8 fig9 fig10 warmstart abl-chunk abl-window abl-fallback abl-cache
+// abl-capacity.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +26,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/plancache"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -29,11 +36,24 @@ func main() {
 	budget := flag.Duration("budget", 100*time.Millisecond, "per-window CP solve budget")
 	branches := flag.Int64("branches", 8000, "per-window CP branch budget")
 	iters := flag.Int("iters", 10, "multi-model iterations for fig6")
+	jobs := flag.Int("jobs", 1, "experiments run concurrently; >1 multiplies with -workers and oversubscribes the CPU, which can starve wall-clock CP budgets and shift solver fallback rates")
+	workers := flag.Int("workers", 0, "sweep cells per experiment run concurrently (0 = GOMAXPROCS)")
+	cachePath := flag.String("cache", "", "plan-cache snapshot: loaded at start, saved at exit")
 	flag.Parse()
+
+	cache := plancache.New(0)
+	if *cachePath != "" {
+		if err := cache.Load(*cachePath); err != nil {
+			fmt.Fprintf(os.Stderr, "flashbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.SolveTimeout = *budget
 	cfg.MaxBranches = *branches
+	cfg.Workers = *workers
+	cfg.PlanCache = cache
 	if *modelsFlag != "" {
 		cfg.Models = strings.Split(*modelsFlag, ",")
 	}
@@ -45,13 +65,38 @@ func main() {
 			"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "warmstart",
 			"abl-chunk", "abl-window", "abl-fallback", "abl-cache", "abl-capacity"}
 	}
-	for _, id := range ids {
-		out, err := run(r, strings.TrimSpace(id), *iters)
+	for i, id := range ids {
+		ids[i] = strings.TrimSpace(id)
+	}
+
+	// Experiments run concurrently but print in the requested order. On
+	// failure the completed experiments are still printed and the cache
+	// still saved — a multi-minute run's work is not discarded.
+	outs, err := sweep.Map(context.Background(), *jobs, ids, func(_ context.Context, _ int, id string) (string, error) {
+		out, err := run(r, id, *iters)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "flashbench: %s: %v\n", id, err)
+			return "", fmt.Errorf("%s: %w", id, err)
+		}
+		return out, nil
+	})
+	for _, out := range outs {
+		if out != "" {
+			fmt.Println(out)
+		}
+	}
+
+	if *cachePath != "" {
+		if saveErr := cache.Save(*cachePath); saveErr != nil {
+			fmt.Fprintf(os.Stderr, "flashbench: %v\n", saveErr)
 			os.Exit(1)
 		}
-		fmt.Println(out)
+		s := cache.Stats()
+		fmt.Fprintf(os.Stderr, "flashbench: plan cache %d entries, %d hits / %d misses (%.0f%% hit rate)\n",
+			s.Entries, s.Hits, s.Misses, s.HitRate()*100)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashbench: %v\n", err)
+		os.Exit(1)
 	}
 }
 

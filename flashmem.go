@@ -27,6 +27,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/graph"
 	"repro/internal/models"
+	"repro/internal/plancache"
 	"repro/internal/power"
 	"repro/internal/units"
 )
@@ -96,6 +97,49 @@ func WithoutAdaptiveFusion() Option {
 // then cost dedicated transform kernels.
 func WithoutKernelRewriting() Option {
 	return func(o *core.Options) { o.KernelRewriting = false }
+}
+
+// PlanCache memoizes overlap plans across Load calls and runtimes. For a
+// fixed (device, model, configuration) triple the solve is deterministic,
+// so one cache can back any number of runtimes — including concurrently —
+// and can be persisted to disk to warm-start later processes.
+type PlanCache struct {
+	c *plancache.Cache
+}
+
+// CacheStats counts plan-cache traffic; see PlanCache.Stats.
+type CacheStats = core.CacheStats
+
+// NewPlanCache builds a bounded LRU plan cache (maxEntries <= 0 uses the
+// package default).
+func NewPlanCache(maxEntries int) *PlanCache {
+	return &PlanCache{c: plancache.New(maxEntries)}
+}
+
+// Stats snapshots hit/miss/eviction counters.
+func (p *PlanCache) Stats() CacheStats { return p.c.Stats() }
+
+// Len returns the number of cached plans.
+func (p *PlanCache) Len() int { return p.c.Len() }
+
+// Save persists the cached plans as JSON at path.
+func (p *PlanCache) Save(path string) error { return p.c.Save(path) }
+
+// Load merges a previously saved snapshot (a missing file is a no-op).
+func (p *PlanCache) Load(path string) error { return p.c.Load(path) }
+
+// WithPlanCache attaches a plan cache to the runtime: Load and LoadGraph
+// reuse a cached plan instead of re-solving when the same model was
+// already planned under an identical configuration. A nil cache leaves
+// memoization off, so a conditionally-populated *PlanCache is safe.
+func WithPlanCache(pc *PlanCache) Option {
+	return func(o *core.Options) {
+		if pc == nil {
+			o.Cache = nil
+			return
+		}
+		o.Cache = pc.c
+	}
 }
 
 // Runtime plans and executes models on one device.
@@ -187,12 +231,18 @@ type PlanSummary struct {
 	SolverStatus    string
 	SolverWindows   int
 	FallbackGreedy  int
+
+	// FromCache reports that this plan was served by the runtime's plan
+	// cache rather than solved; Cache snapshots that cache's counters at
+	// summary time (zero value when the runtime has no cache).
+	FromCache bool
+	Cache     CacheStats
 }
 
 // Plan summarizes the model's overlap plan.
 func (m *Model) Plan() PlanSummary {
 	p := m.prep.Plan
-	return PlanSummary{
+	ps := PlanSummary{
 		Layers:          m.prep.Graph.Len(),
 		Weights:         len(p.Weights),
 		OverlapFraction: p.OverlapFraction(),
@@ -200,7 +250,12 @@ func (m *Model) Plan() PlanSummary {
 		SolverStatus:    p.Stats.Status.String(),
 		SolverWindows:   p.Stats.Windows,
 		FallbackGreedy:  p.Stats.Fallbacks.Greedy,
+		FromCache:       m.prep.FromCache,
 	}
+	if c := m.rt.engine.Cache(); c != nil {
+		ps.Cache = c.Stats()
+	}
+	return ps
 }
 
 // KernelSource is one generated GPU kernel.

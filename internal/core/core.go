@@ -38,6 +38,14 @@ type Options struct {
 	// Capacity overrides the load-capacity model (nil = analytic model; the
 	// full pipeline passes a trained profiler capacity).
 	Capacity opg.Capacity
+
+	// CapacityKey names a custom Capacity for plan-cache fingerprinting.
+	// Closures cannot be hashed, so a non-nil Capacity with an empty key
+	// disables caching for this engine.
+	CapacityKey string
+
+	// Cache memoizes Prepare results across engines (nil = no memoization).
+	Cache PlanCache
 }
 
 // DefaultOptions returns the full FlashMem configuration on a device.
@@ -78,17 +86,39 @@ func (e *Engine) Device() device.Device { return e.opts.Device }
 // CostModel exposes the engine's kernel cost model.
 func (e *Engine) CostModel() *kernels.CostModel { return e.cm }
 
+// Cache returns the engine's plan cache (nil when memoization is off).
+func (e *Engine) Cache() PlanCache { return e.opts.Cache }
+
 // Prepared is the offline-stage output for one model: the (possibly fused)
-// graph and its overlap plan.
+// graph and its overlap plan. Values handed out by a cache-hit Prepare are
+// shared; the graph and plan must be treated as immutable.
 type Prepared struct {
 	Graph *graph.Graph
 	Plan  *opg.Plan
+
+	// FromCache reports that this preparation was served from the plan
+	// cache rather than solved.
+	FromCache bool
 }
 
 // Prepare runs the offline stage: fusion, LC-OPG, prefetch adjustment.
+// With a plan cache configured, a previously solved (device, config,
+// graph) triple is returned without re-solving.
 func (e *Engine) Prepare(g *graph.Graph) (*Prepared, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid graph: %w", err)
+	}
+	var key string
+	cacheable := false
+	if e.opts.Cache != nil {
+		key, cacheable = e.PlanKey(g)
+		if cacheable {
+			if hit, ok := e.opts.Cache.Get(key); ok {
+				cp := *hit
+				cp.FromCache = true
+				return &cp, nil
+			}
+		}
 	}
 	cur := g
 	var plan *opg.Plan
@@ -107,7 +137,11 @@ func (e *Engine) Prepare(g *graph.Graph) (*Prepared, error) {
 			return e.cm.KernelTime(cur.Node(id), kernels.Texture25D)
 		}, e.opts.Device.DiskBW, e.opts.Config.MPeak)
 	}
-	return &Prepared{Graph: cur, Plan: plan}, nil
+	prep := &Prepared{Graph: cur, Plan: plan}
+	if cacheable {
+		e.opts.Cache.Put(key, prep)
+	}
+	return prep, nil
 }
 
 // Report summarizes one end-to-end run.

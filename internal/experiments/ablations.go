@@ -25,12 +25,16 @@ type AblationRow struct {
 	SolveMS      float64
 }
 
+// ablation is one named solver-config mutation of a sweep.
+type ablation struct {
+	name   string
+	mutate func(*opg.Config)
+}
+
 // ablate prepares and runs a model under a modified solver config.
-func (r *Runner) ablate(abbr string, mutate func(*opg.Config)) (AblationRow, error) {
-	opts := core.DefaultOptions(r.Cfg.Device)
-	opts.Config.SolveTimeout = r.solveConfig().SolveTimeout
-	opts.Config.MaxBranches = r.solveConfig().MaxBranches
-	mutate(&opts.Config)
+func (r *Runner) ablate(abbr string, a ablation) (AblationRow, error) {
+	opts := r.engineOptions()
+	a.mutate(&opts.Config)
 	e := core.NewEngine(opts)
 	prep, err := e.Prepare(r.Graph(abbr))
 	if err != nil {
@@ -38,6 +42,7 @@ func (r *Runner) ablate(abbr string, mutate func(*opg.Config)) (AblationRow, err
 	}
 	rep, _ := e.Execute(prep)
 	return AblationRow{
+		Setting:      a.name,
 		IntegratedMS: rep.Integrated.Milliseconds(),
 		AvgMemMB:     rep.Mem.Average.MiB(),
 		OverlapFrac:  prep.Plan.OverlapFraction(),
@@ -45,42 +50,44 @@ func (r *Runner) ablate(abbr string, mutate func(*opg.Config)) (AblationRow, err
 	}, nil
 }
 
+// ablateSweep runs every configuration of an ablation concurrently.
+func (r *Runner) ablateSweep(abbr string, configs []ablation) ([]AblationRow, error) {
+	return parallel(r, configs, func(a ablation) (AblationRow, error) {
+		return r.ablate(abbr, a)
+	})
+}
+
 // AblationChunkSize sweeps the slicing granularity S on ViT.
 func (r *Runner) AblationChunkSize() ([]AblationRow, error) {
-	var rows []AblationRow
+	var configs []ablation
 	for _, s := range []units.Bytes{256 * units.KB, units.MB, 4 * units.MB, 16 * units.MB} {
-		row, err := r.ablate("ViT", func(c *opg.Config) { c.ChunkSize = s })
-		if err != nil {
-			return nil, err
-		}
-		row.Setting = fmt.Sprintf("S=%v", s)
-		rows = append(rows, row)
+		s := s
+		configs = append(configs, ablation{
+			name:   fmt.Sprintf("S=%v", s),
+			mutate: func(c *opg.Config) { c.ChunkSize = s },
+		})
 	}
-	return rows, nil
+	return r.ablateSweep("ViT", configs)
 }
 
 // AblationWindow sweeps the rolling-window span on ViT.
 func (r *Runner) AblationWindow() ([]AblationRow, error) {
-	var rows []AblationRow
+	var configs []ablation
 	for _, w := range []int{8, 24, 48, 96} {
-		row, err := r.ablate("ViT", func(c *opg.Config) { c.Window = w })
-		if err != nil {
-			return nil, err
-		}
-		row.Setting = fmt.Sprintf("window=%d", w)
-		rows = append(rows, row)
+		w := w
+		configs = append(configs, ablation{
+			name:   fmt.Sprintf("window=%d", w),
+			mutate: func(c *opg.Config) { c.Window = w },
+		})
 	}
-	return rows, nil
+	return r.ablateSweep("ViT", configs)
 }
 
 // AblationFallback compares the tiered solver against its extremes: pure
 // CP (generous budgets, ladder rarely needed) and pure greedy (CP starved
 // so every window falls through to the heuristic).
 func (r *Runner) AblationFallback() ([]AblationRow, error) {
-	configs := []struct {
-		name   string
-		mutate func(*opg.Config)
-	}{
+	return r.ablateSweep("ViT", []ablation{
 		{"tiered (default)", func(c *opg.Config) {}},
 		{"pure CP", func(c *opg.Config) {
 			c.SolveTimeout = 2 * time.Second
@@ -90,17 +97,7 @@ func (r *Runner) AblationFallback() ([]AblationRow, error) {
 			c.SolveTimeout = time.Nanosecond
 			c.MaxBranches = 1
 		}},
-	}
-	var rows []AblationRow
-	for _, cfg := range configs {
-		row, err := r.ablate("ViT", cfg.mutate)
-		if err != nil {
-			return nil, err
-		}
-		row.Setting = cfg.name
-		rows = append(rows, row)
-	}
-	return rows, nil
+	})
 }
 
 // AblationTextureCacheRow compares execution layouts for one model.
@@ -146,27 +143,27 @@ func (r *Runner) AblationCapacitySource() ([]AblationRow, error) {
 		{"analytic", profiler.AnalyticCapacityFunc(r.Cfg.Device)},
 		{"profiled (GBT)", prof.CapacityFunc()},
 	}
-	var rows []AblationRow
-	for _, src := range sources {
-		opts := core.DefaultOptions(r.Cfg.Device)
-		opts.Config.SolveTimeout = r.solveConfig().SolveTimeout
-		opts.Config.MaxBranches = r.solveConfig().MaxBranches
+	return parallel(r, sources, func(src struct {
+		name string
+		caps opg.Capacity
+	}) (AblationRow, error) {
+		opts := r.engineOptions()
 		opts.Capacity = src.caps
+		opts.CapacityKey = "abl-" + src.name
 		e := core.NewEngine(opts)
 		prep, err := e.Prepare(r.Graph("ViT"))
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		rep, _ := e.Execute(prep)
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Setting:      src.name,
 			IntegratedMS: rep.Integrated.Milliseconds(),
 			AvgMemMB:     rep.Mem.Average.MiB(),
 			OverlapFrac:  prep.Plan.OverlapFraction(),
 			SolveMS:      float64(prep.Plan.Stats.SolveTime.Milliseconds()),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderAblation formats a generic ablation sweep.

@@ -3,10 +3,17 @@
 // Figures 2, 6, 7, 8, 9, 10, plus the ablations DESIGN.md adds. Each
 // generator returns structured rows for programmatic checks and renders a
 // paper-style text table.
+//
+// Sweeps run their device × model × config cells on a bounded worker pool
+// (internal/sweep) and memoize solved plans through an optional plan cache
+// (internal/plancache), so regenerating the full evaluation is bounded by
+// the slowest cell rather than the sum of all solves.
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/baselines"
@@ -16,6 +23,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/models"
 	"repro/internal/opg"
+	"repro/internal/sweep"
 )
 
 // Config scopes an experiment run.
@@ -27,6 +35,13 @@ type Config struct {
 	// SolveTimeout and MaxBranches bound the per-window CP effort.
 	SolveTimeout time.Duration
 	MaxBranches  int64
+
+	// Workers bounds sweep concurrency: 0 = GOMAXPROCS, 1 = serial.
+	Workers int
+	// PlanCache memoizes Prepare results across every engine the runner
+	// builds — the main runner and the per-cell engines of the figure and
+	// ablation sweeps (nil = no memoization).
+	PlanCache core.PlanCache
 }
 
 // DefaultConfig evaluates all models on the OnePlus 12 with moderate
@@ -65,32 +80,73 @@ type baseRun struct {
 	err     error
 }
 
+// Per-key singleflight cells: concurrent sweep workers asking for the same
+// model share one computation instead of racing to duplicate it. Each cell
+// records a panic from its computation and re-raises it for every caller —
+// sync.Once marks a panicked call done, and without this a poisoned cell
+// would hand later callers nil results far from the real failure.
+type graphCall struct {
+	once     sync.Once
+	g        *graph.Graph
+	panicked any
+}
+
+type flashCall struct {
+	once     sync.Once
+	fr       *flashRun
+	err      error
+	panicked any
+}
+
+type baseCall struct {
+	once     sync.Once
+	br       *baseRun
+	panicked any
+}
+
 // Runner executes and caches the per-model runs shared across experiments.
+// It is safe for concurrent use; all drivers fan their cells out on the
+// configured worker budget.
 type Runner struct {
 	Cfg    Config
 	Engine *core.Engine
 
-	graphs map[string]*graph.Graph
-	flash  map[string]*flashRun
-	base   map[string]map[string]*baseRun // framework → abbr
+	mu     sync.Mutex
+	graphs map[string]*graphCall
+	flash  map[string]*flashCall
+	base   map[string]*baseCall // "framework\x00abbr"
 }
 
 // NewRunner builds a runner with a FlashMem engine on the configured device.
 func NewRunner(cfg Config) *Runner {
-	opts := core.DefaultOptions(cfg.Device)
+	return &Runner{
+		Cfg:    cfg,
+		Engine: core.NewEngine(engineOptions(cfg, cfg.Device)),
+		graphs: map[string]*graphCall{},
+		flash:  map[string]*flashCall{},
+		base:   map[string]*baseCall{},
+	}
+}
+
+// engineOptions returns full-pipeline engine options for a device with the
+// configured solver budget and plan cache applied. Every engine the
+// experiments build — the runner's own and the per-cell ones of the
+// figure/ablation sweeps — goes through here so they all share the cache.
+func engineOptions(cfg Config, dev device.Device) core.Options {
+	opts := core.DefaultOptions(dev)
 	if cfg.SolveTimeout > 0 {
 		opts.Config.SolveTimeout = cfg.SolveTimeout
 	}
 	if cfg.MaxBranches > 0 {
 		opts.Config.MaxBranches = cfg.MaxBranches
 	}
-	return &Runner{
-		Cfg:    cfg,
-		Engine: core.NewEngine(opts),
-		graphs: map[string]*graph.Graph{},
-		flash:  map[string]*flashRun{},
-		base:   map[string]map[string]*baseRun{},
-	}
+	opts.Cache = cfg.PlanCache
+	return opts
+}
+
+// engineOptions is the runner-scoped variant on the primary device.
+func (r *Runner) engineOptions() core.Options {
+	return engineOptions(r.Cfg, r.Cfg.Device)
 }
 
 // solveConfig returns the runner's solver configuration.
@@ -105,44 +161,73 @@ func (r *Runner) solveConfig() opg.Config {
 	return cfg
 }
 
+// parallel runs fn over items on the runner's worker budget with results
+// in input order — the shape of every sweep in this package.
+func parallel[I, O any](r *Runner, items []I, fn func(item I) (O, error)) ([]O, error) {
+	return sweep.Map(context.Background(), r.Cfg.Workers, items,
+		func(_ context.Context, _ int, item I) (O, error) { return fn(item) })
+}
+
+// oncePanicSafe runs fn under once, capturing a panic into *panicked and
+// re-raising it on this and every later call.
+func oncePanicSafe(once *sync.Once, panicked *any, fn func()) {
+	once.Do(func() {
+		defer func() { *panicked = recover() }()
+		fn()
+	})
+	if *panicked != nil {
+		panic(*panicked)
+	}
+}
+
 // Graph builds (and caches) a model graph.
 func (r *Runner) Graph(abbr string) *graph.Graph {
-	if g, ok := r.graphs[abbr]; ok {
-		return g
+	r.mu.Lock()
+	c, ok := r.graphs[abbr]
+	if !ok {
+		c = &graphCall{}
+		r.graphs[abbr] = c
 	}
-	g := models.MustByAbbr(abbr).Build()
-	r.graphs[abbr] = g
-	return g
+	r.mu.Unlock()
+	oncePanicSafe(&c.once, &c.panicked, func() { c.g = models.MustByAbbr(abbr).Build() })
+	return c.g
 }
 
 // Flash runs FlashMem on a model, cached.
 func (r *Runner) Flash(abbr string) (*flashRun, error) {
-	if fr, ok := r.flash[abbr]; ok {
-		return fr, nil
+	r.mu.Lock()
+	c, ok := r.flash[abbr]
+	if !ok {
+		c = &flashCall{}
+		r.flash[abbr] = c
 	}
-	prep, err := r.Engine.Prepare(r.Graph(abbr))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: prepare %s: %w", abbr, err)
-	}
-	rep, m := r.Engine.Execute(prep)
-	fr := &flashRun{prep: prep, report: rep, machine: m}
-	r.flash[abbr] = fr
-	return fr, nil
+	r.mu.Unlock()
+	oncePanicSafe(&c.once, &c.panicked, func() {
+		prep, err := r.Engine.Prepare(r.Graph(abbr))
+		if err != nil {
+			c.err = fmt.Errorf("experiments: prepare %s: %w", abbr, err)
+			return
+		}
+		rep, m := r.Engine.Execute(prep)
+		c.fr = &flashRun{prep: prep, report: rep, machine: m}
+	})
+	return c.fr, c.err
 }
 
 // Baseline runs a framework on a model, cached. The error (unsupported or
 // OOM) is cached too — Table 7's "–" cells.
 func (r *Runner) Baseline(f *baselines.Framework, abbr string) *baseRun {
-	byModel := r.base[f.Name]
-	if byModel == nil {
-		byModel = map[string]*baseRun{}
-		r.base[f.Name] = byModel
+	key := f.Name + "\x00" + abbr
+	r.mu.Lock()
+	c, ok := r.base[key]
+	if !ok {
+		c = &baseCall{}
+		r.base[key] = c
 	}
-	if br, ok := byModel[abbr]; ok {
-		return br
-	}
-	rep, m, err := f.Run(r.Graph(abbr), abbr, r.Cfg.Device)
-	br := &baseRun{report: rep, machine: m, err: err}
-	byModel[abbr] = br
-	return br
+	r.mu.Unlock()
+	oncePanicSafe(&c.once, &c.panicked, func() {
+		rep, m, err := f.Run(r.Graph(abbr), abbr, r.Cfg.Device)
+		c.br = &baseRun{report: rep, machine: m, err: err}
+	})
+	return c.br
 }

@@ -7,8 +7,14 @@ import (
 
 	"repro/internal/cpsat"
 	"repro/internal/graph"
+	"repro/internal/plancache"
 	"repro/internal/units"
 )
+
+// testPlanCache is shared by every test runner in the package: tests that
+// prepare the same (device, config, model) triple reuse one solve, the
+// same way long-lived production runners would.
+var testPlanCache = plancache.New(0)
 
 // fastConfig restricts tests to three representative models with small
 // solver budgets so the suite stays quick; benches run the full set.
@@ -17,6 +23,7 @@ func fastConfig() Config {
 	cfg.Models = []string{"ResNet", "ViT", "GPTN-S"}
 	cfg.SolveTimeout = 40 * time.Millisecond
 	cfg.MaxBranches = 2500
+	cfg.PlanCache = testPlanCache
 	return cfg
 }
 
@@ -179,6 +186,9 @@ func TestFigure2Series(t *testing.T) {
 }
 
 func TestFigure7BreakdownMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nine engine runs in short mode")
+	}
 	cfg := fastConfig()
 	cfg.Models = []string{"ViT"}
 	r := NewRunner(cfg)
@@ -203,6 +213,9 @@ func TestFigure7BreakdownMonotone(t *testing.T) {
 }
 
 func TestFigure9NaiveSlower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six large-model plans in short mode")
+	}
 	cfg := fastConfig()
 	r := NewRunner(cfg)
 	rows, err := r.Figure9()
@@ -248,6 +261,50 @@ func TestRunnerCaching(t *testing.T) {
 	f2, _ := r.Flash("ResNet")
 	if f1 != f2 {
 		t.Error("flash runs not cached")
+	}
+}
+
+func TestUnknownModelPanicsOnEveryCall(t *testing.T) {
+	r := NewRunner(fastConfig())
+	// sync.Once marks a panicked call done; the runner must re-raise the
+	// original panic for later callers instead of handing out nil graphs.
+	for i := 0; i < 2; i++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("call %d: unknown model did not panic", i)
+				}
+			}()
+			r.Graph("NopeModel")
+		}()
+	}
+}
+
+func TestSharedPlanCacheAcrossRunners(t *testing.T) {
+	cache := plancache.New(0)
+	cfg := fastConfig()
+	cfg.PlanCache = cache
+	r1 := NewRunner(cfg)
+	if _, err := r1.Flash("ResNet"); err != nil {
+		t.Fatal(err)
+	}
+	before := cache.Stats()
+	if before.Stores == 0 {
+		t.Fatal("first runner stored nothing")
+	}
+	// A brand-new runner with the same configuration reuses the plan
+	// instead of re-solving.
+	r2 := NewRunner(cfg)
+	fr, err := r2.Flash("ResNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fr.prep.FromCache {
+		t.Error("second runner's preparation not served from cache")
+	}
+	after := cache.Stats()
+	if after.Hits <= before.Hits {
+		t.Errorf("no cache hit recorded: before %+v after %+v", before, after)
 	}
 }
 

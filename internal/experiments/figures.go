@@ -40,40 +40,39 @@ type Figure6Result struct {
 
 // Figure6 runs the interleaved multi-model workload: FlashMem runs
 // {DepthA-S, SD-UNet, ViT, GPTN-1.3B, Whisper-M}; MNN runs the subset it
-// supports (no GPTN-1.3B), each model 10 iterations, shuffled order.
+// supports (no GPTN-1.3B), each model 10 iterations, shuffled order. The
+// two systems' FIFO simulations run concurrently.
 func (r *Runner) Figure6(iterations int) (*Figure6Result, error) {
 	if iterations <= 0 {
 		iterations = 10
 	}
-	flashModels := []string{"DepthA-S", "SD-UNet", "ViT", "GPTN-1.3B", "Whisper-M"}
-	var flashRunners []multimodel.Runner
-	for _, abbr := range flashModels {
-		fr, err := r.Flash(abbr) // reuses the cached plan
-		if err != nil {
-			return nil, err
+	traces, err := parallel(r, []string{"FlashMem", "MNN"}, func(system string) (*multimodel.Trace, error) {
+		if system == "FlashMem" {
+			flashModels := []string{"DepthA-S", "SD-UNet", "ViT", "GPTN-1.3B", "Whisper-M"}
+			var runners []multimodel.Runner
+			for _, abbr := range flashModels {
+				fr, err := r.Flash(abbr) // reuses the cached plan
+				if err != nil {
+					return nil, err
+				}
+				runners = append(runners, &multimodel.FlashMemRunner{Engine: r.Engine, Prep: fr.prep})
+			}
+			return multimodel.RunFIFO(gpusim.New(r.Cfg.Device), runners,
+				multimodel.Shuffled(len(runners), iterations, 7))
 		}
-		flashRunners = append(flashRunners, &multimodel.FlashMemRunner{Engine: r.Engine, Prep: fr.prep})
-	}
-	fm := gpusim.New(r.Cfg.Device)
-	flashTrace, err := multimodel.RunFIFO(fm, flashRunners,
-		multimodel.Shuffled(len(flashRunners), iterations, 7))
+		mnn := baselines.MNN()
+		mnnModels := []string{"DepthA-S", "ViT", "SD-UNet", "Whisper-M"}
+		var runners []multimodel.Runner
+		for _, abbr := range mnnModels {
+			runners = append(runners, &multimodel.BaselineRunner{Framework: mnn, Graph: r.Graph(abbr)})
+		}
+		return multimodel.RunFIFO(gpusim.New(r.Cfg.Device), runners,
+			multimodel.Shuffled(len(runners), iterations, 7))
+	})
 	if err != nil {
 		return nil, err
 	}
-
-	mnn := baselines.MNN()
-	mnnModels := []string{"DepthA-S", "ViT", "SD-UNet", "Whisper-M"}
-	var mnnRunners []multimodel.Runner
-	for _, abbr := range mnnModels {
-		mnnRunners = append(mnnRunners, &multimodel.BaselineRunner{Framework: mnn, Graph: r.Graph(abbr)})
-	}
-	mm := gpusim.New(r.Cfg.Device)
-	mnnTrace, err := multimodel.RunFIFO(mm, mnnRunners,
-		multimodel.Shuffled(len(mnnRunners), iterations, 7))
-	if err != nil {
-		return nil, err
-	}
-	return &Figure6Result{FlashMem: flashTrace, MNN: mnnTrace}, nil
+	return &Figure6Result{FlashMem: traces[0], MNN: traces[1]}, nil
 }
 
 // RenderFigure6 summarizes the traces.
@@ -101,38 +100,54 @@ type Figure7Row struct {
 }
 
 // Figure7 measures the contribution of each optimization on ViT, SD-UNet
-// and GPT-Neo-1.3B.
+// and GPT-Neo-1.3B. All nine model × level cells run concurrently. Levels
+// 1 and 2 differ only in kernel rewriting and therefore share a plan-cache
+// key; with a warm cache one solve serves both (concurrent cold cells may
+// still each solve — the cache memoizes results, it does not deduplicate
+// in-flight work).
 func (r *Runner) Figure7() ([]Figure7Row, error) {
 	// Cumulative levels: [0] the OPG solver alone on the unfused graph with
 	// dedicated transform kernels; [1] + adaptive fusion; [2] + kernel
 	// rewriting (full FlashMem).
 	levels := []core.Options{}
 	for i := 0; i < 3; i++ {
-		o := core.DefaultOptions(r.Cfg.Device)
-		o.Config.SolveTimeout = r.solveConfig().SolveTimeout
-		o.Config.MaxBranches = r.solveConfig().MaxBranches
+		o := r.engineOptions()
 		o.BaseFusion = i >= 1
 		o.AdaptiveFusion = i >= 1
 		o.KernelRewriting = i >= 2
 		levels = append(levels, o)
 	}
+	fig7Models := []string{"ViT", "SD-UNet", "GPTN-1.3B"}
+	type cell struct {
+		model int
+		level int
+	}
+	var cells []cell
+	for m := range fig7Models {
+		for l := range levels {
+			cells = append(cells, cell{model: m, level: l})
+		}
+	}
+	reports, err := parallel(r, cells, func(c cell) (core.Report, error) {
+		rep, _, err := core.NewEngine(levels[c.level]).Run(r.Graph(fig7Models[c.model]))
+		return rep, err
+	})
+	if err != nil {
+		return nil, err
+	}
 	sm := baselines.SmartMem()
 	var rows []Figure7Row
-	for _, abbr := range []string{"ViT", "SD-UNet", "GPTN-1.3B"} {
-		g := r.Graph(abbr)
+	for m, abbr := range fig7Models {
 		br := r.Baseline(sm, abbr)
 		if br.err != nil {
 			return nil, br.err
 		}
 		base := br.report
 		row := Figure7Row{Model: abbr}
-		for i, opts := range levels {
-			rep, _, err := core.NewEngine(opts).Run(g)
-			if err != nil {
-				return nil, err
-			}
-			row.Speedup[i] = float64(base.Integrated()) / float64(rep.Integrated)
-			row.MemRed[i] = float64(base.Mem.Average) / float64(rep.Mem.Average)
+		for l := range levels {
+			rep := reports[m*len(levels)+l]
+			row.Speedup[l] = float64(base.Integrated()) / float64(rep.Integrated)
+			row.MemRed[l] = float64(base.Mem.Average) / float64(rep.Mem.Average)
 		}
 		rows = append(rows, row)
 	}
@@ -173,30 +188,43 @@ type Figure8Curve struct {
 // model set.
 func (r *Runner) Figure8() ([]Figure8Curve, error) {
 	mpeaks := []units.Bytes{16 * units.MB, 64 * units.MB, 192 * units.MB, 512 * units.MB, units.GB}
-	var curves []Figure8Curve
-	for _, abbr := range []string{"ViT", "GPTN-1.3B", "DepthA-L", "Whisper-M"} {
-		g := r.Graph(abbr)
-		curve := Figure8Curve{Model: abbr}
+	fig8Models := []string{"ViT", "GPTN-1.3B", "DepthA-L", "Whisper-M"}
+	type cell struct {
+		abbr  string
+		mpeak units.Bytes
+	}
+	var cells []cell
+	for _, abbr := range fig8Models {
 		for _, mp := range mpeaks {
-			opts := core.DefaultOptions(r.Cfg.Device)
-			opts.Config.SolveTimeout = r.solveConfig().SolveTimeout
-			opts.Config.MaxBranches = r.solveConfig().MaxBranches
-			opts.Config.MPeak = mp
-			e := core.NewEngine(opts)
-			prep, err := e.Prepare(g)
-			if err != nil {
-				return nil, err
-			}
-			rep, _ := e.Execute(prep)
-			curve.Points = append(curve.Points, Figure8Point{
-				MPeakMB:      mp.MiB(),
-				PreloadFrac:  1 - prep.Plan.OverlapFraction(),
-				AvgMemMB:     rep.Mem.Average.MiB(),
-				IntegratedMS: rep.Integrated.Milliseconds(),
-				ExecMS:       rep.Exec.Milliseconds(),
-			})
+			cells = append(cells, cell{abbr: abbr, mpeak: mp})
 		}
-		curves = append(curves, curve)
+	}
+	points, err := parallel(r, cells, func(c cell) (Figure8Point, error) {
+		opts := r.engineOptions()
+		opts.Config.MPeak = c.mpeak
+		e := core.NewEngine(opts)
+		prep, err := e.Prepare(r.Graph(c.abbr))
+		if err != nil {
+			return Figure8Point{}, err
+		}
+		rep, _ := e.Execute(prep)
+		return Figure8Point{
+			MPeakMB:      c.mpeak.MiB(),
+			PreloadFrac:  1 - prep.Plan.OverlapFraction(),
+			AvgMemMB:     rep.Mem.Average.MiB(),
+			IntegratedMS: rep.Integrated.Milliseconds(),
+			ExecMS:       rep.Exec.Milliseconds(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var curves []Figure8Curve
+	for m, abbr := range fig8Models {
+		curves = append(curves, Figure8Curve{
+			Model:  abbr,
+			Points: points[m*len(mpeaks) : (m+1)*len(mpeaks)],
+		})
 	}
 	return curves, nil
 }
@@ -227,17 +255,15 @@ type Figure9Row struct {
 // kernels (no §4.4 rewriting) — they are prefetch policies predating the
 // kernel redesign — while FlashMem gets its full pipeline.
 func (r *Runner) Figure9() ([]Figure9Row, error) {
-	naiveOpts := core.DefaultOptions(r.Cfg.Device)
-	naiveOpts.Config.SolveTimeout = r.solveConfig().SolveTimeout
-	naiveOpts.Config.MaxBranches = r.solveConfig().MaxBranches
+	naiveOpts := r.engineOptions()
 	naiveOpts.KernelRewriting = false
 	naiveEngine := core.NewEngine(naiveOpts)
 
-	var rows []Figure9Row
-	for _, abbr := range []string{"GPTN-1.3B", "ResNet", "SAM-2", "DeepViT", "SD-UNet", "DepthA-L"} {
+	fig9Models := []string{"GPTN-1.3B", "ResNet", "SAM-2", "DeepViT", "SD-UNet", "DepthA-L"}
+	return parallel(r, fig9Models, func(abbr string) (Figure9Row, error) {
 		fr, err := r.Flash(abbr)
 		if err != nil {
-			return nil, err
+			return Figure9Row{}, err
 		}
 		g := r.Graph(abbr)
 		cfg := r.solveConfig()
@@ -247,13 +273,12 @@ func (r *Runner) Figure9() ([]Figure9Row, error) {
 		soPlan := baselines.SameOpTypePlan(g, cfg.ChunkSize, cfg.Window, 16)
 		soRep, _ := naiveEngine.Execute(&core.Prepared{Graph: g, Plan: soPlan})
 
-		rows = append(rows, Figure9Row{
+		return Figure9Row{
 			Model:             abbr,
 			SpeedupAlwaysNext: float64(anRep.Integrated) / float64(fr.report.Integrated),
 			SpeedupSameOp:     float64(soRep.Integrated) / float64(fr.report.Integrated),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderFigure9 formats the comparison.
@@ -282,33 +307,36 @@ type Figure10Row struct {
 // (GPTN-1.3B on the Mi 6 and Pixel 8); FlashMem runs everywhere.
 func (r *Runner) Figure10() ([]Figure10Row, error) {
 	sm := baselines.SmartMem()
-	var rows []Figure10Row
+	type cell struct {
+		dev  device.Device
+		abbr string
+	}
+	var cells []cell
 	for _, dev := range devicePortabilitySet() {
-		opts := core.DefaultOptions(dev)
-		opts.Config.SolveTimeout = r.solveConfig().SolveTimeout
-		opts.Config.MaxBranches = r.solveConfig().MaxBranches
-		engine := core.NewEngine(opts)
 		for _, abbr := range []string{"SD-UNet", "GPTN-1.3B", "ViT"} {
-			g := r.Graph(abbr)
-			row := Figure10Row{Device: dev.Name, Model: abbr}
-
-			fmRep, fmMachine, err := engine.Run(g)
-			if err != nil {
-				return nil, err
-			}
-			row.FlashMemOOM = fmMachine.OOM()
-
-			smRep, _, smErr := sm.Run(g, "", dev)
-			if smErr != nil {
-				row.SmartMemOOM = true
-			} else if !row.FlashMemOOM {
-				row.Speedup = float64(smRep.Integrated()) / float64(fmRep.Integrated)
-				row.MemorySaving = float64(smRep.Mem.Average) / float64(fmRep.Mem.Average)
-			}
-			rows = append(rows, row)
+			cells = append(cells, cell{dev: dev, abbr: abbr})
 		}
 	}
-	return rows, nil
+	return parallel(r, cells, func(c cell) (Figure10Row, error) {
+		engine := core.NewEngine(engineOptions(r.Cfg, c.dev))
+		g := r.Graph(c.abbr)
+		row := Figure10Row{Device: c.dev.Name, Model: c.abbr}
+
+		fmRep, fmMachine, err := engine.Run(g)
+		if err != nil {
+			return Figure10Row{}, err
+		}
+		row.FlashMemOOM = fmMachine.OOM()
+
+		smRep, _, smErr := sm.Run(g, "", c.dev)
+		if smErr != nil {
+			row.SmartMemOOM = true
+		} else if !row.FlashMemOOM {
+			row.Speedup = float64(smRep.Integrated()) / float64(fmRep.Integrated)
+			row.MemorySaving = float64(smRep.Mem.Average) / float64(fmRep.Mem.Average)
+		}
+		return row, nil
+	})
 }
 
 // RenderFigure10 formats the portability comparison.

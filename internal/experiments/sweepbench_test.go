@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// benchSweepConfig is a mid-size evaluation slice: enough independent
+// cells (6 models × 7 frameworks × 2 tables) for the pool to matter.
+func benchSweepConfig(workers int) Config {
+	cfg := DefaultConfig()
+	cfg.Models = []string{"ResNet", "ViT", "GPTN-S", "DeepViT", "DepthA-S", "Whisper-M"}
+	cfg.SolveTimeout = 40 * time.Millisecond
+	cfg.MaxBranches = 2500
+	cfg.Workers = workers
+	return cfg
+}
+
+// BenchmarkSweepSerialVsParallel measures the wall-clock effect of the
+// sweep worker pool on the Table 7 + Table 8 evaluation: the serial path
+// (Workers=1) against the parallel path (Workers=GOMAXPROCS), each on a
+// fresh runner with cold caches. The "speedup" metric is serial seconds
+// over parallel seconds — ≥ 2 on a box with enough cores; bounded by the
+// core count below that.
+func BenchmarkSweepSerialVsParallel(b *testing.B) {
+	measure := func(workers int) time.Duration {
+		r := NewRunner(benchSweepConfig(workers))
+		start := time.Now()
+		if _, err := r.Table7(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Table8(); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	for i := 0; i < b.N; i++ {
+		serial := measure(1)
+		par := measure(0)
+		if i == 0 {
+			b.ReportMetric(serial.Seconds()/par.Seconds(), "speedup")
+			b.ReportMetric(serial.Seconds(), "serial-s")
+			b.ReportMetric(par.Seconds(), "parallel-s")
+		}
+	}
+}

@@ -31,15 +31,14 @@ type Table1Row struct {
 // SD-UNet under MNN's weight preloading on the primary device.
 func (r *Runner) Table1() ([]Table1Row, error) {
 	mnn := baselines.MNN()
-	var rows []Table1Row
-	for _, abbr := range []string{"Whisper-M", "GPTN-S", "SD-UNet"} {
+	return parallel(r, []string{"Whisper-M", "GPTN-S", "SD-UNet"}, func(abbr string) (Table1Row, error) {
 		g := r.Graph(abbr)
 		br := r.Baseline(mnn, abbr)
 		if br.err != nil {
-			return nil, br.err
+			return Table1Row{}, br.err
 		}
 		load := units.Duration(float64(r.Cfg.Device.DiskBW.Time(g.TotalWeightBytes())) * mnn.LoadFactor)
-		rows = append(rows, Table1Row{
+		return Table1Row{
 			Model:   abbr,
 			ParamsM: float64(g.Params()) / 1e6,
 			PeakMB:  br.report.Mem.Peak.MiB(),
@@ -47,9 +46,8 @@ func (r *Runner) Table1() ([]Table1Row, error) {
 			LoadMS:  load.Milliseconds(),
 			TransMS: (br.report.Init - load).Milliseconds(),
 			InferMS: br.report.Exec.Milliseconds(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderTable1 formats Table 1 rows.
@@ -81,14 +79,13 @@ type Table4Row struct {
 func (r *Runner) Table4() []Table4Row {
 	caps := profiler.AnalyticCapacityFunc(r.Cfg.Device)
 	cfg := r.solveConfig()
-	var rows []Table4Row
-	for _, spec := range models.Table4Set() {
+	rows, err := parallel(r, models.Table4Set(), func(spec models.Spec) (Table4Row, error) {
 		g := spec.Build()
 		// Adaptive peak-memory control (Table 3): billion-parameter models
 		// get a proportionally larger in-flight budget.
 		plan := opg.Solve(g, caps, opg.AdaptMPeak(cfg, g))
 		st := plan.Stats
-		rows = append(rows, Table4Row{
+		return Table4Row{
 			Model:    spec.Abbr,
 			ProcessS: st.ProcessTime.Seconds(),
 			BuildS:   st.BuildTime.Seconds(),
@@ -96,7 +93,13 @@ func (r *Runner) Table4() []Table4Row {
 			Status:   st.Status,
 			Windows:  st.Windows,
 			Overlap:  plan.OverlapFraction(),
-		})
+		}, nil
+	})
+	if err != nil {
+		// Cells only fail by panicking (solver bugs); zero-filled rows in a
+		// published-style table would be silently wrong, so fail loudly like
+		// the old serial loop did.
+		panic(err)
 	}
 	return rows
 }
@@ -124,15 +127,17 @@ type Table6Row struct {
 
 // Table6 regenerates the model characterization table from the builders.
 func (r *Runner) Table6() []Table6Row {
-	var rows []Table6Row
-	for _, spec := range r.Cfg.modelSet() {
+	rows, err := parallel(r, r.Cfg.modelSet(), func(spec models.Spec) (Table6Row, error) {
 		g := r.Graph(spec.Abbr)
-		rows = append(rows, Table6Row{
+		return Table6Row{
 			Model: spec.Name, Abbr: spec.Abbr, Input: spec.InputType, Task: spec.Task,
 			ParamsM: float64(g.Params()) / 1e6,
 			MACsG:   g.TotalMACs().GigaMACs(),
 			Layers:  g.Len(),
-		})
+		}, nil
+	})
+	if err != nil {
+		panic(err) // cells only fail by panicking (e.g. unknown model)
 	}
 	return rows
 }
@@ -175,14 +180,14 @@ type Table7Result struct {
 	Geomeans map[string]float64 // framework → geomean speedup over FlashMem
 }
 
-// Table7 reproduces the overall latency comparison.
+// Table7 reproduces the overall latency comparison. Each model's cell —
+// the FlashMem run plus every baseline — is one parallel sweep unit; the
+// geomean aggregation happens serially over the ordered rows.
 func (r *Runner) Table7() (*Table7Result, error) {
-	res := &Table7Result{Geomeans: map[string]float64{}}
-	perFramework := map[string][]float64{}
-	for _, spec := range r.Cfg.modelSet() {
+	rows, err := parallel(r, r.Cfg.modelSet(), func(spec models.Spec) (Table7Row, error) {
 		fr, err := r.Flash(spec.Abbr)
 		if err != nil {
-			return nil, err
+			return Table7Row{}, err
 		}
 		row := Table7Row{
 			Model:     spec.Abbr,
@@ -203,7 +208,6 @@ func (r *Runner) Table7() (*Table7Result, error) {
 			}
 			row.Baselines[f.Name] = cell
 			speedup := cell.Integrated() / row.OursMS
-			perFramework[f.Name] = append(perFramework[f.Name], speedup)
 			if f.Name == "SmartMem" {
 				row.SpeedupSMem = speedup
 			} else {
@@ -211,7 +215,19 @@ func (r *Runner) Table7() (*Table7Result, error) {
 			}
 		}
 		row.SpeedupOthers = metrics.GeoMean(others)
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table7Result{Rows: rows, Geomeans: map[string]float64{}}
+	perFramework := map[string][]float64{}
+	for _, row := range rows {
+		for name, cell := range row.Baselines {
+			if cell.Supported {
+				perFramework[name] = append(perFramework[name], cell.Integrated()/row.OursMS)
+			}
+		}
 	}
 	for name, sp := range perFramework {
 		res.Geomeans[name] = metrics.GeoMean(sp)
@@ -269,12 +285,10 @@ type Table8Result struct {
 
 // Table8 reproduces the overall memory comparison.
 func (r *Runner) Table8() (*Table8Result, error) {
-	res := &Table8Result{Geomeans: map[string]float64{}}
-	perFramework := map[string][]float64{}
-	for _, spec := range r.Cfg.modelSet() {
+	rows, err := parallel(r, r.Cfg.modelSet(), func(spec models.Spec) (Table8Row, error) {
 		fr, err := r.Flash(spec.Abbr)
 		if err != nil {
-			return nil, err
+			return Table8Row{}, err
 		}
 		row := Table8Row{
 			Model:     spec.Abbr,
@@ -288,13 +302,21 @@ func (r *Runner) Table8() (*Table8Result, error) {
 			}
 			avg := br.report.Mem.Average.MiB()
 			row.Baselines[f.Name] = avg
-			reduction := avg / row.OursMB
-			perFramework[f.Name] = append(perFramework[f.Name], reduction)
 			if f.Name == "SmartMem" {
-				row.MemReDT = reduction
+				row.MemReDT = avg / row.OursMB
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table8Result{Rows: rows, Geomeans: map[string]float64{}}
+	perFramework := map[string][]float64{}
+	for _, row := range rows {
+		for name, mb := range row.Baselines {
+			perFramework[name] = append(perFramework[name], mb/row.OursMB)
+		}
 	}
 	for name, v := range perFramework {
 		res.Geomeans[name] = metrics.GeoMean(v)
@@ -346,43 +368,38 @@ type Table9Row struct {
 }
 
 // Table9 reproduces the power/energy comparison on DeepViT and SD-UNet.
+// The FlashMem row rides along as a pseudo-framework in the same sweep.
 func (r *Runner) Table9() ([]Table9Row, error) {
 	pm := power.Default()
-	frameworks := []string{"MNN", "LiteRT", "ExecuTorch", "SmartMem"}
-	var rows []Table9Row
-	for _, name := range frameworks {
-		f, _ := baselines.ByName(name)
+	frameworks := []string{"MNN", "LiteRT", "ExecuTorch", "SmartMem", "FlashMem"}
+	return parallel(r, frameworks, func(name string) (Table9Row, error) {
 		row := Table9Row{Framework: name}
 		for _, abbr := range []string{"DeepViT", "SD-UNet"} {
-			br := r.Baseline(f, abbr)
-			if br.err != nil {
-				continue
+			var cell Table9Cell
+			if name == "FlashMem" {
+				fr, err := r.Flash(abbr)
+				if err != nil {
+					return Table9Row{}, err
+				}
+				u := pm.Measure(fr.machine, fr.report.Integrated)
+				cell = Table9Cell{Supported: true, PowerW: u.AveragePowerW, EnergyJ: u.EnergyJ}
+			} else {
+				f, _ := baselines.ByName(name)
+				br := r.Baseline(f, abbr)
+				if br.err != nil {
+					continue
+				}
+				u := pm.Measure(br.machine, br.report.Init+br.report.Exec)
+				cell = Table9Cell{Supported: true, PowerW: u.AveragePowerW, EnergyJ: u.EnergyJ}
 			}
-			u := pm.Measure(br.machine, br.report.Init+br.report.Exec)
-			cell := Table9Cell{Supported: true, PowerW: u.AveragePowerW, EnergyJ: u.EnergyJ}
 			if abbr == "DeepViT" {
 				row.DeepViT = cell
 			} else {
 				row.SDUNet = cell
 			}
 		}
-		rows = append(rows, row)
-	}
-	ours := Table9Row{Framework: "FlashMem"}
-	for _, abbr := range []string{"DeepViT", "SD-UNet"} {
-		fr, err := r.Flash(abbr)
-		if err != nil {
-			return nil, err
-		}
-		u := pm.Measure(fr.machine, fr.report.Integrated)
-		cell := Table9Cell{Supported: true, PowerW: u.AveragePowerW, EnergyJ: u.EnergyJ}
-		if abbr == "DeepViT" {
-			ours.DeepViT = cell
-		} else {
-			ours.SDUNet = cell
-		}
-	}
-	return append(rows, ours), nil
+		return row, nil
+	})
 }
 
 // RenderTable9 formats the power/energy comparison.

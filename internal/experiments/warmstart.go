@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/metrics"
+	"repro/internal/models"
 )
 
 // Table 7's footnote: SmartMem "can be relatively faster in a warm-start
@@ -28,17 +29,16 @@ type WarmStartRow struct {
 // systems support.
 func (r *Runner) WarmStart() ([]WarmStartRow, error) {
 	sm := baselines.SmartMem()
-	var rows []WarmStartRow
-	for _, spec := range r.Cfg.modelSet() {
+	cells, err := parallel(r, r.Cfg.modelSet(), func(spec models.Spec) (*WarmStartRow, error) {
 		br := r.Baseline(sm, spec.Abbr)
 		if br.err != nil {
-			continue
+			return nil, nil // SmartMem-unsupported model: no crossover row
 		}
 		fr, err := r.Flash(spec.Abbr)
 		if err != nil {
 			return nil, err
 		}
-		row := WarmStartRow{
+		row := &WarmStartRow{
 			Model:        spec.Abbr,
 			FlashMemMS:   fr.report.Integrated.Milliseconds(),
 			SmartMemInit: br.report.Init.Milliseconds(),
@@ -48,7 +48,16 @@ func (r *Runner) WarmStart() ([]WarmStartRow, error) {
 		if gain := row.FlashMemMS - row.SmartMemExec; gain > 0 {
 			row.CrossoverRuns = int(row.SmartMemInit/gain) + 1
 		}
-		rows = append(rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []WarmStartRow
+	for _, c := range cells {
+		if c != nil {
+			rows = append(rows, *c)
+		}
 	}
 	return rows, nil
 }

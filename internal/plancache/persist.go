@@ -1,0 +1,144 @@
+package plancache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/opg"
+	"repro/internal/tensor"
+)
+
+// FormatVersion tags the on-disk snapshot layout. Load rejects snapshots
+// written by a different version rather than guessing at field meanings.
+const FormatVersion = 1
+
+// persistedNode flattens one graph node; IDs are implicit in order, which
+// matches how graph.Graph.Add assigns them on rebuild.
+type persistedNode struct {
+	Name   string       `json:"name"`
+	Inputs []int        `json:"inputs,omitempty"`
+	Parts  []graph.Part `json:"parts"`
+}
+
+// persistedGraph flattens a (possibly fused) graph.
+type persistedGraph struct {
+	Name  string          `json:"name"`
+	DType tensor.DType    `json:"dtype"`
+	Nodes []persistedNode `json:"nodes"`
+}
+
+// persistedEntry is one cached plan with its key.
+type persistedEntry struct {
+	Key   string         `json:"key"`
+	Graph persistedGraph `json:"graph"`
+	Plan  *opg.Plan      `json:"plan"`
+}
+
+// snapshot is the whole file, entries ordered least → most recently used
+// so sequential re-insertion on Load reproduces the LRU order.
+type snapshot struct {
+	Version int              `json:"version"`
+	Entries []persistedEntry `json:"entries"`
+}
+
+// Save writes the cache contents as JSON. Counters are not persisted —
+// stats describe one process lifetime.
+func (c *Cache) Save(path string) error {
+	c.mu.Lock()
+	snap := snapshot{Version: FormatVersion}
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		en := el.Value.(*entry)
+		snap.Entries = append(snap.Entries, persistedEntry{
+			Key:   en.key,
+			Graph: flattenGraph(en.prep.Graph),
+			Plan:  en.prep.Plan,
+		})
+	}
+	c.mu.Unlock()
+
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("plancache: encode: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("plancache: write: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load merges a saved snapshot into the cache. Loaded entries do not count
+// as stores. A missing file is not an error — cold start is the normal
+// first-run case.
+func (c *Cache) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("plancache: read: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("plancache: decode %s: %w", path, err)
+	}
+	if snap.Version != FormatVersion {
+		return fmt.Errorf("plancache: %s has format version %d, want %d", path, snap.Version, FormatVersion)
+	}
+	preps := make([]*core.Prepared, len(snap.Entries))
+	for i, en := range snap.Entries {
+		if en.Plan == nil {
+			return fmt.Errorf("plancache: entry %q has no plan", en.Key)
+		}
+		g, err := rebuildGraph(en.Graph)
+		if err != nil {
+			return fmt.Errorf("plancache: entry %q: %w", en.Key, err)
+		}
+		preps[i] = &core.Prepared{Graph: g, Plan: en.Plan}
+	}
+	c.mu.Lock()
+	for i, en := range snap.Entries {
+		c.insert(en.Key, preps[i])
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// flattenGraph converts a graph to its persisted form via the public API.
+func flattenGraph(g *graph.Graph) persistedGraph {
+	pg := persistedGraph{Name: g.Name, DType: g.DType}
+	for _, n := range g.Nodes() {
+		pn := persistedNode{Name: n.Name, Parts: n.Parts}
+		for _, in := range n.Inputs {
+			pn.Inputs = append(pn.Inputs, int(in))
+		}
+		pg.Nodes = append(pg.Nodes, pn)
+	}
+	return pg
+}
+
+// rebuildGraph reconstructs a graph; Add re-assigns the same sequential
+// IDs the flattened order encoded. Malformed snapshots (bad inputs, empty
+// parts) surface as errors rather than panics.
+func rebuildGraph(pg persistedGraph) (g *graph.Graph, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			g, err = nil, fmt.Errorf("corrupt graph %q: %v", pg.Name, r)
+		}
+	}()
+	g = graph.New(pg.Name, pg.DType)
+	for _, pn := range pg.Nodes {
+		inputs := make([]graph.NodeID, len(pn.Inputs))
+		for i, in := range pn.Inputs {
+			inputs[i] = graph.NodeID(in)
+		}
+		g.Add(pn.Name, inputs, pn.Parts...)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

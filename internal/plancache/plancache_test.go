@@ -1,0 +1,267 @@
+package plancache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/units"
+)
+
+// testOptions returns a small solver budget so tests stay quick. The
+// branch budget binds long before the generous wall-clock budget, so two
+// solves of one model are deterministic and comparable — a tight
+// SolveTimeout would make the CP cutoff depend on scheduler noise.
+func testOptions() core.Options {
+	opts := core.DefaultOptions(device.OnePlus12())
+	opts.Config.SolveTimeout = 5 * time.Second
+	opts.Config.MaxBranches = 500
+	return opts
+}
+
+func TestCacheHitReturnsIdenticalPlan(t *testing.T) {
+	cache := New(0)
+	opts := testOptions()
+	opts.Cache = cache
+	e := core.NewEngine(opts)
+	g := models.MustByAbbr("ResNet").Build()
+
+	cold, err := e.Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.FromCache {
+		t.Fatal("first Prepare unexpectedly served from cache")
+	}
+	warm, err := e.Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.FromCache {
+		t.Fatal("second Prepare missed the cache")
+	}
+	// The hit shares the cold solve's graph and plan — byte-identical by
+	// construction, checked structurally too.
+	if warm.Plan != cold.Plan || warm.Graph != cold.Graph {
+		t.Error("cache hit returned different objects than the cold solve")
+	}
+	if !reflect.DeepEqual(warm.Plan.Weights, cold.Plan.Weights) {
+		t.Error("per-weight schedules differ")
+	}
+	s := cache.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Stores != 1 || s.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 store / 1 entry", s)
+	}
+
+	// A second engine with the same configuration shares the entry; a
+	// different solver configuration must not.
+	same := core.NewEngine(opts)
+	p, err := same.Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.FromCache {
+		t.Error("identical engine configuration missed the cache")
+	}
+	diff := testOptions()
+	diff.Cache = cache
+	diff.Config.Lambda = 0.5
+	p2, err := core.NewEngine(diff).Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.FromCache {
+		t.Error("different solver config falsely hit the cache")
+	}
+}
+
+func TestCacheExecutionMatchesColdSolve(t *testing.T) {
+	cache := New(0)
+	opts := testOptions()
+	opts.Cache = cache
+	warm := core.NewEngine(opts)
+	noCache := core.NewEngine(testOptions())
+	g := models.MustByAbbr("DepthA-S").Build()
+
+	if _, err := warm.Prepare(g); err != nil { // populate
+		t.Fatal(err)
+	}
+	hit, err := warm.Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.FromCache {
+		t.Fatal("expected cache hit")
+	}
+	cold, err := noCache.Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitRep, _ := warm.Execute(hit)
+	coldRep, _ := noCache.Execute(cold)
+	if hitRep.Integrated != coldRep.Integrated || hitRep.Mem != coldRep.Mem {
+		t.Errorf("cached execution %+v != cold execution %+v", hitRep, coldRep)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	p := &core.Prepared{}
+	c.Put("a", p)
+	c.Put("b", p)
+	if _, ok := c.Get("a"); !ok { // bump "a": now "b" is the LRU entry
+		t.Fatal("a missing")
+	}
+	c.Put("c", p) // evicts "b"
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c should be present")
+	}
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+	if s.Entries != 2 {
+		t.Errorf("entries = %d, want 2", s.Entries)
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plans.json")
+
+	cache := New(0)
+	opts := testOptions()
+	opts.Cache = cache
+	e := core.NewEngine(opts)
+	g := models.MustByAbbr("DepthA-S").Build()
+	cold, err := e.Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, ok := e.PlanKey(cold.Graph)
+	_ = key
+	if !ok {
+		t.Fatal("engine not fingerprintable")
+	}
+	if err := cache.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process: load the snapshot, expect a hit without solving.
+	reloaded := New(0)
+	if err := reloaded.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Len() != cache.Len() {
+		t.Fatalf("reloaded %d entries, want %d", reloaded.Len(), cache.Len())
+	}
+	opts2 := testOptions()
+	opts2.Cache = reloaded
+	e2 := core.NewEngine(opts2)
+	warm, err := e2.Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.FromCache {
+		t.Fatal("reloaded cache missed")
+	}
+	if !reflect.DeepEqual(warm.Plan, cold.Plan) {
+		t.Error("persisted plan differs from cold solve")
+	}
+	if !reflect.DeepEqual(warm.Graph, cold.Graph) {
+		t.Error("persisted fused graph differs from cold solve")
+	}
+
+	// Executing the round-tripped preparation reproduces the cold run.
+	warmRep, _ := e2.Execute(warm)
+	coldRep, _ := e.Execute(cold)
+	if warmRep.Integrated != coldRep.Integrated || warmRep.Mem != coldRep.Mem {
+		t.Errorf("round-tripped execution %+v != cold %+v", warmRep, coldRep)
+	}
+}
+
+func TestLoadMissingFileIsColdStart(t *testing.T) {
+	c := New(0)
+	if err := c.Load(filepath.Join(t.TempDir(), "absent.json")); err != nil {
+		t.Fatalf("missing snapshot should not error: %v", err)
+	}
+	if c.Len() != 0 {
+		t.Errorf("entries = %d, want 0", c.Len())
+	}
+}
+
+func TestLoadRejectsVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plans.json")
+	c := New(0)
+	c.Put("k", &core.Prepared{Graph: models.MustByAbbr("ResNet").Build()})
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the version field to a future value.
+	data := fmt.Sprintf(`{"version":%d,"entries":[]}`, FormatVersion+1)
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := New(0).Load(path); err == nil {
+		t.Fatal("version mismatch not rejected")
+	}
+}
+
+func TestLoadRejectsEntryWithoutPlan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.json")
+	data := fmt.Sprintf(`{"version":%d,"entries":[{"key":"k","graph":{"name":"g","dtype":0,"nodes":[]},"plan":null}]}`, FormatVersion)
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := New(0).Load(path); err == nil {
+		t.Fatal("nil-plan entry not rejected")
+	}
+}
+
+func TestCustomCapacityWithoutKeySkipsCache(t *testing.T) {
+	cache := New(0)
+	flat := func(n *graph.Node) units.Bytes { return 4 * units.MB }
+	opts := testOptions()
+	opts.Cache = cache
+	opts.Capacity = flat
+	e := core.NewEngine(opts)
+	g := models.MustByAbbr("ResNet").Build()
+	if _, err := e.Prepare(g); err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FromCache || cache.Len() != 0 {
+		t.Error("anonymous custom capacity must bypass the cache")
+	}
+
+	// Naming the capacity makes the engine fingerprintable again.
+	opts.CapacityKey = "flat-4mb"
+	e2 := core.NewEngine(opts)
+	if _, err := e2.Prepare(g); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := e2.Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.FromCache {
+		t.Error("keyed custom capacity should cache")
+	}
+}

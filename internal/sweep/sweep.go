@@ -1,0 +1,110 @@
+// Package sweep runs independent experiment cells on a bounded worker
+// pool. The evaluation sweeps (tables, figures, ablations) are embarrassingly
+// parallel — each device × model × config cell prepares and executes its own
+// simulated run — so the pool turns a serial sweep into one bounded by the
+// slowest cell. Results keep the input order regardless of completion order,
+// worker panics are captured as errors instead of crashing the process, and
+// the first failure cancels the remaining cells.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// PanicError wraps a panic recovered in a worker so a crashing cell fails
+// its sweep instead of the whole process.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+// Error describes the panic; the captured stack is in Stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sweep: cell %d panicked: %v", e.Index, e.Value)
+}
+
+// Map runs fn over items on up to workers goroutines (workers <= 0 uses
+// GOMAXPROCS) and returns the results in input order. The first error (or
+// recovered panic) cancels the context passed to the remaining cells and is
+// returned; cells skipped after cancellation leave zero values behind.
+func Map[I, O any](ctx context.Context, workers int, items []I, fn func(ctx context.Context, index int, item I) (O, error)) ([]O, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]O, len(items))
+	if len(items) == 0 {
+		return out, ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		firstErr error
+		errOnce  sync.Once
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				fail(&PanicError{Index: i, Value: r, Stack: debug.Stack()})
+			}
+		}()
+		v, err := fn(ctx, i, items[i])
+		if err != nil {
+			fail(fmt.Errorf("sweep: cell %d: %w", i, err))
+			return
+		}
+		out[i] = v
+	}
+
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain: a cancelled sweep skips remaining cells
+				}
+				run(i)
+			}
+		}()
+	}
+	for i := range items {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	if firstErr != nil {
+		return out, firstErr
+	}
+	return out, ctx.Err()
+}
+
+// Run is Map over indices alone, for sweeps whose cells are defined by
+// position rather than an item slice.
+func Run[O any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (O, error)) ([]O, error) {
+	idx := make([]struct{}, n)
+	return Map(ctx, workers, idx, func(ctx context.Context, i int, _ struct{}) (O, error) {
+		return fn(ctx, i)
+	})
+}

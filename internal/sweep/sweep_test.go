@@ -1,0 +1,124 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	out, err := Map(context.Background(), 8, items, func(_ context.Context, i, v int) (int, error) {
+		if i%7 == 0 {
+			time.Sleep(time.Millisecond) // stagger completion order
+		}
+		return v * v, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var active, peak atomic.Int64
+	_, err := Run(context.Background(), workers, 64, func(context.Context, int) (struct{}, error) {
+		n := active.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		active.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestMapFirstErrorCancelsRest(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	// One worker makes the schedule deterministic: cells run in order, the
+	// failure at cell 3 cancels the sweep, and cells 4..199 are skipped.
+	out, err := Run(context.Background(), 1, 200, func(ctx context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if len(out) != 200 {
+		t.Fatalf("out length %d", len(out))
+	}
+	if n := ran.Load(); n != 4 {
+		t.Errorf("ran %d cells, want exactly 4 (0..3, then cancelled)", n)
+	}
+}
+
+func TestMapPanicIsolation(t *testing.T) {
+	_, err := Run(context.Background(), 4, 10, func(_ context.Context, i int) (int, error) {
+		if i == 5 {
+			panic("kaboom")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+	if pe.Index != 5 || fmt.Sprint(pe.Value) != "kaboom" {
+		t.Errorf("panic cell %d value %v", pe.Index, pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+}
+
+func TestMapRespectsParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, 4, 50, func(ctx context.Context, i int) (int, error) {
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapEmptyAndDefaults(t *testing.T) {
+	out, err := Map(context.Background(), 0, nil, func(_ context.Context, i int, v string) (string, error) {
+		return v, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty sweep: out=%v err=%v", out, err)
+	}
+	// nil context and zero workers fall back to defaults.
+	res, err := Run(nil, 0, 5, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 || res[4] != 4 {
+		t.Fatalf("res = %v", res)
+	}
+}
