@@ -1,9 +1,15 @@
 # Targets mirror what .github/workflows/ci.yml runs: `make lint test-short`
-# is the per-push job, `make test bench` is the nightly job.
+# is the per-push job, `make test bench` is the nightly job, and
+# `make shard-check` is the sharded-matrix job condensed into one machine.
 
 GO ?= go
 
-.PHONY: build test test-short bench lint vet fmt fmt-check clean
+# The CI sharded-suite configuration: generous wall-clock budget with a
+# binding branch budget keeps the solver deterministic across processes.
+SWEEP_FLAGS ?= -exp table1,table6,table7,table8,fig8,warmstart,abl-cache \
+	-models ViT,ResNet,GPTN-S -budget 5s -branches 1500
+
+.PHONY: build test test-short bench lint vet fmt fmt-check staticcheck shard-check clean
 
 build:
 	$(GO) build ./...
@@ -17,10 +23,38 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
-lint: fmt-check vet
+lint: fmt-check vet staticcheck
 
 vet:
 	$(GO) vet ./...
+
+# Runs staticcheck when it is installed (CI installs it; locally it is
+# optional).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# Runs the experiment suite as three shards plus a merge, and checks the
+# merged output is byte-identical to an unsharded run and that the merged
+# plan-cache snapshot warm-starts with zero re-solves. Scratch space is a
+# fresh mktemp dir so concurrent invocations cannot clobber each other.
+shard-check:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) build -o $$dir/flashbench ./cmd/flashbench && \
+	cd $$dir && \
+	for i in 0 1 2; do \
+		./flashbench $(SWEEP_FLAGS) -shard $$i/3 -partial partial-$$i.json -cache cache-$$i.json || exit 1; \
+	done && \
+	./flashbench merge -caches cache-0.json,cache-1.json,cache-2.json \
+		-cache-out merged-cache.json partial-0.json partial-1.json partial-2.json > merged.txt && \
+	./flashbench $(SWEEP_FLAGS) > full.txt && \
+	diff full.txt merged.txt && \
+	./flashbench $(SWEEP_FLAGS) -cache merged-cache.json > warm.txt 2> warm.log && \
+	grep -q ' / 0 misses' warm.log && diff full.txt warm.txt && \
+	echo "shard-check: merged output byte-identical; warm start had zero re-solves"
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

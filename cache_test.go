@@ -1,6 +1,7 @@
 package flashmem
 
 import (
+	"fmt"
 	"path/filepath"
 	"reflect"
 	"sync"
@@ -167,5 +168,64 @@ func TestConcurrentSessionsShareCache(t *testing.T) {
 	}
 	if s.Hits+s.Misses == 0 {
 		t.Error("no cache traffic recorded")
+	}
+}
+
+// TestMergePlanSnapshotsAPI exercises the distributed-sweep public API:
+// shard-local snapshots merge into one warm-start file that serves every
+// shard's plans without re-solving.
+func TestMergePlanSnapshotsAPI(t *testing.T) {
+	dir := t.TempDir()
+	shardModels := [][]string{{"ResNet"}, {"DepthA-S"}}
+	var paths []string
+	for i, set := range shardModels {
+		cache := NewPlanCache(0)
+		rt := New(OnePlus12(), deterministicBudget(), WithPlanCache(cache))
+		for _, abbr := range set {
+			if _, err := rt.Load(abbr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p := filepath.Join(dir, fmt.Sprintf("cache-%d.json", i))
+		if err := cache.Save(p); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+
+	merged := filepath.Join(dir, "merged.json")
+	ms, err := MergePlanSnapshots(merged, paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Entries != 2 || ms.Files != 2 {
+		t.Errorf("merge stats = %+v, want 2 entries from 2 files", ms)
+	}
+
+	warm := NewPlanCache(0)
+	ls, err := warm.LoadAll(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Loaded != 2 || ls.Dropped != 0 {
+		t.Errorf("load stats = %+v, want 2 loaded / 0 dropped", ls)
+	}
+	rt := New(OnePlus12(), deterministicBudget(), WithPlanCache(warm))
+	for _, set := range shardModels {
+		for _, abbr := range set {
+			m, err := rt.Load(abbr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !m.Plan().FromCache {
+				t.Errorf("%s not served from merged snapshot", abbr)
+			}
+		}
+	}
+	if s := warm.Stats(); s.Misses != 0 {
+		t.Errorf("warm start recorded %d misses, want 0", s.Misses)
+	}
+	if SolverVersion() == "" {
+		t.Error("SolverVersion empty")
 	}
 }

@@ -1,6 +1,8 @@
 // Command flashbench regenerates the paper's tables and figures on the
-// simulated device. Experiments fan out over a bounded worker pool, and an
-// optional plan-cache snapshot warm-starts the solver across invocations.
+// simulated device. Experiments fan out over a bounded worker pool, an
+// optional plan-cache snapshot warm-starts the solver across invocations,
+// and the experiment matrix can be partitioned across processes with
+// -shard, then joined back with the merge subcommand.
 //
 // Usage:
 //
@@ -11,6 +13,17 @@
 //	flashbench -budget 500ms           # per-window CP budget
 //	flashbench -jobs 4 -workers 2      # 4 experiments × 2 cells each
 //	flashbench -cache plans.json       # persist solved plans across runs
+//
+// Sharded runs partition every experiment's cell matrix across processes;
+// each shard writes machine-readable partial results (and, with -cache,
+// its own plan-cache snapshot), and merge joins them into output identical
+// to a single-process run:
+//
+//	flashbench -shard 0/3 -partial partial-0.json -cache cache-0.json
+//	flashbench -shard 1/3 -partial partial-1.json -cache cache-1.json
+//	flashbench -shard 2/3 -partial partial-2.json -cache cache-2.json
+//	flashbench merge -caches cache-0.json,cache-1.json,cache-2.json \
+//	    -cache-out merged.json partial-0.json partial-1.json partial-2.json
 //
 // Experiment ids: table1 table4 table6 table7 table8 table9 fig2 fig6 fig7
 // fig8 fig9 fig10 warmstart abl-chunk abl-window abl-fallback abl-cache
@@ -26,32 +39,76 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/opg"
 	"repro/internal/plancache"
 	"repro/internal/sweep"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (or 'all')")
-	modelsFlag := flag.String("models", "", "comma-separated Table 6 abbreviations (default: all 11)")
-	budget := flag.Duration("budget", 100*time.Millisecond, "per-window CP solve budget")
-	branches := flag.Int64("branches", 8000, "per-window CP branch budget")
-	iters := flag.Int("iters", 10, "multi-model iterations for fig6")
-	jobs := flag.Int("jobs", 1, "experiments run concurrently; >1 multiplies with -workers and oversubscribes the CPU, which can starve wall-clock CP budgets and shift solver fallback rates")
-	workers := flag.Int("workers", 0, "sweep cells per experiment run concurrently (0 = GOMAXPROCS)")
-	cachePath := flag.String("cache", "", "plan-cache snapshot: loaded at start, saved at exit")
-	flag.Parse()
-
-	cache := plancache.New(0)
-	if *cachePath != "" {
-		if err := cache.Load(*cachePath); err != nil {
-			fmt.Fprintf(os.Stderr, "flashbench: %v\n", err)
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "merge" {
+		if err := runMerge(args[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "flashbench merge: %v\n", err)
 			os.Exit(1)
+		}
+		return
+	}
+	if err := runBench(args); err != nil {
+		fmt.Fprintf(os.Stderr, "flashbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("flashbench", flag.ExitOnError)
+	exp := fs.String("exp", "all", "comma-separated experiment ids (or 'all')")
+	modelsFlag := fs.String("models", "", "comma-separated Table 6 abbreviations (default: all 11)")
+	budget := fs.Duration("budget", 100*time.Millisecond, "per-window CP solve budget")
+	branches := fs.Int64("branches", 8000, "per-window CP branch budget")
+	iters := fs.Int("iters", 10, "multi-model iterations for fig6")
+	jobs := fs.Int("jobs", 1, "experiments run concurrently; >1 multiplies with -workers and oversubscribes the CPU, which can starve wall-clock CP budgets and shift solver fallback rates")
+	workers := fs.Int("workers", 0, "sweep cells per experiment run concurrently (0 = GOMAXPROCS)")
+	cachePath := fs.String("cache", "", "plan-cache snapshot: loaded at start, saved at exit")
+	shardFlag := fs.String("shard", "", "run only shard i/N of every experiment's cell matrix (e.g. 0/3)")
+	partialPath := fs.String("partial", "", "write machine-readable partial results (JSON) here instead of rendering tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sh := sweep.Full()
+	if *shardFlag != "" {
+		var err error
+		if sh, err = sweep.ParseShard(*shardFlag); err != nil {
+			return err
+		}
+	}
+	if !sh.IsFull() && *partialPath == "" {
+		return fmt.Errorf("-shard %s needs -partial: a shard's rows only become tables after merge", sh)
+	}
+
+	// Bound the cache well above the full evaluation matrix (a few dozen
+	// plans) so a merged multi-shard snapshot warm-starts completely; the
+	// default 512-entry bound could evict part of a large merge.
+	cache := plancache.New(8192)
+	if *cachePath != "" {
+		stats, err := cache.LoadAll(*cachePath)
+		if err != nil {
+			return err
+		}
+		if stats.Dropped > 0 {
+			fmt.Fprintf(os.Stderr, "flashbench: snapshot %s: %d stale or undecodable plans dropped\n",
+				*cachePath, stats.Dropped)
+		}
+		if stats.Evicted > 0 {
+			fmt.Fprintf(os.Stderr, "flashbench: snapshot %s exceeds the cache bound: %d plans evicted; warm start incomplete\n",
+				*cachePath, stats.Evicted)
 		}
 	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.SolveTimeout = *budget
 	cfg.MaxBranches = *branches
+	cfg.Iterations = *iters
 	cfg.Workers = *workers
 	cfg.PlanCache = cache
 	if *modelsFlag != "" {
@@ -61,140 +118,115 @@ func main() {
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"table1", "table4", "table6", "table7", "table8", "table9",
-			"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "warmstart",
-			"abl-chunk", "abl-window", "abl-fallback", "abl-cache", "abl-capacity"}
+		ids = experiments.AllIDs()
 	}
 	for i, id := range ids {
 		ids[i] = strings.TrimSpace(id)
 	}
 
-	// Experiments run concurrently but print in the requested order. On
-	// failure the completed experiments are still printed and the cache
-	// still saved — a multi-minute run's work is not discarded.
-	outs, err := sweep.Map(context.Background(), *jobs, ids, func(_ context.Context, _ int, id string) (string, error) {
-		out, err := run(r, id, *iters)
-		if err != nil {
-			return "", fmt.Errorf("%s: %w", id, err)
+	var runErr error
+	if *partialPath != "" {
+		// Shard mode: emit machine-readable rows for the merge step.
+		fp := fingerprint(ids, *modelsFlag, *budget, *branches, *iters)
+		p, err := experiments.RunPartial(r, ids, sh, *jobs, fp)
+		if err == nil {
+			err = experiments.WritePartial(*partialPath, p)
 		}
-		return out, nil
-	})
-	for _, out := range outs {
-		if out != "" {
-			fmt.Println(out)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "flashbench: shard %s: wrote %d experiments to %s\n",
+				sh, len(p.Experiments), *partialPath)
 		}
+		runErr = err
+	} else {
+		// Experiments run concurrently but print in the requested order. On
+		// failure the completed experiments are still printed and the cache
+		// still saved — a multi-minute run's work is not discarded.
+		outs, err := sweep.Map(context.Background(), *jobs, ids, func(_ context.Context, _ int, id string) (string, error) {
+			d, ok := experiments.DriverByID(id)
+			if !ok {
+				return "", fmt.Errorf("unknown experiment id %q", id)
+			}
+			out, err := d.Output(r)
+			if err != nil {
+				return "", fmt.Errorf("%s: %w", id, err)
+			}
+			return out, nil
+		})
+		for _, out := range outs {
+			if out != "" {
+				fmt.Println(out)
+			}
+		}
+		runErr = err
 	}
 
 	if *cachePath != "" {
 		if saveErr := cache.Save(*cachePath); saveErr != nil {
-			fmt.Fprintf(os.Stderr, "flashbench: %v\n", saveErr)
-			os.Exit(1)
+			return saveErr
 		}
 		s := cache.Stats()
 		fmt.Fprintf(os.Stderr, "flashbench: plan cache %d entries, %d hits / %d misses (%.0f%% hit rate)\n",
 			s.Entries, s.Hits, s.Misses, s.HitRate()*100)
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "flashbench: %v\n", err)
-		os.Exit(1)
-	}
+	return runErr
 }
 
-func run(r *experiments.Runner, id string, iters int) (string, error) {
-	switch id {
-	case "table1":
-		rows, err := r.Table1()
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderTable1(rows), nil
-	case "table4":
-		return experiments.RenderTable4(r.Table4()), nil
-	case "table6":
-		return experiments.RenderTable6(r.Table6()), nil
-	case "table7":
-		res, err := r.Table7()
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderTable7(res), nil
-	case "table8":
-		res, err := r.Table8()
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderTable8(res), nil
-	case "table9":
-		rows, err := r.Table9()
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderTable9(rows), nil
-	case "fig2":
-		return experiments.RenderFigure2(r.Figure2()), nil
-	case "fig6":
-		res, err := r.Figure6(iters)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderFigure6(res), nil
-	case "fig7":
-		rows, err := r.Figure7()
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderFigure7(rows), nil
-	case "fig8":
-		curves, err := r.Figure8()
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderFigure8(curves), nil
-	case "fig9":
-		rows, err := r.Figure9()
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderFigure9(rows), nil
-	case "fig10":
-		rows, err := r.Figure10()
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderFigure10(rows), nil
-	case "warmstart":
-		rows, err := r.WarmStart()
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderWarmStart(rows), nil
-	case "abl-chunk":
-		rows, err := r.AblationChunkSize()
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderAblation("Ablation: chunk size S (ViT)", rows), nil
-	case "abl-window":
-		rows, err := r.AblationWindow()
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderAblation("Ablation: rolling-window span (ViT)", rows), nil
-	case "abl-fallback":
-		rows, err := r.AblationFallback()
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderAblation("Ablation: solver fallback modes (ViT)", rows), nil
-	case "abl-cache":
-		return experiments.RenderAblationTextureCache(r.AblationTextureCache()), nil
-	case "abl-capacity":
-		rows, err := r.AblationCapacitySource()
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderAblation("Ablation: capacity source (ViT)", rows), nil
-	default:
-		return "", fmt.Errorf("unknown experiment id %q", id)
+// fingerprint summarizes the result-affecting configuration so merge can
+// refuse to join partials from diverging runs — including shards produced
+// by binaries with different solver generations. Concurrency knobs
+// (-jobs, -workers) and cache paths are excluded: they change scheduling,
+// not results.
+func fingerprint(ids []string, models string, budget time.Duration, branches int64, iters int) string {
+	return fmt.Sprintf("solver=%s exp=%s models=%s budget=%s branches=%d iters=%d",
+		opg.SolverVersion, strings.Join(ids, ","), models, budget, branches, iters)
+}
+
+func runMerge(args []string) error {
+	fs := flag.NewFlagSet("flashbench merge", flag.ExitOnError)
+	caches := fs.String("caches", "", "comma-separated shard plan-cache snapshots to merge")
+	cacheOut := fs.String("cache-out", "", "write the merged plan-cache snapshot here")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: flashbench merge [-caches a.json,b.json -cache-out merged.json] [partial.json ...]\n")
+		fs.PrintDefaults()
 	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	partials := fs.Args()
+	if len(partials) == 0 && *caches == "" {
+		return fmt.Errorf("nothing to merge: give partial files and/or -caches")
+	}
+
+	if *caches != "" {
+		if *cacheOut == "" {
+			return fmt.Errorf("-caches needs -cache-out")
+		}
+		stats, err := plancache.MergeSnapshotFiles(*cacheOut, strings.Split(*caches, ",")...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "flashbench: merged %d snapshots into %s: %d plans (%d deduplicated, %d dropped)\n",
+			stats.Files, *cacheOut, stats.Entries, stats.Replaced, stats.Dropped)
+	}
+
+	if len(partials) > 0 {
+		parts := make([]*experiments.Partial, len(partials))
+		for i, path := range partials {
+			p, err := experiments.ReadPartial(path)
+			if err != nil {
+				return err
+			}
+			parts[i] = p
+		}
+		outs, err := experiments.MergePartials(parts)
+		if err != nil {
+			return err
+		}
+		for _, out := range outs {
+			if out.Text != "" {
+				fmt.Println(out.Text)
+			}
+		}
+	}
+	return nil
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/graph"
 	"repro/internal/models"
+	"repro/internal/opg"
 	"repro/internal/plancache"
 	"repro/internal/power"
 	"repro/internal/units"
@@ -116,6 +117,13 @@ func NewPlanCache(maxEntries int) *PlanCache {
 	return &PlanCache{c: plancache.New(maxEntries)}
 }
 
+// LoadStats reports what a snapshot load actually admitted; see
+// PlanCache.LoadAll.
+type LoadStats = plancache.LoadStats
+
+// MergeStats summarizes a snapshot merge; see MergePlanSnapshots.
+type MergeStats = plancache.MergeStats
+
 // Stats snapshots hit/miss/eviction counters.
 func (p *PlanCache) Stats() CacheStats { return p.c.Stats() }
 
@@ -127,6 +135,26 @@ func (p *PlanCache) Save(path string) error { return p.c.Save(path) }
 
 // Load merges a previously saved snapshot (a missing file is a no-op).
 func (p *PlanCache) Load(path string) error { return p.c.Load(path) }
+
+// LoadAll merges any number of snapshots — typically the shard-local
+// snapshots of a distributed sweep — in argument order (last file wins on
+// identical keys), reporting how many plans were loaded and how many were
+// dropped as stale (older solver generation) or undecodable (best-effort
+// reads of old-format files).
+func (p *PlanCache) LoadAll(paths ...string) (LoadStats, error) { return p.c.LoadAll(paths...) }
+
+// MergePlanSnapshots joins shard-local plan-cache snapshots into one
+// warm-start file at out. Identical keys are deduplicated (last writer
+// wins); a key mapping to two different plans fails the merge, since the
+// solver is deterministic and keys embed the full configuration and
+// solver version.
+func MergePlanSnapshots(out string, paths ...string) (MergeStats, error) {
+	return plancache.MergeSnapshotFiles(out, paths...)
+}
+
+// SolverVersion names the LC-OPG solver generation baked into plan-cache
+// keys; persisted plans from other generations are re-solved, not reused.
+func SolverVersion() string { return opg.SolverVersion }
 
 // WithPlanCache attaches a plan cache to the runtime: Load and LoadGraph
 // reuse a cached plan instead of re-solving when the same model was

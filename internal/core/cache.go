@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/opg"
 )
 
 // CacheStats counts plan-cache traffic.
@@ -37,15 +38,26 @@ type PlanCache interface {
 }
 
 // PlanKey returns the deterministic cache key for preparing a graph on this
-// engine: a hash of the device profile, solver and fusion configuration,
-// pipeline flags, capacity source, and the graph's content fingerprint.
-// The second return is false when the engine cannot be fingerprinted — an
-// anonymous custom Capacity with no CapacityKey — in which case Prepare
-// skips the cache rather than risk stale hits.
+// engine: a hash of the solver version, the device profile, solver and
+// fusion configuration, pipeline flags, capacity source, and the graph's
+// content fingerprint. The second return is false when the engine cannot be
+// fingerprinted — an anonymous custom Capacity with no CapacityKey — in
+// which case Prepare skips the cache rather than risk stale hits.
+//
+// The opg.SolverVersion salt invalidates persisted plans across LC-OPG
+// heuristic upgrades: a snapshot written by an older solver generation
+// simply never hits, so stale plans are re-solved instead of silently
+// reused.
 //
 // KernelRewriting is deliberately excluded: it shapes execution cost, not
 // the plan, so engines differing only in rewriting share cache entries.
 func (e *Engine) PlanKey(g *graph.Graph) (string, bool) {
+	return e.planKeySalted(opg.SolverVersion, g)
+}
+
+// planKeySalted is PlanKey with an explicit solver-version salt, split out
+// so tests can prove that a version bump shifts every key.
+func (e *Engine) planKeySalted(solverVersion string, g *graph.Graph) (string, bool) {
 	capKey := "analytic"
 	if e.opts.Capacity != nil {
 		if e.opts.CapacityKey == "" {
@@ -60,10 +72,12 @@ func (e *Engine) PlanKey(g *graph.Graph) (string, bool) {
 	// cannot shift text across field delimiters and collide keys (the same
 	// reason graph.Fingerprint length-prefixes its strings).
 	h := sha256.Sum256([]byte(fmt.Sprintf(
-		"dev{%q|%q|%q|%d|%d|%g|%g|%g|%g|%g|%d|%d|%g}"+
+		"solver{%q}"+
+			"dev{%q|%q|%q|%d|%d|%g|%g|%g|%g|%g|%d|%d|%g}"+
 			"cfg{%d|%d|%g|%d|%d|%d|%g}"+
 			"fus{%d|%g|%d|%d}"+
 			"flags{%t|%t|%t}cap{%q}graph{%s}",
+		solverVersion,
 		d.Name, d.SoC, d.GPU, d.RAM, d.AppLimit,
 		float64(d.DiskBW), float64(d.UMBW), float64(d.TMBW), float64(d.CacheBW),
 		float64(d.Compute), d.SMs, d.MaxTexDim, float64(d.KernelLaunch),

@@ -7,6 +7,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/graph"
 	"repro/internal/models"
+	"repro/internal/opg"
 	"repro/internal/tensor"
 	"repro/internal/units"
 )
@@ -211,5 +212,30 @@ func TestInvalidGraphRejected(t *testing.T) {
 	bad.Nodes()[3].Inputs[0] = 99 // forward reference
 	if _, err := e.Prepare(bad); err == nil {
 		t.Fatal("invalid graph must be rejected")
+	}
+}
+
+func TestPlanKeySolverVersionSalt(t *testing.T) {
+	e := NewEngine(fastOptions(device.OnePlus12()))
+	g := smallTransformer()
+
+	k1, ok1 := e.planKeySalted("lc-opg-old", g)
+	k2, ok2 := e.planKeySalted("lc-opg-new", g)
+	if !ok1 || !ok2 {
+		t.Fatal("engine not fingerprintable")
+	}
+	if k1 == k2 {
+		t.Error("solver version bump did not change the plan key; stale persisted plans would be reused")
+	}
+
+	// PlanKey itself is the current-version salt, deterministically.
+	a, _ := e.PlanKey(g)
+	b, _ := e.PlanKey(g)
+	if a != b {
+		t.Error("PlanKey not deterministic")
+	}
+	cur, _ := e.planKeySalted(opg.SolverVersion, g)
+	if a != cur {
+		t.Error("PlanKey does not use opg.SolverVersion as its salt")
 	}
 }

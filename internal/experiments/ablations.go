@@ -57,8 +57,14 @@ func (r *Runner) ablateSweep(abbr string, configs []ablation) ([]AblationRow, er
 	})
 }
 
-// AblationChunkSize sweeps the slicing granularity S on ViT.
-func (r *Runner) AblationChunkSize() ([]AblationRow, error) {
+// ablationViTCell runs one named configuration on ViT — the per-cell shape
+// of every solver-config ablation.
+func (r *Runner) ablationViTCell(a ablation) (AblationRow, error) {
+	return r.ablate("ViT", a)
+}
+
+// ablationChunkCells enumerates the chunk-size sweep.
+func ablationChunkCells(*Runner) []ablation {
 	var configs []ablation
 	for _, s := range []units.Bytes{256 * units.KB, units.MB, 4 * units.MB, 16 * units.MB} {
 		s := s
@@ -67,11 +73,16 @@ func (r *Runner) AblationChunkSize() ([]AblationRow, error) {
 			mutate: func(c *opg.Config) { c.ChunkSize = s },
 		})
 	}
-	return r.ablateSweep("ViT", configs)
+	return configs
 }
 
-// AblationWindow sweeps the rolling-window span on ViT.
-func (r *Runner) AblationWindow() ([]AblationRow, error) {
+// AblationChunkSize sweeps the slicing granularity S on ViT.
+func (r *Runner) AblationChunkSize() ([]AblationRow, error) {
+	return r.ablateSweep("ViT", ablationChunkCells(r))
+}
+
+// ablationWindowCells enumerates the rolling-window sweep.
+func ablationWindowCells(*Runner) []ablation {
 	var configs []ablation
 	for _, w := range []int{8, 24, 48, 96} {
 		w := w
@@ -80,14 +91,19 @@ func (r *Runner) AblationWindow() ([]AblationRow, error) {
 			mutate: func(c *opg.Config) { c.Window = w },
 		})
 	}
-	return r.ablateSweep("ViT", configs)
+	return configs
 }
 
-// AblationFallback compares the tiered solver against its extremes: pure
-// CP (generous budgets, ladder rarely needed) and pure greedy (CP starved
-// so every window falls through to the heuristic).
-func (r *Runner) AblationFallback() ([]AblationRow, error) {
-	return r.ablateSweep("ViT", []ablation{
+// AblationWindow sweeps the rolling-window span on ViT.
+func (r *Runner) AblationWindow() ([]AblationRow, error) {
+	return r.ablateSweep("ViT", ablationWindowCells(r))
+}
+
+// ablationFallbackCells enumerates the tiered-solver extremes: pure CP
+// (generous budgets, ladder rarely needed) and pure greedy (CP starved so
+// every window falls through to the heuristic).
+func ablationFallbackCells(*Runner) []ablation {
+	return []ablation{
 		{"tiered (default)", func(c *opg.Config) {}},
 		{"pure CP", func(c *opg.Config) {
 			c.SolveTimeout = 2 * time.Second
@@ -97,7 +113,12 @@ func (r *Runner) AblationFallback() ([]AblationRow, error) {
 			c.SolveTimeout = time.Nanosecond
 			c.MaxBranches = 1
 		}},
-	})
+	}
+}
+
+// AblationFallback compares the tiered solver against its extremes.
+func (r *Runner) AblationFallback() ([]AblationRow, error) {
+	return r.ablateSweep("ViT", ablationFallbackCells(r))
 }
 
 // AblationTextureCacheRow compares execution layouts for one model.
@@ -108,62 +129,74 @@ type AblationTextureCacheRow struct {
 	Speedup   float64
 }
 
+// ablationTextureCells enumerates the layout-comparison models.
+func ablationTextureCells(*Runner) []string { return []string{"ResNet", "ViT", "GPTN-S"} }
+
+// ablationTextureCell compares the 2.5D texture layout against linear
+// reads for one model.
+func (r *Runner) ablationTextureCell(abbr string) (AblationTextureCacheRow, error) {
+	cm := kernels.NewCostModel(r.Cfg.Device)
+	g := r.Graph(abbr)
+	tex := cm.GraphTime(g, kernels.Texture25D, 1)
+	lin := cm.GraphTime(g, kernels.Linear, 1)
+	return AblationTextureCacheRow{
+		Model:     abbr,
+		TextureMS: tex.Milliseconds(),
+		LinearMS:  lin.Milliseconds(),
+		Speedup:   float64(lin) / float64(tex),
+	}, nil
+}
+
 // AblationTextureCache quantifies the 2.5D texture layout advantage: the
 // same graphs executed with linear unified-memory weight reads (Romou
 // reports up to 3.5× on memory-bound kernels; compute-bound graphs see
 // less).
 func (r *Runner) AblationTextureCache() []AblationTextureCacheRow {
-	cm := kernels.NewCostModel(r.Cfg.Device)
-	var rows []AblationTextureCacheRow
-	for _, abbr := range []string{"ResNet", "ViT", "GPTN-S"} {
-		g := r.Graph(abbr)
-		tex := cm.GraphTime(g, kernels.Texture25D, 1)
-		lin := cm.GraphTime(g, kernels.Linear, 1)
-		rows = append(rows, AblationTextureCacheRow{
-			Model:     abbr,
-			TextureMS: tex.Milliseconds(),
-			LinearMS:  lin.Milliseconds(),
-			Speedup:   float64(lin) / float64(tex),
-		})
+	rows, err := parallel(r, ablationTextureCells(r), r.ablationTextureCell)
+	if err != nil {
+		panic(err) // cells only fail by panicking (cost-model bugs)
 	}
 	return rows
+}
+
+// ablationCapacityCells enumerates the §4.2 capacity sources by name; the
+// capacity itself is materialized in the cell so enumeration stays cheap.
+func ablationCapacityCells(*Runner) []string { return []string{"analytic", "profiled (GBT)"} }
+
+// ablationCapacityCell plans ViT under one capacity source.
+func (r *Runner) ablationCapacityCell(name string) (AblationRow, error) {
+	var caps opg.Capacity
+	if name == "analytic" {
+		caps = profiler.AnalyticCapacityFunc(r.Cfg.Device)
+	} else {
+		prof, err := r.Profile()
+		if err != nil {
+			return AblationRow{}, err
+		}
+		caps = prof.CapacityFunc()
+	}
+	opts := r.engineOptions()
+	opts.Capacity = caps
+	opts.CapacityKey = "abl-" + name
+	e := core.NewEngine(opts)
+	prep, err := e.Prepare(r.Graph("ViT"))
+	if err != nil {
+		return AblationRow{}, err
+	}
+	rep, _ := e.Execute(prep)
+	return AblationRow{
+		Setting:      name,
+		IntegratedMS: rep.Integrated.Milliseconds(),
+		AvgMemMB:     rep.Mem.Average.MiB(),
+		OverlapFrac:  prep.Plan.OverlapFraction(),
+		SolveMS:      float64(prep.Plan.Stats.SolveTime.Milliseconds()),
+	}, nil
 }
 
 // AblationCapacitySource compares analytic capacities against the trained
 // GBT profiler on ViT — the §4.2 pipeline choice.
 func (r *Runner) AblationCapacitySource() ([]AblationRow, error) {
-	prof, err := profiler.Run(r.Cfg.Device, profiler.DefaultOptions())
-	if err != nil {
-		return nil, err
-	}
-	sources := []struct {
-		name string
-		caps opg.Capacity
-	}{
-		{"analytic", profiler.AnalyticCapacityFunc(r.Cfg.Device)},
-		{"profiled (GBT)", prof.CapacityFunc()},
-	}
-	return parallel(r, sources, func(src struct {
-		name string
-		caps opg.Capacity
-	}) (AblationRow, error) {
-		opts := r.engineOptions()
-		opts.Capacity = src.caps
-		opts.CapacityKey = "abl-" + src.name
-		e := core.NewEngine(opts)
-		prep, err := e.Prepare(r.Graph("ViT"))
-		if err != nil {
-			return AblationRow{}, err
-		}
-		rep, _ := e.Execute(prep)
-		return AblationRow{
-			Setting:      src.name,
-			IntegratedMS: rep.Integrated.Milliseconds(),
-			AvgMemMB:     rep.Mem.Average.MiB(),
-			OverlapFrac:  prep.Plan.OverlapFraction(),
-			SolveMS:      float64(prep.Plan.Stats.SolveTime.Milliseconds()),
-		}, nil
-	})
+	return parallel(r, ablationCapacityCells(r), r.ablationCapacityCell)
 }
 
 // RenderAblation formats a generic ablation sweep.

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/multimodel"
+	"repro/internal/profiler"
+	"repro/internal/sweep"
+)
+
+// A Driver expresses one experiment as the three-stage pipeline that
+// sharded execution needs: deterministic cell enumeration, independent
+// per-cell runs, and a merge/render step over the full row set in cell
+// order. Enumeration depends only on the runner configuration, so
+// independent processes agree on the cell space without coordination; any
+// contiguous shard of rows can be computed in isolation and shard outputs
+// concatenated in index order are exactly the unsharded row set. Rows are
+// JSON (machine-readable partial results), so the merge step can run in a
+// process that never touched a simulator.
+type Driver struct {
+	ID       string
+	numCells func(r *Runner) int
+	run      func(r *Runner, sh sweep.Shard) ([]json.RawMessage, error)
+	render   func(rows []json.RawMessage) (string, error)
+}
+
+// NumCells returns the experiment's total cell count under the runner's
+// configuration.
+func (d *Driver) NumCells(r *Runner) int { return d.numCells(r) }
+
+// Run computes the shard's contiguous slice of the cell space, one
+// JSON-encoded row per cell in enumeration order.
+func (d *Driver) Run(r *Runner, sh sweep.Shard) ([]json.RawMessage, error) { return d.run(r, sh) }
+
+// Render merges the full, ordered row set back into the experiment's
+// rendered text output. It needs no Runner: aggregation is pure.
+func (d *Driver) Render(rows []json.RawMessage) (string, error) { return d.render(rows) }
+
+// Output runs the whole experiment in-process and renders it. The
+// unsharded path deliberately shares the sharded pipeline — including the
+// JSON row round-trip — so both produce byte-identical text.
+func (d *Driver) Output(r *Runner) (string, error) {
+	rows, err := d.run(r, sweep.Full())
+	if err != nil {
+		return "", err
+	}
+	return d.render(rows)
+}
+
+// def adapts a typed (cells, runCell, render) triple into a Driver.
+func def[C, R any](id string, cells func(*Runner) []C, runCell func(*Runner, C) (R, error), render func([]R) (string, error)) *Driver {
+	return &Driver{
+		ID:       id,
+		numCells: func(r *Runner) int { return len(cells(r)) },
+		run: func(r *Runner, sh sweep.Shard) ([]json.RawMessage, error) {
+			if err := sh.Validate(); err != nil {
+				return nil, err
+			}
+			all := cells(r)
+			lo, _ := sh.Span(len(all))
+			rows, err := parallel(r, sweep.Slice(sh, all), func(c C) (R, error) { return runCell(r, c) })
+			if err != nil {
+				return nil, err
+			}
+			raw := make([]json.RawMessage, len(rows))
+			for i := range rows {
+				b, err := json.Marshal(rows[i])
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s cell %d: encode: %w", id, lo+i, err)
+				}
+				raw[i] = b
+			}
+			return raw, nil
+		},
+		render: func(raw []json.RawMessage) (string, error) {
+			rows := make([]R, len(raw))
+			for i, b := range raw {
+				if err := json.Unmarshal(b, &rows[i]); err != nil {
+					return "", fmt.Errorf("experiments: %s row %d: decode: %w", id, i, err)
+				}
+			}
+			return render(rows)
+		},
+	}
+}
+
+// exact wraps an aggregate that requires the complete row set with a
+// length check, so a malformed partial surfaces as an error instead of an
+// index panic.
+func exact[R any](id string, want func() int, render func([]R) (string, error)) func([]R) (string, error) {
+	return func(rows []R) (string, error) {
+		if w := want(); len(rows) != w {
+			return "", fmt.Errorf("experiments: %s: %d rows, want %d", id, len(rows), w)
+		}
+		return render(rows)
+	}
+}
+
+// drivers is the registry, in the canonical `-exp all` order.
+var drivers = []*Driver{
+	def("table1", table1Cells, (*Runner).table1Cell,
+		func(rows []Table1Row) (string, error) { return RenderTable1(rows), nil }),
+	def("table4", table4Cells, (*Runner).table4Cell,
+		func(rows []Table4Row) (string, error) { return RenderTable4(rows), nil }),
+	def("table6", modelCells, (*Runner).table6Cell,
+		func(rows []Table6Row) (string, error) { return RenderTable6(rows), nil }),
+	def("table7", modelCells, (*Runner).table7Cell,
+		func(rows []Table7Row) (string, error) { return RenderTable7(table7Aggregate(rows)), nil }),
+	def("table8", modelCells, (*Runner).table8Cell,
+		func(rows []Table8Row) (string, error) { return RenderTable8(table8Aggregate(rows)), nil }),
+	def("table9", table9Cells, (*Runner).table9Cell,
+		func(rows []Table9Row) (string, error) { return RenderTable9(rows), nil }),
+	def("fig2", figure2Cells, (*Runner).figure2Cell,
+		func(rows [][]profiler.OverlapPoint) (string, error) {
+			var points []profiler.OverlapPoint
+			for _, r := range rows {
+				points = append(points, r...)
+			}
+			return RenderFigure2(points), nil
+		}),
+	def("fig6", figure6Cells, (*Runner).figure6Cell,
+		exact("fig6", func() int { return 2 }, func(traces []*multimodel.Trace) (string, error) {
+			return RenderFigure6(figure6Aggregate(traces)), nil
+		})),
+	def("fig7", figure7CellSet, (*Runner).figure7RunCell,
+		exact("fig7", func() int { return len(fig7Models) * (figure7Baseline + 1) },
+			func(ms []figure7Measure) (string, error) { return RenderFigure7(figure7Aggregate(ms)), nil })),
+	def("fig8", figure8CellSet, (*Runner).figure8RunCell,
+		exact("fig8", func() int { return len(fig8Models) * len(fig8MPeaks) },
+			func(pts []Figure8Point) (string, error) { return RenderFigure8(figure8Aggregate(pts)), nil })),
+	def("fig9", figure9Cells, (*Runner).figure9Cell,
+		func(rows []Figure9Row) (string, error) { return RenderFigure9(rows), nil }),
+	def("fig10", figure10CellSet, (*Runner).figure10RunCell,
+		func(rows []Figure10Row) (string, error) { return RenderFigure10(rows), nil }),
+	def("warmstart", modelCells, (*Runner).warmStartCell,
+		func(cells []*WarmStartRow) (string, error) { return RenderWarmStart(warmStartAggregate(cells)), nil }),
+	def("abl-chunk", ablationChunkCells, (*Runner).ablationViTCell,
+		func(rows []AblationRow) (string, error) {
+			return RenderAblation("Ablation: chunk size S (ViT)", rows), nil
+		}),
+	def("abl-window", ablationWindowCells, (*Runner).ablationViTCell,
+		func(rows []AblationRow) (string, error) {
+			return RenderAblation("Ablation: rolling-window span (ViT)", rows), nil
+		}),
+	def("abl-fallback", ablationFallbackCells, (*Runner).ablationViTCell,
+		func(rows []AblationRow) (string, error) {
+			return RenderAblation("Ablation: solver fallback modes (ViT)", rows), nil
+		}),
+	def("abl-cache", ablationTextureCells, (*Runner).ablationTextureCell,
+		func(rows []AblationTextureCacheRow) (string, error) { return RenderAblationTextureCache(rows), nil }),
+	def("abl-capacity", ablationCapacityCells, (*Runner).ablationCapacityCell,
+		func(rows []AblationRow) (string, error) {
+			return RenderAblation("Ablation: capacity source (ViT)", rows), nil
+		}),
+}
+
+// Drivers returns every experiment driver in canonical order.
+func Drivers() []*Driver { return drivers }
+
+// DriverByID looks a driver up by experiment id.
+func DriverByID(id string) (*Driver, bool) {
+	for _, d := range drivers {
+		if d.ID == id {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// AllIDs returns the canonical experiment id list — what `-exp all`
+// expands to.
+func AllIDs() []string {
+	ids := make([]string, len(drivers))
+	for i, d := range drivers {
+		ids[i] = d.ID
+	}
+	return ids
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/models"
 	"repro/internal/opg"
+	"repro/internal/profiler"
 	"repro/internal/sweep"
 )
 
@@ -35,6 +36,10 @@ type Config struct {
 	// SolveTimeout and MaxBranches bound the per-window CP effort.
 	SolveTimeout time.Duration
 	MaxBranches  int64
+
+	// Iterations is the per-model repeat count of the Figure 6 multi-model
+	// trace (0 = the paper's 10).
+	Iterations int
 
 	// Workers bounds sweep concurrency: 0 = GOMAXPROCS, 1 = serial.
 	Workers int
@@ -52,6 +57,14 @@ func DefaultConfig() Config {
 		SolveTimeout: 100 * time.Millisecond,
 		MaxBranches:  8000,
 	}
+}
+
+// iterations resolves the Figure 6 repeat count.
+func (c Config) iterations() int {
+	if c.Iterations > 0 {
+		return c.Iterations
+	}
+	return 10
 }
 
 // modelSet resolves the configured model list.
@@ -104,6 +117,13 @@ type baseCall struct {
 	panicked any
 }
 
+type profileCall struct {
+	once     sync.Once
+	prof     *profiler.Profile
+	err      error
+	panicked any
+}
+
 // Runner executes and caches the per-model runs shared across experiments.
 // It is safe for concurrent use; all drivers fan their cells out on the
 // configured worker budget.
@@ -115,6 +135,7 @@ type Runner struct {
 	graphs map[string]*graphCall
 	flash  map[string]*flashCall
 	base   map[string]*baseCall // "framework\x00abbr"
+	prof   profileCall
 }
 
 // NewRunner builds a runner with a FlashMem engine on the configured device.
@@ -212,6 +233,16 @@ func (r *Runner) Flash(abbr string) (*flashRun, error) {
 		c.fr = &flashRun{prep: prep, report: rep, machine: m}
 	})
 	return c.fr, c.err
+}
+
+// Profile trains (and caches) the GBT capacity profiler on the primary
+// device — shared by every cell that needs the profiled capacity source.
+func (r *Runner) Profile() (*profiler.Profile, error) {
+	c := &r.prof
+	oncePanicSafe(&c.once, &c.panicked, func() {
+		c.prof, c.err = profiler.Run(r.Cfg.Device, profiler.DefaultOptions())
+	})
+	return c.prof, c.err
 }
 
 // Baseline runs a framework on a model, cached. The error (unsupported or

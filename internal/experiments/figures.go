@@ -15,9 +15,19 @@ import (
 
 // --- Figure 2: per-operator overlap tolerance ---
 
+// figure2Cells: the sweep is one monolithic profiler pass, so it is a
+// single cell.
+func figure2Cells(*Runner) []string { return []string{"overlap-sweep"} }
+
+// figure2Cell runs the whole overlap latency sweep.
+func (r *Runner) figure2Cell(string) ([]profiler.OverlapPoint, error) {
+	return profiler.Figure2Sweep(r.Cfg.Device, 2.0, 0.125), nil
+}
+
 // Figure2 runs the overlap latency sweep on the configured device.
 func (r *Runner) Figure2() []profiler.OverlapPoint {
-	return profiler.Figure2Sweep(r.Cfg.Device, 2.0, 0.125)
+	points, _ := r.figure2Cell("")
+	return points
 }
 
 // RenderFigure2 formats the sweep as one series per operator.
@@ -38,41 +48,61 @@ type Figure6Result struct {
 	MNN      *multimodel.Trace
 }
 
-// Figure6 runs the interleaved multi-model workload: FlashMem runs
-// {DepthA-S, SD-UNet, ViT, GPTN-1.3B, Whisper-M}; MNN runs the subset it
-// supports (no GPTN-1.3B), each model 10 iterations, shuffled order. The
-// two systems' FIFO simulations run concurrently.
-func (r *Runner) Figure6(iterations int) (*Figure6Result, error) {
-	if iterations <= 0 {
-		iterations = 10
-	}
-	traces, err := parallel(r, []string{"FlashMem", "MNN"}, func(system string) (*multimodel.Trace, error) {
-		if system == "FlashMem" {
-			flashModels := []string{"DepthA-S", "SD-UNet", "ViT", "GPTN-1.3B", "Whisper-M"}
-			var runners []multimodel.Runner
-			for _, abbr := range flashModels {
-				fr, err := r.Flash(abbr) // reuses the cached plan
-				if err != nil {
-					return nil, err
-				}
-				runners = append(runners, &multimodel.FlashMemRunner{Engine: r.Engine, Prep: fr.prep})
-			}
-			return multimodel.RunFIFO(gpusim.New(r.Cfg.Device), runners,
-				multimodel.Shuffled(len(runners), iterations, 7))
-		}
-		mnn := baselines.MNN()
-		mnnModels := []string{"DepthA-S", "ViT", "SD-UNet", "Whisper-M"}
+// figure6Cells: one cell per simulated system.
+func figure6Cells(*Runner) []string { return []string{"FlashMem", "MNN"} }
+
+// figure6Cell runs one system's FIFO trace with the configured iteration
+// count.
+func (r *Runner) figure6Cell(system string) (*multimodel.Trace, error) {
+	return r.figure6Trace(system, r.Cfg.iterations())
+}
+
+// figure6Trace simulates one system's interleaved multi-model workload.
+func (r *Runner) figure6Trace(system string, iterations int) (*multimodel.Trace, error) {
+	if system == "FlashMem" {
+		flashModels := []string{"DepthA-S", "SD-UNet", "ViT", "GPTN-1.3B", "Whisper-M"}
 		var runners []multimodel.Runner
-		for _, abbr := range mnnModels {
-			runners = append(runners, &multimodel.BaselineRunner{Framework: mnn, Graph: r.Graph(abbr)})
+		for _, abbr := range flashModels {
+			fr, err := r.Flash(abbr) // reuses the cached plan
+			if err != nil {
+				return nil, err
+			}
+			runners = append(runners, &multimodel.FlashMemRunner{Engine: r.Engine, Prep: fr.prep})
 		}
 		return multimodel.RunFIFO(gpusim.New(r.Cfg.Device), runners,
 			multimodel.Shuffled(len(runners), iterations, 7))
+	}
+	mnn := baselines.MNN()
+	mnnModels := []string{"DepthA-S", "ViT", "SD-UNet", "Whisper-M"}
+	var runners []multimodel.Runner
+	for _, abbr := range mnnModels {
+		runners = append(runners, &multimodel.BaselineRunner{Framework: mnn, Graph: r.Graph(abbr)})
+	}
+	return multimodel.RunFIFO(gpusim.New(r.Cfg.Device), runners,
+		multimodel.Shuffled(len(runners), iterations, 7))
+}
+
+// figure6Aggregate pairs the ordered traces back up.
+func figure6Aggregate(traces []*multimodel.Trace) *Figure6Result {
+	return &Figure6Result{FlashMem: traces[0], MNN: traces[1]}
+}
+
+// Figure6 runs the interleaved multi-model workload: FlashMem runs
+// {DepthA-S, SD-UNet, ViT, GPTN-1.3B, Whisper-M}; MNN runs the subset it
+// supports (no GPTN-1.3B), each model `iterations` times (<= 0 uses the
+// configured count), shuffled order. The two systems' FIFO simulations run
+// concurrently.
+func (r *Runner) Figure6(iterations int) (*Figure6Result, error) {
+	if iterations <= 0 {
+		iterations = r.Cfg.iterations()
+	}
+	traces, err := parallel(r, figure6Cells(r), func(system string) (*multimodel.Trace, error) {
+		return r.figure6Trace(system, iterations)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Figure6Result{FlashMem: traces[0], MNN: traces[1]}, nil
+	return figure6Aggregate(traces), nil
 }
 
 // RenderFigure6 summarizes the traces.
@@ -99,59 +129,91 @@ type Figure7Row struct {
 	MemRed  [3]float64
 }
 
-// Figure7 measures the contribution of each optimization on ViT, SD-UNet
-// and GPT-Neo-1.3B. All nine model × level cells run concurrently. Levels
-// 1 and 2 differ only in kernel rewriting and therefore share a plan-cache
-// key; with a warm cache one solve serves both (concurrent cold cells may
-// still each solve — the cache memoizes results, it does not deduplicate
-// in-flight work).
-func (r *Runner) Figure7() ([]Figure7Row, error) {
+// fig7Models is the Figure 7 model set.
+var fig7Models = []string{"ViT", "SD-UNet", "GPTN-1.3B"}
+
+// figure7Baseline indexes the SmartMem reference cell after the three
+// cumulative optimization levels.
+const figure7Baseline = 3
+
+// figure7Cell is one model × measurement cell: Kind 0–2 are the cumulative
+// optimization levels, Kind figure7Baseline is the SmartMem reference.
+type figure7Cell struct {
+	Model string
+	Kind  int
+}
+
+// figure7Measure is the raw simulated outcome of one cell — enough for the
+// merge step to form every ratio without re-running anything.
+type figure7Measure struct {
+	Integrated units.Duration
+	AvgMem     units.Bytes
+}
+
+// figure7CellSet enumerates the (model × kind) matrix.
+func figure7CellSet(*Runner) []figure7Cell {
+	var cells []figure7Cell
+	for _, abbr := range fig7Models {
+		for kind := 0; kind <= figure7Baseline; kind++ {
+			cells = append(cells, figure7Cell{Model: abbr, Kind: kind})
+		}
+	}
+	return cells
+}
+
+// figure7RunCell measures one cell. Levels 1 and 2 differ only in kernel
+// rewriting and therefore share a plan-cache key; with a warm cache one
+// solve serves both (concurrent cold cells may still each solve — the
+// cache memoizes results, it does not deduplicate in-flight work).
+func (r *Runner) figure7RunCell(c figure7Cell) (figure7Measure, error) {
+	if c.Kind == figure7Baseline {
+		br := r.Baseline(baselines.SmartMem(), c.Model)
+		if br.err != nil {
+			return figure7Measure{}, br.err
+		}
+		return figure7Measure{Integrated: br.report.Integrated(), AvgMem: br.report.Mem.Average}, nil
+	}
 	// Cumulative levels: [0] the OPG solver alone on the unfused graph with
 	// dedicated transform kernels; [1] + adaptive fusion; [2] + kernel
 	// rewriting (full FlashMem).
-	levels := []core.Options{}
-	for i := 0; i < 3; i++ {
-		o := r.engineOptions()
-		o.BaseFusion = i >= 1
-		o.AdaptiveFusion = i >= 1
-		o.KernelRewriting = i >= 2
-		levels = append(levels, o)
-	}
-	fig7Models := []string{"ViT", "SD-UNet", "GPTN-1.3B"}
-	type cell struct {
-		model int
-		level int
-	}
-	var cells []cell
-	for m := range fig7Models {
-		for l := range levels {
-			cells = append(cells, cell{model: m, level: l})
-		}
-	}
-	reports, err := parallel(r, cells, func(c cell) (core.Report, error) {
-		rep, _, err := core.NewEngine(levels[c.level]).Run(r.Graph(fig7Models[c.model]))
-		return rep, err
-	})
+	o := r.engineOptions()
+	o.BaseFusion = c.Kind >= 1
+	o.AdaptiveFusion = c.Kind >= 1
+	o.KernelRewriting = c.Kind >= 2
+	rep, _, err := core.NewEngine(o).Run(r.Graph(c.Model))
 	if err != nil {
-		return nil, err
+		return figure7Measure{}, err
 	}
-	sm := baselines.SmartMem()
+	return figure7Measure{Integrated: rep.Integrated, AvgMem: rep.Mem.Average}, nil
+}
+
+// figure7Aggregate forms the per-level ratios from the ordered cell
+// measurements.
+func figure7Aggregate(measures []figure7Measure) []Figure7Row {
+	perModel := figure7Baseline + 1
 	var rows []Figure7Row
 	for m, abbr := range fig7Models {
-		br := r.Baseline(sm, abbr)
-		if br.err != nil {
-			return nil, br.err
-		}
-		base := br.report
+		base := measures[m*perModel+figure7Baseline]
 		row := Figure7Row{Model: abbr}
-		for l := range levels {
-			rep := reports[m*len(levels)+l]
-			row.Speedup[l] = float64(base.Integrated()) / float64(rep.Integrated)
-			row.MemRed[l] = float64(base.Mem.Average) / float64(rep.Mem.Average)
+		for l := 0; l < figure7Baseline; l++ {
+			rep := measures[m*perModel+l]
+			row.Speedup[l] = float64(base.Integrated) / float64(rep.Integrated)
+			row.MemRed[l] = float64(base.AvgMem) / float64(rep.AvgMem)
 		}
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows
+}
+
+// Figure7 measures the contribution of each optimization on ViT, SD-UNet
+// and GPT-Neo-1.3B. All model × level cells (plus the SmartMem reference
+// cells) run concurrently.
+func (r *Runner) Figure7() ([]Figure7Row, error) {
+	measures, err := parallel(r, figure7CellSet(r), r.figure7RunCell)
+	if err != nil {
+		return nil, err
+	}
+	return figure7Aggregate(measures), nil
 }
 
 // RenderFigure7 formats the breakdown.
@@ -183,50 +245,69 @@ type Figure8Curve struct {
 	Points []Figure8Point
 }
 
-// Figure8 sweeps the memory/latency trade-off by varying M_peak (larger
-// budgets stream more; tiny budgets force preloading) on the Figure 8
-// model set.
-func (r *Runner) Figure8() ([]Figure8Curve, error) {
-	mpeaks := []units.Bytes{16 * units.MB, 64 * units.MB, 192 * units.MB, 512 * units.MB, units.GB}
-	fig8Models := []string{"ViT", "GPTN-1.3B", "DepthA-L", "Whisper-M"}
-	type cell struct {
-		abbr  string
-		mpeak units.Bytes
-	}
-	var cells []cell
+// The Figure 8 matrix: model set × M_peak budgets (larger budgets stream
+// more; tiny budgets force preloading).
+var (
+	fig8Models = []string{"ViT", "GPTN-1.3B", "DepthA-L", "Whisper-M"}
+	fig8MPeaks = []units.Bytes{16 * units.MB, 64 * units.MB, 192 * units.MB, 512 * units.MB, units.GB}
+)
+
+// figure8Cell is one model × M_peak configuration.
+type figure8Cell struct {
+	Abbr  string
+	MPeak units.Bytes
+}
+
+// figure8CellSet enumerates the trade-off matrix.
+func figure8CellSet(*Runner) []figure8Cell {
+	var cells []figure8Cell
 	for _, abbr := range fig8Models {
-		for _, mp := range mpeaks {
-			cells = append(cells, cell{abbr: abbr, mpeak: mp})
+		for _, mp := range fig8MPeaks {
+			cells = append(cells, figure8Cell{Abbr: abbr, MPeak: mp})
 		}
 	}
-	points, err := parallel(r, cells, func(c cell) (Figure8Point, error) {
-		opts := r.engineOptions()
-		opts.Config.MPeak = c.mpeak
-		e := core.NewEngine(opts)
-		prep, err := e.Prepare(r.Graph(c.abbr))
-		if err != nil {
-			return Figure8Point{}, err
-		}
-		rep, _ := e.Execute(prep)
-		return Figure8Point{
-			MPeakMB:      c.mpeak.MiB(),
-			PreloadFrac:  1 - prep.Plan.OverlapFraction(),
-			AvgMemMB:     rep.Mem.Average.MiB(),
-			IntegratedMS: rep.Integrated.Milliseconds(),
-			ExecMS:       rep.Exec.Milliseconds(),
-		}, nil
-	})
+	return cells
+}
+
+// figure8RunCell prepares and runs one configuration.
+func (r *Runner) figure8RunCell(c figure8Cell) (Figure8Point, error) {
+	opts := r.engineOptions()
+	opts.Config.MPeak = c.MPeak
+	e := core.NewEngine(opts)
+	prep, err := e.Prepare(r.Graph(c.Abbr))
 	if err != nil {
-		return nil, err
+		return Figure8Point{}, err
 	}
+	rep, _ := e.Execute(prep)
+	return Figure8Point{
+		MPeakMB:      c.MPeak.MiB(),
+		PreloadFrac:  1 - prep.Plan.OverlapFraction(),
+		AvgMemMB:     rep.Mem.Average.MiB(),
+		IntegratedMS: rep.Integrated.Milliseconds(),
+		ExecMS:       rep.Exec.Milliseconds(),
+	}, nil
+}
+
+// figure8Aggregate groups ordered points back into per-model curves.
+func figure8Aggregate(points []Figure8Point) []Figure8Curve {
 	var curves []Figure8Curve
 	for m, abbr := range fig8Models {
 		curves = append(curves, Figure8Curve{
 			Model:  abbr,
-			Points: points[m*len(mpeaks) : (m+1)*len(mpeaks)],
+			Points: points[m*len(fig8MPeaks) : (m+1)*len(fig8MPeaks)],
 		})
 	}
-	return curves, nil
+	return curves
+}
+
+// Figure8 sweeps the memory/latency trade-off by varying M_peak on the
+// Figure 8 model set.
+func (r *Runner) Figure8() ([]Figure8Curve, error) {
+	points, err := parallel(r, figure8CellSet(r), r.figure8RunCell)
+	if err != nil {
+		return nil, err
+	}
+	return figure8Aggregate(points), nil
 }
 
 // RenderFigure8 formats the trade-off curves.
@@ -250,35 +331,42 @@ type Figure9Row struct {
 	SpeedupSameOp     float64
 }
 
-// Figure9 runs Always-Next Loading and Same-Op-Type Prefetching and
-// compares end-to-end latency. The naive strategies use dedicated transform
-// kernels (no §4.4 rewriting) — they are prefetch policies predating the
-// kernel redesign — while FlashMem gets its full pipeline.
-func (r *Runner) Figure9() ([]Figure9Row, error) {
+// figure9Cells enumerates the Figure 9 model set.
+func figure9Cells(*Runner) []string {
+	return []string{"GPTN-1.3B", "ResNet", "SAM-2", "DeepViT", "SD-UNet", "DepthA-L"}
+}
+
+// figure9Cell runs Always-Next Loading and Same-Op-Type Prefetching on one
+// model. The naive strategies use dedicated transform kernels (no §4.4
+// rewriting) — they are prefetch policies predating the kernel redesign —
+// while FlashMem gets its full pipeline.
+func (r *Runner) figure9Cell(abbr string) (Figure9Row, error) {
 	naiveOpts := r.engineOptions()
 	naiveOpts.KernelRewriting = false
 	naiveEngine := core.NewEngine(naiveOpts)
 
-	fig9Models := []string{"GPTN-1.3B", "ResNet", "SAM-2", "DeepViT", "SD-UNet", "DepthA-L"}
-	return parallel(r, fig9Models, func(abbr string) (Figure9Row, error) {
-		fr, err := r.Flash(abbr)
-		if err != nil {
-			return Figure9Row{}, err
-		}
-		g := r.Graph(abbr)
-		cfg := r.solveConfig()
+	fr, err := r.Flash(abbr)
+	if err != nil {
+		return Figure9Row{}, err
+	}
+	g := r.Graph(abbr)
+	cfg := r.solveConfig()
 
-		anPlan := baselines.AlwaysNextPlan(g, cfg.ChunkSize)
-		anRep, _ := naiveEngine.Execute(&core.Prepared{Graph: g, Plan: anPlan})
-		soPlan := baselines.SameOpTypePlan(g, cfg.ChunkSize, cfg.Window, 16)
-		soRep, _ := naiveEngine.Execute(&core.Prepared{Graph: g, Plan: soPlan})
+	anPlan := baselines.AlwaysNextPlan(g, cfg.ChunkSize)
+	anRep, _ := naiveEngine.Execute(&core.Prepared{Graph: g, Plan: anPlan})
+	soPlan := baselines.SameOpTypePlan(g, cfg.ChunkSize, cfg.Window, 16)
+	soRep, _ := naiveEngine.Execute(&core.Prepared{Graph: g, Plan: soPlan})
 
-		return Figure9Row{
-			Model:             abbr,
-			SpeedupAlwaysNext: float64(anRep.Integrated) / float64(fr.report.Integrated),
-			SpeedupSameOp:     float64(soRep.Integrated) / float64(fr.report.Integrated),
-		}, nil
-	})
+	return Figure9Row{
+		Model:             abbr,
+		SpeedupAlwaysNext: float64(anRep.Integrated) / float64(fr.report.Integrated),
+		SpeedupSameOp:     float64(soRep.Integrated) / float64(fr.report.Integrated),
+	}, nil
+}
+
+// Figure9 runs the naive-prefetcher comparison across the model set.
+func (r *Runner) Figure9() ([]Figure9Row, error) {
+	return parallel(r, figure9Cells(r), r.figure9Cell)
 }
 
 // RenderFigure9 formats the comparison.
@@ -302,41 +390,50 @@ type Figure10Row struct {
 	MemorySaving float64 // SmartMem avg / FlashMem avg (0 when OOM)
 }
 
+// figure10Cell is one device × model configuration.
+type figure10Cell struct {
+	Dev  device.Device
+	Abbr string
+}
+
+// figure10CellSet enumerates the portability matrix.
+func figure10CellSet(*Runner) []figure10Cell {
+	var cells []figure10Cell
+	for _, dev := range devicePortabilitySet() {
+		for _, abbr := range []string{"SD-UNet", "GPTN-1.3B", "ViT"} {
+			cells = append(cells, figure10Cell{Dev: dev, Abbr: abbr})
+		}
+	}
+	return cells
+}
+
+// figure10RunCell compares FlashMem against SmartMem on one device × model.
+func (r *Runner) figure10RunCell(c figure10Cell) (Figure10Row, error) {
+	engine := core.NewEngine(engineOptions(r.Cfg, c.Dev))
+	g := r.Graph(c.Abbr)
+	row := Figure10Row{Device: c.Dev.Name, Model: c.Abbr}
+
+	fmRep, fmMachine, err := engine.Run(g)
+	if err != nil {
+		return Figure10Row{}, err
+	}
+	row.FlashMemOOM = fmMachine.OOM()
+
+	smRep, _, smErr := baselines.SmartMem().Run(g, "", c.Dev)
+	if smErr != nil {
+		row.SmartMemOOM = true
+	} else if !row.FlashMemOOM {
+		row.Speedup = float64(smRep.Integrated()) / float64(fmRep.Integrated)
+		row.MemorySaving = float64(smRep.Mem.Average) / float64(fmRep.Mem.Average)
+	}
+	return row, nil
+}
+
 // Figure10 evaluates SD-UNet, GPTN-1.3B and ViT on the three secondary
 // devices. SmartMem OOMs where its init footprint exceeds the app limit
 // (GPTN-1.3B on the Mi 6 and Pixel 8); FlashMem runs everywhere.
 func (r *Runner) Figure10() ([]Figure10Row, error) {
-	sm := baselines.SmartMem()
-	type cell struct {
-		dev  device.Device
-		abbr string
-	}
-	var cells []cell
-	for _, dev := range devicePortabilitySet() {
-		for _, abbr := range []string{"SD-UNet", "GPTN-1.3B", "ViT"} {
-			cells = append(cells, cell{dev: dev, abbr: abbr})
-		}
-	}
-	return parallel(r, cells, func(c cell) (Figure10Row, error) {
-		engine := core.NewEngine(engineOptions(r.Cfg, c.dev))
-		g := r.Graph(c.abbr)
-		row := Figure10Row{Device: c.dev.Name, Model: c.abbr}
-
-		fmRep, fmMachine, err := engine.Run(g)
-		if err != nil {
-			return Figure10Row{}, err
-		}
-		row.FlashMemOOM = fmMachine.OOM()
-
-		smRep, _, smErr := sm.Run(g, "", c.dev)
-		if smErr != nil {
-			row.SmartMemOOM = true
-		} else if !row.FlashMemOOM {
-			row.Speedup = float64(smRep.Integrated()) / float64(fmRep.Integrated)
-			row.MemorySaving = float64(smRep.Mem.Average) / float64(fmRep.Mem.Average)
-		}
-		return row, nil
-	})
+	return parallel(r, figure10CellSet(r), r.figure10RunCell)
 }
 
 // RenderFigure10 formats the portability comparison.

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/sweep"
+)
+
+// PartialVersion tags the partial-result file layout.
+const PartialVersion = 1
+
+// PartialExperiment is one experiment's shard-local rows: the contiguous
+// block [Start, Start+len(Rows)) of the experiment's Cells-sized cell
+// space, in enumeration order.
+type PartialExperiment struct {
+	ID    string            `json:"id"`
+	Cells int               `json:"cells"` // total cells across all shards
+	Start int               `json:"start"` // global index of Rows[0]
+	Rows  []json.RawMessage `json:"rows"`
+}
+
+// Partial is the machine-readable output of one shard of an experiment
+// run: per-experiment row blocks plus enough provenance (shard spec,
+// configuration fingerprint, experiment order) for MergePartials to verify
+// that a set of partials actually tiles one coherent run.
+type Partial struct {
+	Version     int                 `json:"version"`
+	Shard       sweep.Shard         `json:"shard"`
+	Fingerprint string              `json:"fingerprint,omitempty"`
+	Experiments []PartialExperiment `json:"experiments"`
+}
+
+// RunPartial executes this shard's slice of every named experiment, up to
+// `jobs` experiments concurrently (each experiment fans its cells out on
+// the runner's worker budget). The fingerprint is an opaque caller string
+// recording the result-affecting configuration; MergePartials requires all
+// partials to agree on it.
+func RunPartial(r *Runner, ids []string, sh sweep.Shard, jobs int, fingerprint string) (*Partial, error) {
+	if err := sh.Validate(); err != nil {
+		return nil, err
+	}
+	exps, err := sweep.Map(context.Background(), jobs, ids, func(_ context.Context, _ int, id string) (PartialExperiment, error) {
+		d, ok := DriverByID(id)
+		if !ok {
+			return PartialExperiment{}, fmt.Errorf("unknown experiment id %q", id)
+		}
+		n := d.NumCells(r)
+		lo, _ := sh.Span(n)
+		rows, err := d.Run(r, sh)
+		if err != nil {
+			return PartialExperiment{}, fmt.Errorf("%s: %w", id, err)
+		}
+		return PartialExperiment{ID: id, Cells: n, Start: lo, Rows: rows}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Partial{
+		Version:     PartialVersion,
+		Shard:       sh,
+		Fingerprint: fingerprint,
+		Experiments: exps,
+	}, nil
+}
+
+// WritePartial saves a partial-result file.
+func WritePartial(path string, p *Partial) error {
+	data, err := json.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("experiments: encode partial: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("experiments: write partial: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadPartial loads and version-checks a partial-result file.
+func ReadPartial(path string) (*Partial, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: read partial: %w", err)
+	}
+	var p Partial
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("experiments: decode partial %s: %w", path, err)
+	}
+	if p.Version != PartialVersion {
+		return nil, fmt.Errorf("experiments: partial %s has version %d, want %d", path, p.Version, PartialVersion)
+	}
+	return &p, nil
+}
+
+// Output is one experiment's merged, rendered result.
+type Output struct {
+	ID   string
+	Text string
+}
+
+// MergePartials joins shard partials back into the full run: it verifies
+// the set is coherent (same fingerprint, same experiment list, one partial
+// per shard index) and that each experiment's row blocks tile its cell
+// space exactly, then renders each experiment from the concatenated rows.
+// The outputs are byte-identical to an unsharded run with the same
+// configuration, in the same experiment order.
+func MergePartials(parts []*Partial) ([]Output, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("experiments: merge: no partials given")
+	}
+	first := parts[0]
+	seen := map[int]bool{}
+	for _, p := range parts {
+		if p.Fingerprint != first.Fingerprint {
+			return nil, fmt.Errorf("experiments: merge: partials from different configurations (%q vs %q)",
+				p.Fingerprint, first.Fingerprint)
+		}
+		if p.Shard.Count != first.Shard.Count {
+			return nil, fmt.Errorf("experiments: merge: shard counts disagree (%d vs %d)",
+				p.Shard.Count, first.Shard.Count)
+		}
+		if err := p.Shard.Validate(); err != nil {
+			return nil, fmt.Errorf("experiments: merge: %w", err)
+		}
+		if seen[p.Shard.Index] {
+			return nil, fmt.Errorf("experiments: merge: shard %s appears twice", p.Shard)
+		}
+		seen[p.Shard.Index] = true
+		if len(p.Experiments) != len(first.Experiments) {
+			return nil, fmt.Errorf("experiments: merge: shard %s ran %d experiments, shard %s ran %d",
+				p.Shard, len(p.Experiments), first.Shard, len(first.Experiments))
+		}
+		for i, e := range p.Experiments {
+			if e.ID != first.Experiments[i].ID {
+				return nil, fmt.Errorf("experiments: merge: experiment order differs (%q vs %q)",
+					e.ID, first.Experiments[i].ID)
+			}
+		}
+	}
+	if len(parts) != first.Shard.Count {
+		return nil, fmt.Errorf("experiments: merge: %d partials for %d shards", len(parts), first.Shard.Count)
+	}
+
+	var outs []Output
+	for i, meta := range first.Experiments {
+		blocks := make([]PartialExperiment, len(parts))
+		for j, p := range parts {
+			blocks[j] = p.Experiments[i]
+			if blocks[j].Cells != meta.Cells {
+				return nil, fmt.Errorf("experiments: merge: %s cell counts disagree (%d vs %d)",
+					meta.ID, blocks[j].Cells, meta.Cells)
+			}
+		}
+		sort.Slice(blocks, func(a, b int) bool { return blocks[a].Start < blocks[b].Start })
+		var rows []json.RawMessage
+		next := 0
+		for _, b := range blocks {
+			if len(b.Rows) == 0 {
+				// More shards than cells: the extra shards own empty spans,
+				// which share a Start with a sibling's full block and carry
+				// no rows to place.
+				continue
+			}
+			if b.Start != next {
+				return nil, fmt.Errorf("experiments: merge: %s rows do not tile: block at %d, want %d",
+					meta.ID, b.Start, next)
+			}
+			rows = append(rows, b.Rows...)
+			next += len(b.Rows)
+		}
+		if next != meta.Cells {
+			return nil, fmt.Errorf("experiments: merge: %s has %d rows, want %d", meta.ID, next, meta.Cells)
+		}
+		d, ok := DriverByID(meta.ID)
+		if !ok {
+			return nil, fmt.Errorf("experiments: merge: unknown experiment id %q", meta.ID)
+		}
+		text, err := d.Render(rows)
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, Output{ID: meta.ID, Text: text})
+	}
+	return outs, nil
+}

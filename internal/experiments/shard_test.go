@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/plancache"
+	"repro/internal/sweep"
+)
+
+// detConfig is a configuration whose runs are bit-deterministic across
+// processes: the branch budget binds long before the generous wall-clock
+// budget, so independent solves of one cell produce identical plans. The
+// experiment ids below are chosen to render no wall-clock measurements
+// (solver timing columns legitimately differ between runs).
+func detConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Models = []string{"ResNet", "ViT", "GPTN-S"}
+	cfg.SolveTimeout = 5 * time.Second
+	cfg.MaxBranches = 1500
+	return cfg
+}
+
+var detIDs = []string{"table1", "table6", "table7"}
+
+// unshardedOutputs renders the reference run on a fresh runner.
+func unshardedOutputs(t *testing.T, cache *plancache.Cache) []string {
+	t.Helper()
+	cfg := detConfig()
+	cfg.PlanCache = cache
+	r := NewRunner(cfg)
+	var outs []string
+	for _, id := range detIDs {
+		d, ok := DriverByID(id)
+		if !ok {
+			t.Fatalf("unknown driver %q", id)
+		}
+		out, err := d.Output(r)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		outs = append(outs, out)
+	}
+	return outs
+}
+
+// TestShardedRunMatchesUnsharded is the subsystem's acceptance test: the
+// experiment matrix split into three shard processes — each with its own
+// runner and its own plan cache, communicating only through partial-result
+// and snapshot files — merges back into output identical to the
+// single-process run, and the merged plan-cache snapshot warm-starts a
+// subsequent run with zero re-solves.
+func TestShardedRunMatchesUnsharded(t *testing.T) {
+	dir := t.TempDir()
+	want := unshardedOutputs(t, plancache.New(0))
+
+	const shards = 3
+	var partialPaths, cachePaths []string
+	for i := 0; i < shards; i++ {
+		cache := plancache.New(0)
+		cfg := detConfig()
+		cfg.PlanCache = cache
+		r := NewRunner(cfg) // a fresh runner per shard, like a separate machine
+		p, err := RunPartial(r, detIDs, sweep.Shard{Index: i, Count: shards}, 1, "det-test")
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		pp := filepath.Join(dir, fmt.Sprintf("partial-%d.json", i))
+		if err := WritePartial(pp, p); err != nil {
+			t.Fatal(err)
+		}
+		cp := filepath.Join(dir, fmt.Sprintf("cache-%d.json", i))
+		if err := cache.Save(cp); err != nil {
+			t.Fatal(err)
+		}
+		partialPaths = append(partialPaths, pp)
+		cachePaths = append(cachePaths, cp)
+	}
+
+	// Merge the partial files (through their on-disk round-trip).
+	var parts []*Partial
+	for _, pp := range partialPaths {
+		p, err := ReadPartial(pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, p)
+	}
+	outs, err := MergePartials(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(want) {
+		t.Fatalf("merged %d outputs, want %d", len(outs), len(want))
+	}
+	for i, out := range outs {
+		if out.ID != detIDs[i] {
+			t.Errorf("output %d is %q, want %q", i, out.ID, detIDs[i])
+		}
+		if out.Text != want[i] {
+			t.Errorf("%s: merged output differs from unsharded run\nmerged:\n%s\nunsharded:\n%s",
+				out.ID, out.Text, want[i])
+		}
+	}
+
+	// Merge the shard-local cache snapshots and warm-start a fresh run:
+	// every Prepare must hit, and the output must still match.
+	mergedPath := filepath.Join(dir, "merged-cache.json")
+	if _, err := plancache.MergeSnapshotFiles(mergedPath, cachePaths...); err != nil {
+		t.Fatal(err)
+	}
+	warm := plancache.New(0)
+	if _, err := warm.LoadAll(mergedPath); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Len() == 0 {
+		t.Fatal("merged snapshot is empty; warm-start check would be vacuous")
+	}
+	got := unshardedOutputs(t, warm)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s: warm-started output differs from cold run", detIDs[i])
+		}
+	}
+	if s := warm.Stats(); s.Misses != 0 || s.Stores != 0 {
+		t.Errorf("warm start re-solved: %d misses / %d stores, want 0 / 0", s.Misses, s.Stores)
+	}
+}
+
+// TestMergePartialsEmptyBlocksAnyOrder: with more shards than cells, the
+// extra shards produce zero-row blocks whose Start equals a sibling's full
+// block; the merge must tile correctly regardless of the order partial
+// files are given in.
+func TestMergePartialsEmptyBlocksAnyOrder(t *testing.T) {
+	mk := func(idx int, rows int) *Partial {
+		raws := make([]json.RawMessage, rows)
+		for i := range raws {
+			raws[i] = json.RawMessage(`{}`)
+		}
+		return &Partial{
+			Version:     PartialVersion,
+			Shard:       sweep.Shard{Index: idx, Count: 3},
+			Fingerprint: "fp",
+			Experiments: []PartialExperiment{{ID: "table6", Cells: 1, Start: 0, Rows: raws}},
+		}
+	}
+	// Shards 0 and 1 own empty spans of the 1-cell space; shard 2 owns the
+	// cell. Present them in descending order.
+	parts := []*Partial{mk(2, 1), mk(1, 0), mk(0, 0)}
+	outs, err := MergePartials(parts)
+	if err != nil {
+		t.Fatalf("valid shard set with empty blocks failed to merge: %v", err)
+	}
+	if len(outs) != 1 || outs[0].ID != "table6" {
+		t.Fatalf("unexpected outputs %+v", outs)
+	}
+}
+
+// TestMergePartialsRejectsIncoherentSets exercises the merge validation:
+// missing shards, duplicate shards, and mismatched fingerprints must not
+// silently merge.
+func TestMergePartialsRejectsIncoherentSets(t *testing.T) {
+	mk := func(idx, count int, fp string) *Partial {
+		return &Partial{
+			Version:     PartialVersion,
+			Shard:       sweep.Shard{Index: idx, Count: count},
+			Fingerprint: fp,
+			Experiments: []PartialExperiment{{ID: "table6", Cells: 2, Start: idx, Rows: make([]json.RawMessage, 1)}},
+		}
+	}
+	if _, err := MergePartials(nil); err == nil {
+		t.Error("empty set merged")
+	}
+	if _, err := MergePartials([]*Partial{mk(0, 2, "a")}); err == nil {
+		t.Error("missing shard merged")
+	}
+	if _, err := MergePartials([]*Partial{mk(0, 2, "a"), mk(0, 2, "a")}); err == nil {
+		t.Error("duplicate shard merged")
+	}
+	if _, err := MergePartials([]*Partial{mk(0, 2, "a"), mk(1, 2, "b")}); err == nil {
+		t.Error("mismatched fingerprints merged")
+	}
+}

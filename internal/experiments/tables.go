@@ -27,27 +27,33 @@ type Table1Row struct {
 	InferMS float64
 }
 
+// table1Cells enumerates the Table 1 model set.
+func table1Cells(*Runner) []string { return []string{"Whisper-M", "GPTN-S", "SD-UNet"} }
+
+// table1Cell measures one model under MNN preloading.
+func (r *Runner) table1Cell(abbr string) (Table1Row, error) {
+	mnn := baselines.MNN()
+	g := r.Graph(abbr)
+	br := r.Baseline(mnn, abbr)
+	if br.err != nil {
+		return Table1Row{}, br.err
+	}
+	load := units.Duration(float64(r.Cfg.Device.DiskBW.Time(g.TotalWeightBytes())) * mnn.LoadFactor)
+	return Table1Row{
+		Model:   abbr,
+		ParamsM: float64(g.Params()) / 1e6,
+		PeakMB:  br.report.Mem.Peak.MiB(),
+		AvgMB:   br.report.Mem.Average.MiB(),
+		LoadMS:  load.Milliseconds(),
+		TransMS: (br.report.Init - load).Milliseconds(),
+		InferMS: br.report.Exec.Milliseconds(),
+	}, nil
+}
+
 // Table1 reproduces the Table 1 motivation study: Whisper, GPT-Neo and
 // SD-UNet under MNN's weight preloading on the primary device.
 func (r *Runner) Table1() ([]Table1Row, error) {
-	mnn := baselines.MNN()
-	return parallel(r, []string{"Whisper-M", "GPTN-S", "SD-UNet"}, func(abbr string) (Table1Row, error) {
-		g := r.Graph(abbr)
-		br := r.Baseline(mnn, abbr)
-		if br.err != nil {
-			return Table1Row{}, br.err
-		}
-		load := units.Duration(float64(r.Cfg.Device.DiskBW.Time(g.TotalWeightBytes())) * mnn.LoadFactor)
-		return Table1Row{
-			Model:   abbr,
-			ParamsM: float64(g.Params()) / 1e6,
-			PeakMB:  br.report.Mem.Peak.MiB(),
-			AvgMB:   br.report.Mem.Average.MiB(),
-			LoadMS:  load.Milliseconds(),
-			TransMS: (br.report.Init - load).Milliseconds(),
-			InferMS: br.report.Exec.Milliseconds(),
-		}, nil
-	})
+	return parallel(r, table1Cells(r), r.table1Cell)
 }
 
 // RenderTable1 formats Table 1 rows.
@@ -74,27 +80,33 @@ type Table4Row struct {
 	Overlap  float64 // streamed weight fraction of the resulting plan
 }
 
+// table4Cells enumerates the Table 4 model set.
+func table4Cells(*Runner) []models.Spec { return models.Table4Set() }
+
+// table4Cell solves one model and reports the solver breakdown.
+func (r *Runner) table4Cell(spec models.Spec) (Table4Row, error) {
+	caps := profiler.AnalyticCapacityFunc(r.Cfg.Device)
+	cfg := r.solveConfig()
+	g := spec.Build()
+	// Adaptive peak-memory control (Table 3): billion-parameter models
+	// get a proportionally larger in-flight budget.
+	plan := opg.Solve(g, caps, opg.AdaptMPeak(cfg, g))
+	st := plan.Stats
+	return Table4Row{
+		Model:    spec.Abbr,
+		ProcessS: st.ProcessTime.Seconds(),
+		BuildS:   st.BuildTime.Seconds(),
+		SolveS:   st.SolveTime.Seconds(),
+		Status:   st.Status,
+		Windows:  st.Windows,
+		Overlap:  plan.OverlapFraction(),
+	}, nil
+}
+
 // Table4 reproduces the solver execution-time breakdown on the Table 4
 // model set (GPT-Neo family, ViT-8B, Llama2-13B/70B).
 func (r *Runner) Table4() []Table4Row {
-	caps := profiler.AnalyticCapacityFunc(r.Cfg.Device)
-	cfg := r.solveConfig()
-	rows, err := parallel(r, models.Table4Set(), func(spec models.Spec) (Table4Row, error) {
-		g := spec.Build()
-		// Adaptive peak-memory control (Table 3): billion-parameter models
-		// get a proportionally larger in-flight budget.
-		plan := opg.Solve(g, caps, opg.AdaptMPeak(cfg, g))
-		st := plan.Stats
-		return Table4Row{
-			Model:    spec.Abbr,
-			ProcessS: st.ProcessTime.Seconds(),
-			BuildS:   st.BuildTime.Seconds(),
-			SolveS:   st.SolveTime.Seconds(),
-			Status:   st.Status,
-			Windows:  st.Windows,
-			Overlap:  plan.OverlapFraction(),
-		}, nil
-	})
+	rows, err := parallel(r, table4Cells(r), r.table4Cell)
 	if err != nil {
 		// Cells only fail by panicking (solver bugs); zero-filled rows in a
 		// published-style table would be silently wrong, so fail loudly like
@@ -125,17 +137,24 @@ type Table6Row struct {
 	Layers                   int
 }
 
+// modelCells enumerates the configured model set — shared by every
+// experiment whose cells are exactly the Table 6 models.
+func modelCells(r *Runner) []models.Spec { return r.Cfg.modelSet() }
+
+// table6Cell characterizes one model from its builder.
+func (r *Runner) table6Cell(spec models.Spec) (Table6Row, error) {
+	g := r.Graph(spec.Abbr)
+	return Table6Row{
+		Model: spec.Name, Abbr: spec.Abbr, Input: spec.InputType, Task: spec.Task,
+		ParamsM: float64(g.Params()) / 1e6,
+		MACsG:   g.TotalMACs().GigaMACs(),
+		Layers:  g.Len(),
+	}, nil
+}
+
 // Table6 regenerates the model characterization table from the builders.
 func (r *Runner) Table6() []Table6Row {
-	rows, err := parallel(r, r.Cfg.modelSet(), func(spec models.Spec) (Table6Row, error) {
-		g := r.Graph(spec.Abbr)
-		return Table6Row{
-			Model: spec.Name, Abbr: spec.Abbr, Input: spec.InputType, Task: spec.Task,
-			ParamsM: float64(g.Params()) / 1e6,
-			MACsG:   g.TotalMACs().GigaMACs(),
-			Layers:  g.Len(),
-		}, nil
-	})
+	rows, err := parallel(r, modelCells(r), r.table6Cell)
 	if err != nil {
 		panic(err) // cells only fail by panicking (e.g. unknown model)
 	}
@@ -180,46 +199,44 @@ type Table7Result struct {
 	Geomeans map[string]float64 // framework → geomean speedup over FlashMem
 }
 
-// Table7 reproduces the overall latency comparison. Each model's cell —
-// the FlashMem run plus every baseline — is one parallel sweep unit; the
-// geomean aggregation happens serially over the ordered rows.
-func (r *Runner) Table7() (*Table7Result, error) {
-	rows, err := parallel(r, r.Cfg.modelSet(), func(spec models.Spec) (Table7Row, error) {
-		fr, err := r.Flash(spec.Abbr)
-		if err != nil {
-			return Table7Row{}, err
-		}
-		row := Table7Row{
-			Model:     spec.Abbr,
-			Baselines: map[string]Cell{},
-			OursMS:    fr.report.Integrated.Milliseconds(),
-		}
-		var others []float64
-		for _, f := range baselines.All() {
-			br := r.Baseline(f, spec.Abbr)
-			if br.err != nil {
-				row.Baselines[f.Name] = Cell{Supported: false, Reason: br.err.Error()}
-				continue
-			}
-			cell := Cell{
-				Supported: true,
-				InitMS:    br.report.Init.Milliseconds(),
-				ExecMS:    br.report.Exec.Milliseconds(),
-			}
-			row.Baselines[f.Name] = cell
-			speedup := cell.Integrated() / row.OursMS
-			if f.Name == "SmartMem" {
-				row.SpeedupSMem = speedup
-			} else {
-				others = append(others, speedup)
-			}
-		}
-		row.SpeedupOthers = metrics.GeoMean(others)
-		return row, nil
-	})
+// table7Cell runs one model's FlashMem run plus every baseline.
+func (r *Runner) table7Cell(spec models.Spec) (Table7Row, error) {
+	fr, err := r.Flash(spec.Abbr)
 	if err != nil {
-		return nil, err
+		return Table7Row{}, err
 	}
+	row := Table7Row{
+		Model:     spec.Abbr,
+		Baselines: map[string]Cell{},
+		OursMS:    fr.report.Integrated.Milliseconds(),
+	}
+	var others []float64
+	for _, f := range baselines.All() {
+		br := r.Baseline(f, spec.Abbr)
+		if br.err != nil {
+			row.Baselines[f.Name] = Cell{Supported: false, Reason: br.err.Error()}
+			continue
+		}
+		cell := Cell{
+			Supported: true,
+			InitMS:    br.report.Init.Milliseconds(),
+			ExecMS:    br.report.Exec.Milliseconds(),
+		}
+		row.Baselines[f.Name] = cell
+		speedup := cell.Integrated() / row.OursMS
+		if f.Name == "SmartMem" {
+			row.SpeedupSMem = speedup
+		} else {
+			others = append(others, speedup)
+		}
+	}
+	row.SpeedupOthers = metrics.GeoMean(others)
+	return row, nil
+}
+
+// table7Aggregate folds ordered per-model rows into the final result with
+// per-framework geomeans.
+func table7Aggregate(rows []Table7Row) *Table7Result {
 	res := &Table7Result{Rows: rows, Geomeans: map[string]float64{}}
 	perFramework := map[string][]float64{}
 	for _, row := range rows {
@@ -232,7 +249,18 @@ func (r *Runner) Table7() (*Table7Result, error) {
 	for name, sp := range perFramework {
 		res.Geomeans[name] = metrics.GeoMean(sp)
 	}
-	return res, nil
+	return res
+}
+
+// Table7 reproduces the overall latency comparison. Each model's cell —
+// the FlashMem run plus every baseline — is one parallel sweep unit; the
+// geomean aggregation happens serially over the ordered rows.
+func (r *Runner) Table7() (*Table7Result, error) {
+	rows, err := parallel(r, modelCells(r), r.table7Cell)
+	if err != nil {
+		return nil, err
+	}
+	return table7Aggregate(rows), nil
 }
 
 // RenderTable7 formats the latency comparison.
@@ -283,34 +311,33 @@ type Table8Result struct {
 	Geomeans map[string]float64
 }
 
-// Table8 reproduces the overall memory comparison.
-func (r *Runner) Table8() (*Table8Result, error) {
-	rows, err := parallel(r, r.Cfg.modelSet(), func(spec models.Spec) (Table8Row, error) {
-		fr, err := r.Flash(spec.Abbr)
-		if err != nil {
-			return Table8Row{}, err
-		}
-		row := Table8Row{
-			Model:     spec.Abbr,
-			Baselines: map[string]float64{},
-			OursMB:    fr.report.Mem.Average.MiB(),
-		}
-		for _, f := range baselines.All() {
-			br := r.Baseline(f, spec.Abbr)
-			if br.err != nil {
-				continue
-			}
-			avg := br.report.Mem.Average.MiB()
-			row.Baselines[f.Name] = avg
-			if f.Name == "SmartMem" {
-				row.MemReDT = avg / row.OursMB
-			}
-		}
-		return row, nil
-	})
+// table8Cell runs one model's memory comparison.
+func (r *Runner) table8Cell(spec models.Spec) (Table8Row, error) {
+	fr, err := r.Flash(spec.Abbr)
 	if err != nil {
-		return nil, err
+		return Table8Row{}, err
 	}
+	row := Table8Row{
+		Model:     spec.Abbr,
+		Baselines: map[string]float64{},
+		OursMB:    fr.report.Mem.Average.MiB(),
+	}
+	for _, f := range baselines.All() {
+		br := r.Baseline(f, spec.Abbr)
+		if br.err != nil {
+			continue
+		}
+		avg := br.report.Mem.Average.MiB()
+		row.Baselines[f.Name] = avg
+		if f.Name == "SmartMem" {
+			row.MemReDT = avg / row.OursMB
+		}
+	}
+	return row, nil
+}
+
+// table8Aggregate folds ordered rows into the final result.
+func table8Aggregate(rows []Table8Row) *Table8Result {
 	res := &Table8Result{Rows: rows, Geomeans: map[string]float64{}}
 	perFramework := map[string][]float64{}
 	for _, row := range rows {
@@ -321,7 +348,16 @@ func (r *Runner) Table8() (*Table8Result, error) {
 	for name, v := range perFramework {
 		res.Geomeans[name] = metrics.GeoMean(v)
 	}
-	return res, nil
+	return res
+}
+
+// Table8 reproduces the overall memory comparison.
+func (r *Runner) Table8() (*Table8Result, error) {
+	rows, err := parallel(r, modelCells(r), r.table8Cell)
+	if err != nil {
+		return nil, err
+	}
+	return table8Aggregate(rows), nil
 }
 
 // RenderTable8 formats the memory comparison.
@@ -367,39 +403,46 @@ type Table9Row struct {
 	SDUNet    Table9Cell
 }
 
-// Table9 reproduces the power/energy comparison on DeepViT and SD-UNet.
-// The FlashMem row rides along as a pseudo-framework in the same sweep.
-func (r *Runner) Table9() ([]Table9Row, error) {
+// table9Cells enumerates the compared frameworks; FlashMem rides along as
+// a pseudo-framework.
+func table9Cells(*Runner) []string {
+	return []string{"MNN", "LiteRT", "ExecuTorch", "SmartMem", "FlashMem"}
+}
+
+// table9Cell measures one framework's power/energy on the two models.
+func (r *Runner) table9Cell(name string) (Table9Row, error) {
 	pm := power.Default()
-	frameworks := []string{"MNN", "LiteRT", "ExecuTorch", "SmartMem", "FlashMem"}
-	return parallel(r, frameworks, func(name string) (Table9Row, error) {
-		row := Table9Row{Framework: name}
-		for _, abbr := range []string{"DeepViT", "SD-UNet"} {
-			var cell Table9Cell
-			if name == "FlashMem" {
-				fr, err := r.Flash(abbr)
-				if err != nil {
-					return Table9Row{}, err
-				}
-				u := pm.Measure(fr.machine, fr.report.Integrated)
-				cell = Table9Cell{Supported: true, PowerW: u.AveragePowerW, EnergyJ: u.EnergyJ}
-			} else {
-				f, _ := baselines.ByName(name)
-				br := r.Baseline(f, abbr)
-				if br.err != nil {
-					continue
-				}
-				u := pm.Measure(br.machine, br.report.Init+br.report.Exec)
-				cell = Table9Cell{Supported: true, PowerW: u.AveragePowerW, EnergyJ: u.EnergyJ}
+	row := Table9Row{Framework: name}
+	for _, abbr := range []string{"DeepViT", "SD-UNet"} {
+		var cell Table9Cell
+		if name == "FlashMem" {
+			fr, err := r.Flash(abbr)
+			if err != nil {
+				return Table9Row{}, err
 			}
-			if abbr == "DeepViT" {
-				row.DeepViT = cell
-			} else {
-				row.SDUNet = cell
+			u := pm.Measure(fr.machine, fr.report.Integrated)
+			cell = Table9Cell{Supported: true, PowerW: u.AveragePowerW, EnergyJ: u.EnergyJ}
+		} else {
+			f, _ := baselines.ByName(name)
+			br := r.Baseline(f, abbr)
+			if br.err != nil {
+				continue
 			}
+			u := pm.Measure(br.machine, br.report.Init+br.report.Exec)
+			cell = Table9Cell{Supported: true, PowerW: u.AveragePowerW, EnergyJ: u.EnergyJ}
 		}
-		return row, nil
-	})
+		if abbr == "DeepViT" {
+			row.DeepViT = cell
+		} else {
+			row.SDUNet = cell
+		}
+	}
+	return row, nil
+}
+
+// Table9 reproduces the power/energy comparison on DeepViT and SD-UNet.
+func (r *Runner) Table9() ([]Table9Row, error) {
+	return parallel(r, table9Cells(r), r.table9Cell)
 }
 
 // RenderTable9 formats the power/energy comparison.

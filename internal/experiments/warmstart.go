@@ -25,41 +25,49 @@ type WarmStartRow struct {
 	CrossoverRuns int // smallest N with init + N·exec < N·flashmem (0 = never)
 }
 
-// WarmStart computes the FIFO-vs-resident crossover for the models both
-// systems support.
-func (r *Runner) WarmStart() ([]WarmStartRow, error) {
-	sm := baselines.SmartMem()
-	cells, err := parallel(r, r.Cfg.modelSet(), func(spec models.Spec) (*WarmStartRow, error) {
-		br := r.Baseline(sm, spec.Abbr)
-		if br.err != nil {
-			return nil, nil // SmartMem-unsupported model: no crossover row
-		}
-		fr, err := r.Flash(spec.Abbr)
-		if err != nil {
-			return nil, err
-		}
-		row := &WarmStartRow{
-			Model:        spec.Abbr,
-			FlashMemMS:   fr.report.Integrated.Milliseconds(),
-			SmartMemInit: br.report.Init.Milliseconds(),
-			SmartMemExec: br.report.Exec.Milliseconds(),
-		}
-		// init + N·exec < N·flash  ⇔  N > init / (flash − exec).
-		if gain := row.FlashMemMS - row.SmartMemExec; gain > 0 {
-			row.CrossoverRuns = int(row.SmartMemInit/gain) + 1
-		}
-		return row, nil
-	})
+// warmStartCell computes one model's crossover; a nil row means SmartMem
+// does not support the model.
+func (r *Runner) warmStartCell(spec models.Spec) (*WarmStartRow, error) {
+	br := r.Baseline(baselines.SmartMem(), spec.Abbr)
+	if br.err != nil {
+		return nil, nil // SmartMem-unsupported model: no crossover row
+	}
+	fr, err := r.Flash(spec.Abbr)
 	if err != nil {
 		return nil, err
 	}
+	row := &WarmStartRow{
+		Model:        spec.Abbr,
+		FlashMemMS:   fr.report.Integrated.Milliseconds(),
+		SmartMemInit: br.report.Init.Milliseconds(),
+		SmartMemExec: br.report.Exec.Milliseconds(),
+	}
+	// init + N·exec < N·flash  ⇔  N > init / (flash − exec).
+	if gain := row.FlashMemMS - row.SmartMemExec; gain > 0 {
+		row.CrossoverRuns = int(row.SmartMemInit/gain) + 1
+	}
+	return row, nil
+}
+
+// warmStartAggregate drops the unsupported-model cells.
+func warmStartAggregate(cells []*WarmStartRow) []WarmStartRow {
 	var rows []WarmStartRow
 	for _, c := range cells {
 		if c != nil {
 			rows = append(rows, *c)
 		}
 	}
-	return rows, nil
+	return rows
+}
+
+// WarmStart computes the FIFO-vs-resident crossover for the models both
+// systems support.
+func (r *Runner) WarmStart() ([]WarmStartRow, error) {
+	cells, err := parallel(r, modelCells(r), r.warmStartCell)
+	if err != nil {
+		return nil, err
+	}
+	return warmStartAggregate(cells), nil
 }
 
 // RenderWarmStart formats the crossover table.

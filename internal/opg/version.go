@@ -1,0 +1,12 @@
+package opg
+
+// SolverVersion names the current generation of the LC-OPG heuristics: the
+// candidate-window pruning, the tiered fallback ladder, and the greedy
+// packer. It is baked into every plan-cache key (core.PlanKey) and recorded
+// in persisted snapshots, so plans solved by an older generation are
+// invalidated — they miss the cache and are re-solved — rather than
+// silently reused after the heuristics change.
+//
+// Bump this string whenever a change to this package (or to the cpsat
+// search it drives) can alter the plan produced for an identical input.
+const SolverVersion = "lc-opg-2"

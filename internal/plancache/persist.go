@@ -1,6 +1,7 @@
 package plancache
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -9,11 +10,15 @@ import (
 	"repro/internal/graph"
 	"repro/internal/opg"
 	"repro/internal/tensor"
+	"repro/internal/units"
 )
 
-// FormatVersion tags the on-disk snapshot layout. Load rejects snapshots
-// written by a different version rather than guessing at field meanings.
-const FormatVersion = 1
+// FormatVersion tags the on-disk snapshot layout. Version 2 adds the
+// solver-version field. Version-1 files still decode without error, but
+// their entries are all dropped (with a count): they predate the
+// solver-version salt in plan keys, so none of them could ever hit.
+// Unknown versions are rejected rather than guessed at.
+const FormatVersion = 2
 
 // persistedNode flattens one graph node; IDs are implicit in order, which
 // matches how graph.Graph.Add assigns them on rebuild.
@@ -38,17 +43,46 @@ type persistedEntry struct {
 }
 
 // snapshot is the whole file, entries ordered least → most recently used
-// so sequential re-insertion on Load reproduces the LRU order.
+// so sequential re-insertion on Load reproduces the LRU order. Solver
+// records the LC-OPG generation that produced the plans: entries from
+// another generation could never hit (their keys embed a different salt),
+// so loaders skip them wholesale.
 type snapshot struct {
 	Version int              `json:"version"`
+	Solver  string           `json:"solver,omitempty"`
 	Entries []persistedEntry `json:"entries"`
+}
+
+// rawSnapshot defers entry decoding so a damaged entry in an old snapshot
+// can be skipped instead of poisoning the whole file.
+type rawSnapshot struct {
+	Version int               `json:"version"`
+	Solver  string            `json:"solver"`
+	Entries []json.RawMessage `json:"entries"`
+}
+
+// LoadStats summarizes one or more snapshot loads.
+type LoadStats struct {
+	Files   int // snapshot files actually read (missing files are cold starts)
+	Loaded  int // entries inserted into the cache
+	Dropped int // undecodable or stale-solver entries skipped
+	Evicted int // LRU evictions forced during the load: the snapshot
+	// exceeded the cache bound, so a warm start cannot be complete
+}
+
+// add accumulates another file's stats.
+func (s *LoadStats) add(o LoadStats) {
+	s.Files += o.Files
+	s.Loaded += o.Loaded
+	s.Dropped += o.Dropped
+	s.Evicted += o.Evicted
 }
 
 // Save writes the cache contents as JSON. Counters are not persisted —
 // stats describe one process lifetime.
 func (c *Cache) Save(path string) error {
 	c.mu.Lock()
-	snap := snapshot{Version: FormatVersion}
+	snap := snapshot{Version: FormatVersion, Solver: opg.SolverVersion}
 	for el := c.order.Back(); el != nil; el = el.Prev() {
 		en := el.Value.(*entry)
 		snap.Entries = append(snap.Entries, persistedEntry{
@@ -72,39 +106,195 @@ func (c *Cache) Save(path string) error {
 
 // Load merges a saved snapshot into the cache. Loaded entries do not count
 // as stores. A missing file is not an error — cold start is the normal
-// first-run case.
+// first-run case. Current-version snapshots decode strictly; old-format
+// or stale-solver snapshots degrade to a cold start rather than an error.
+// Use LoadAll to observe the dropped count.
 func (c *Cache) Load(path string) error {
+	_, err := c.loadFile(path)
+	return err
+}
+
+// LoadAll merges any number of snapshot files — typically the shard-local
+// snapshots of a distributed sweep — into the cache in argument order, so
+// on duplicate keys the last file wins. It reports how many entries were
+// loaded and how many were dropped by best-effort or stale-solver decoding.
+func (c *Cache) LoadAll(paths ...string) (LoadStats, error) {
+	var stats LoadStats
+	for _, path := range paths {
+		s, err := c.loadFile(path)
+		stats.add(s)
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// loadFile reads, decodes, and inserts one snapshot.
+func (c *Cache) loadFile(path string) (LoadStats, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return nil
+		return LoadStats{}, nil
 	}
 	if err != nil {
-		return fmt.Errorf("plancache: read: %w", err)
+		return LoadStats{}, fmt.Errorf("plancache: read: %w", err)
 	}
-	var snap snapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return fmt.Errorf("plancache: decode %s: %w", path, err)
+	entries, stats, err := decodeSnapshot(path, data)
+	if err != nil {
+		return stats, err
 	}
-	if snap.Version != FormatVersion {
-		return fmt.Errorf("plancache: %s has format version %d, want %d", path, snap.Version, FormatVersion)
-	}
-	preps := make([]*core.Prepared, len(snap.Entries))
-	for i, en := range snap.Entries {
-		if en.Plan == nil {
-			return fmt.Errorf("plancache: entry %q has no plan", en.Key)
-		}
+	preps := make([]*core.Prepared, len(entries))
+	for i, en := range entries {
 		g, err := rebuildGraph(en.Graph)
 		if err != nil {
-			return fmt.Errorf("plancache: entry %q: %w", en.Key, err)
+			return stats, fmt.Errorf("plancache: entry %q: %w", en.Key, err)
 		}
 		preps[i] = &core.Prepared{Graph: g, Plan: en.Plan}
 	}
 	c.mu.Lock()
-	for i, en := range snap.Entries {
+	evictionsBefore := c.stats.Evictions
+	for i, en := range entries {
 		c.insert(en.Key, preps[i])
 	}
+	stats.Evicted = int(c.stats.Evictions - evictionsBefore)
 	c.mu.Unlock()
-	return nil
+	return stats, nil
+}
+
+// decodeSnapshot parses and version-checks one snapshot file, returning
+// the surviving entries in their on-disk (least → most recently used)
+// order. Entries that cannot be used — a version-1 file, or a file
+// written by a different solver generation — are counted in Dropped
+// rather than failing the load. Decode and graph-rebuild errors of
+// current-version entries still fail hard: a freshly written file should
+// never be corrupt.
+func decodeSnapshot(path string, data []byte) ([]persistedEntry, LoadStats, error) {
+	var raw rawSnapshot
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, LoadStats{Files: 1}, fmt.Errorf("plancache: decode %s: %w", path, err)
+	}
+	switch raw.Version {
+	case FormatVersion:
+		if raw.Solver != opg.SolverVersion {
+			// The keys in this file embed another solver generation's salt
+			// and can never hit; loading them would only pollute the LRU.
+			return nil, LoadStats{Files: 1, Dropped: len(raw.Entries)}, nil
+		}
+		entries := make([]persistedEntry, len(raw.Entries))
+		for i, msg := range raw.Entries {
+			if err := json.Unmarshal(msg, &entries[i]); err != nil {
+				return nil, LoadStats{Files: 1}, fmt.Errorf("plancache: %s entry %d: %w", path, i, err)
+			}
+			if entries[i].Plan == nil {
+				return nil, LoadStats{Files: 1}, fmt.Errorf("plancache: %s entry %q has no plan", path, entries[i].Key)
+			}
+		}
+		return entries, LoadStats{Files: 1, Loaded: len(entries)}, nil
+	case 1:
+		// Version-1 snapshots predate the solver-version salt in
+		// core.PlanKey: every stored key was computed without the salt, so
+		// no current lookup can ever hit one. They are handled like a
+		// stale-solver file — every entry dropped with a count, never a
+		// hard error — so an old warm-start file (even a damaged one)
+		// degrades to a cold start instead of failing the run.
+		return nil, LoadStats{Files: 1, Dropped: len(raw.Entries)}, nil
+	default:
+		return nil, LoadStats{Files: 1}, fmt.Errorf("plancache: %s has format version %d, want %d", path, raw.Version, FormatVersion)
+	}
+}
+
+// MergeStats summarizes a snapshot merge.
+type MergeStats struct {
+	Files    int
+	Entries  int // entries in the merged snapshot
+	Replaced int // identical-key, identical-plan overwrites (last writer wins)
+	Dropped  int // undecodable or stale-solver entries skipped
+}
+
+// MergeSnapshotFiles joins shard-local snapshots into one warm-start file
+// at out. Later paths win on identical keys; a key that maps to two
+// *different* plans is a conflict and fails the merge — the solver is
+// deterministic and keys embed the full configuration and solver version,
+// so diverging plans mean a corrupt or mislabeled snapshot, not a benign
+// race. Unlike Load, a missing input file is an error: a lost shard
+// snapshot must not silently produce a colder merged cache.
+func MergeSnapshotFiles(out string, paths ...string) (MergeStats, error) {
+	var stats MergeStats
+	if len(paths) == 0 {
+		return stats, fmt.Errorf("plancache: merge: no snapshot files given")
+	}
+	var order []string // first-appearance key order
+	merged := map[string]persistedEntry{}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return stats, fmt.Errorf("plancache: merge: %w", err)
+		}
+		entries, ls, err := decodeSnapshot(path, data)
+		stats.Files++
+		stats.Dropped += ls.Dropped
+		if err != nil {
+			return stats, err
+		}
+		for _, en := range entries {
+			prev, ok := merged[en.Key]
+			if !ok {
+				order = append(order, en.Key)
+				merged[en.Key] = en
+				continue
+			}
+			same, err := samePayload(prev, en)
+			if err != nil {
+				return stats, fmt.Errorf("plancache: merge %s: %w", path, err)
+			}
+			if !same {
+				return stats, fmt.Errorf("plancache: merge %s: key %.16s… maps to conflicting plans", path, en.Key)
+			}
+			merged[en.Key] = en // last writer wins
+			stats.Replaced++
+		}
+	}
+	snap := snapshot{Version: FormatVersion, Solver: opg.SolverVersion}
+	for _, key := range order {
+		snap.Entries = append(snap.Entries, merged[key])
+	}
+	stats.Entries = len(snap.Entries)
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return stats, fmt.Errorf("plancache: merge encode: %w", err)
+	}
+	tmp := out + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return stats, fmt.Errorf("plancache: merge write: %w", err)
+	}
+	return stats, os.Rename(tmp, out)
+}
+
+// samePayload compares two entries' schedule content — the graph and the
+// plan's actual weight schedule — via their canonical JSON encoding.
+// Plan.Stats is excluded: it records wall-clock solve measurements, which
+// legitimately differ between two solves of the same deterministic result.
+func samePayload(a, b persistedEntry) (bool, error) {
+	ab, err := json.Marshal(planPayload(a))
+	if err != nil {
+		return false, err
+	}
+	bb, err := json.Marshal(planPayload(b))
+	if err != nil {
+		return false, err
+	}
+	return bytes.Equal(ab, bb), nil
+}
+
+// planPayload projects the conflict-relevant fields of an entry.
+func planPayload(e persistedEntry) any {
+	return struct {
+		G         persistedGraph
+		Model     string
+		ChunkSize units.Bytes
+		MPeak     units.Bytes
+		Weights   []opg.WeightPlan
+	}{e.Graph, e.Plan.Model, e.Plan.ChunkSize, e.Plan.MPeak, e.Plan.Weights}
 }
 
 // flattenGraph converts a graph to its persisted form via the public API.

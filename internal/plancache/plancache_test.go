@@ -1,6 +1,7 @@
 package plancache
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/graph"
 	"repro/internal/models"
+	"repro/internal/opg"
 	"repro/internal/units"
 )
 
@@ -223,12 +225,230 @@ func TestLoadRejectsVersionMismatch(t *testing.T) {
 
 func TestLoadRejectsEntryWithoutPlan(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "plans.json")
-	data := fmt.Sprintf(`{"version":%d,"entries":[{"key":"k","graph":{"name":"g","dtype":0,"nodes":[]},"plan":null}]}`, FormatVersion)
+	data := fmt.Sprintf(`{"version":%d,"solver":%q,"entries":[{"key":"k","graph":{"name":"g","dtype":0,"nodes":[]},"plan":null}]}`,
+		FormatVersion, opg.SolverVersion)
 	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if err := New(0).Load(path); err == nil {
 		t.Fatal("nil-plan entry not rejected")
+	}
+}
+
+func TestLoadSkipsStaleSolverSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.json")
+	data := fmt.Sprintf(`{"version":%d,"solver":"lc-opg-0","entries":[{"key":"k","graph":{"name":"g","dtype":0,"nodes":[]},"plan":{"chunk_size":1}}]}`,
+		FormatVersion)
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := New(0)
+	stats, err := c.LoadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Errorf("stale-solver entries loaded: %d", c.Len())
+	}
+	if stats.Dropped != 1 || stats.Loaded != 0 {
+		t.Errorf("stats = %+v, want 1 dropped / 0 loaded", stats)
+	}
+}
+
+// saveAsV1 rewrites a cache snapshot into the version-1 layout (no solver
+// field), optionally corrupting some entries, to exercise the migration
+// path without keeping stale fixture files around.
+func saveAsV1(t *testing.T, c *Cache, path string, corrupt func([]map[string]any)) {
+	t.Helper()
+	tmp := filepath.Join(t.TempDir(), "v2.json")
+	if err := c.Save(tmp); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	snap["version"] = 1
+	delete(snap, "solver")
+	if corrupt != nil {
+		var entries []map[string]any
+		for _, e := range snap["entries"].([]any) {
+			entries = append(entries, e.(map[string]any))
+		}
+		corrupt(entries)
+	}
+	out, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersion1SnapshotDegradesToColdStart(t *testing.T) {
+	cache := New(0)
+	opts := testOptions()
+	opts.Cache = cache
+	e := core.NewEngine(opts)
+	for _, abbr := range []string{"ResNet", "DepthA-S"} {
+		if _, err := e.Prepare(models.MustByAbbr(abbr).Build()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("seed cache has %d entries, want 2", cache.Len())
+	}
+
+	// A version-1 file predates the solver-version key salt, so none of
+	// its entries could ever hit; they must all be dropped — with a count,
+	// not an error — instead of polluting the LRU and faking a warm start.
+	clean := filepath.Join(t.TempDir(), "v1-clean.json")
+	saveAsV1(t, cache, clean, nil)
+	c1 := New(0)
+	stats, err := c1.LoadAll(clean)
+	if err != nil {
+		t.Fatalf("v1 snapshot must not be rejected: %v", err)
+	}
+	if c1.Len() != 0 || stats.Loaded != 0 || stats.Dropped != 2 {
+		t.Errorf("v1 load: len=%d stats=%+v, want 0 loaded / 2 dropped", c1.Len(), stats)
+	}
+
+	// Even a damaged v1 file degrades to a cold start rather than an error.
+	damaged := filepath.Join(t.TempDir(), "v1-damaged.json")
+	saveAsV1(t, cache, damaged, func(entries []map[string]any) {
+		entries[0]["plan"] = nil
+	})
+	c2 := New(0)
+	stats, err = c2.LoadAll(damaged)
+	if err != nil {
+		t.Fatalf("damaged v1 snapshot must not be rejected: %v", err)
+	}
+	if c2.Len() != 0 || stats.Dropped != 2 {
+		t.Errorf("damaged v1 load: len=%d stats=%+v, want 0 loaded / 2 dropped", c2.Len(), stats)
+	}
+}
+
+func TestLoadAllMergesShardSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions()
+	shardModels := [][]string{{"ResNet"}, {"DepthA-S"}}
+	var paths []string
+	for i, set := range shardModels {
+		c := New(0)
+		o := opts
+		o.Cache = c
+		e := core.NewEngine(o)
+		for _, abbr := range set {
+			if _, err := e.Prepare(models.MustByAbbr(abbr).Build()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p := filepath.Join(dir, fmt.Sprintf("shard-%d.json", i))
+		if err := c.Save(p); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+
+	merged := New(0)
+	stats, err := merged.LoadAll(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != 2 || stats.Loaded != 2 || stats.Files != 2 {
+		t.Errorf("merged len=%d stats=%+v, want 2 entries from 2 files", merged.Len(), stats)
+	}
+
+	// The merged cache warm-starts both models with zero re-solves.
+	o := opts
+	o.Cache = merged
+	e := core.NewEngine(o)
+	for _, abbr := range []string{"ResNet", "DepthA-S"} {
+		p, err := e.Prepare(models.MustByAbbr(abbr).Build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.FromCache {
+			t.Errorf("%s not served from merged cache", abbr)
+		}
+	}
+	if s := merged.Stats(); s.Misses != 0 {
+		t.Errorf("warm start recorded %d misses, want 0", s.Misses)
+	}
+}
+
+func TestMergeSnapshotFiles(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions()
+
+	build := func(name string, abbrs ...string) string {
+		c := New(0)
+		o := opts
+		o.Cache = c
+		e := core.NewEngine(o)
+		for _, abbr := range abbrs {
+			if _, err := e.Prepare(models.MustByAbbr(abbr).Build()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p := filepath.Join(dir, name)
+		if err := c.Save(p); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// ResNet appears in both shards with an identical deterministic plan:
+	// last writer wins, no conflict.
+	a := build("a.json", "ResNet")
+	b := build("b.json", "ResNet", "DepthA-S")
+
+	out := filepath.Join(dir, "merged.json")
+	stats, err := MergeSnapshotFiles(out, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entries != 2 || stats.Replaced != 1 || stats.Files != 2 {
+		t.Errorf("stats = %+v, want 2 entries / 1 replaced / 2 files", stats)
+	}
+	c := New(0)
+	if err := c.Load(out); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Errorf("merged snapshot has %d entries, want 2", c.Len())
+	}
+
+	// A key mapping to two different plans is corruption, not a merge.
+	conflicted := filepath.Join(dir, "conflict.json")
+	raw, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	en := snap["entries"].([]any)[0].(map[string]any)
+	en["plan"].(map[string]any)["ChunkSize"] = float64(12345)
+	mut, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(conflicted, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeSnapshotFiles(filepath.Join(dir, "bad.json"), a, conflicted); err == nil {
+		t.Fatal("conflicting plans under one key must fail the merge")
+	}
+
+	// A missing shard snapshot must not silently merge colder.
+	if _, err := MergeSnapshotFiles(filepath.Join(dir, "x.json"), a, filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing input snapshot must fail the merge")
 	}
 }
 
@@ -263,5 +483,31 @@ func TestCustomCapacityWithoutKeySkipsCache(t *testing.T) {
 	}
 	if !p2.FromCache {
 		t.Error("keyed custom capacity should cache")
+	}
+}
+
+func TestLoadReportsEvictionsPastBound(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.json")
+	g := models.MustByAbbr("ResNet").Build()
+	src := New(0)
+	for i := 0; i < 3; i++ {
+		src.Put(fmt.Sprintf("k%d", i), &core.Prepared{Graph: g, Plan: &opg.Plan{Model: "ResNet", ChunkSize: units.MB}})
+	}
+	if err := src.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// A snapshot larger than the cache bound cannot warm-start completely;
+	// the load must say so instead of silently evicting.
+	dst := New(2)
+	stats, err := dst.LoadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Loaded != 3 || stats.Evicted != 1 {
+		t.Errorf("stats = %+v, want 3 loaded / 1 evicted", stats)
+	}
+	if dst.Len() != 2 {
+		t.Errorf("len = %d, want the bound 2", dst.Len())
 	}
 }

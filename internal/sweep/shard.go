@@ -1,0 +1,73 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Shard selects one partition of an enumerable cell set for distributed
+// sweeps: shard Index of Count owns a contiguous, balanced block of the
+// cells, so any shard can be computed in isolation and shard outputs
+// concatenated in index order reproduce the unsharded result exactly. The
+// partition is a pure function of (Index, Count, len) — independent
+// processes agree on it without coordination.
+type Shard struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+}
+
+// Full is the trivial single-shard spec covering every cell.
+func Full() Shard { return Shard{Index: 0, Count: 1} }
+
+// ParseShard parses an "i/N" spec (e.g. "0/3").
+func ParseShard(s string) (Shard, error) {
+	idx, count, ok := strings.Cut(s, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("sweep: shard %q is not of the form i/N", s)
+	}
+	i, err1 := strconv.Atoi(strings.TrimSpace(idx))
+	n, err2 := strconv.Atoi(strings.TrimSpace(count))
+	if err1 != nil || err2 != nil {
+		return Shard{}, fmt.Errorf("sweep: shard %q is not of the form i/N", s)
+	}
+	sh := Shard{Index: i, Count: n}
+	if err := sh.Validate(); err != nil {
+		return Shard{}, err
+	}
+	return sh, nil
+}
+
+// String renders the spec in the "i/N" flag form.
+func (s Shard) String() string { return fmt.Sprintf("%d/%d", s.Index, s.Count) }
+
+// IsFull reports whether the shard covers the whole cell set.
+func (s Shard) IsFull() bool { return s.Count == 1 && s.Index == 0 }
+
+// Validate rejects impossible specs.
+func (s Shard) Validate() error {
+	if s.Count < 1 {
+		return fmt.Errorf("sweep: shard count %d < 1", s.Count)
+	}
+	if s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("sweep: shard index %d outside [0,%d)", s.Index, s.Count)
+	}
+	return nil
+}
+
+// Span returns the shard's half-open cell range [lo, hi) over n cells. The
+// blocks tile [0, n) exactly and differ in size by at most one cell, so
+// work stays balanced even when n is not a multiple of Count.
+func (s Shard) Span(n int) (lo, hi int) {
+	if n < 0 {
+		n = 0
+	}
+	return s.Index * n / s.Count, (s.Index + 1) * n / s.Count
+}
+
+// Slice returns the shard's contiguous sub-slice of items (aliasing the
+// input backing array).
+func Slice[T any](s Shard, items []T) []T {
+	lo, hi := s.Span(len(items))
+	return items[lo:hi]
+}

@@ -1,0 +1,114 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestShardTilesExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 10, 11, 100} {
+		for _, count := range []int{1, 2, 3, 4, 7, 16} {
+			seen := make([]int, n) // how many shards claim each cell
+			prevHi := 0
+			for i := 0; i < count; i++ {
+				sh := Shard{Index: i, Count: count}
+				if err := sh.Validate(); err != nil {
+					t.Fatalf("%v: %v", sh, err)
+				}
+				lo, hi := sh.Span(n)
+				if lo != prevHi {
+					t.Errorf("n=%d %v: span starts at %d, want %d (contiguous tiling)", n, sh, lo, prevHi)
+				}
+				if size := hi - lo; size < n/count || size > n/count+1 {
+					t.Errorf("n=%d %v: block size %d unbalanced", n, sh, size)
+				}
+				for c := lo; c < hi; c++ {
+					seen[c]++
+				}
+				prevHi = hi
+			}
+			if prevHi != n {
+				t.Errorf("n=%d count=%d: tiling ends at %d", n, count, prevHi)
+			}
+			for c, k := range seen {
+				if k != 1 {
+					t.Errorf("n=%d count=%d: cell %d claimed by %d shards", n, count, c, k)
+				}
+			}
+		}
+	}
+}
+
+func TestShardSliceConcatenationEqualsUnsharded(t *testing.T) {
+	items := make([]int, 23)
+	for i := range items {
+		items[i] = i * i
+	}
+	full, err := Map(context.Background(), 4, items, func(_ context.Context, _ int, v int) (int, error) {
+		return v + 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, count := range []int{1, 2, 3, 5} {
+		var merged []int
+		for i := 0; i < count; i++ {
+			part, err := Map(context.Background(), 4, Slice(Shard{Index: i, Count: count}, items),
+				func(_ context.Context, _ int, v int) (int, error) { return v + 1, nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			merged = append(merged, part...)
+		}
+		if !reflect.DeepEqual(merged, full) {
+			t.Errorf("count=%d: concatenated shard outputs %v != unsharded %v", count, merged, full)
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	sh, err := ParseShard("2/5")
+	if err != nil || sh != (Shard{Index: 2, Count: 5}) {
+		t.Fatalf("ParseShard(2/5) = %v, %v", sh, err)
+	}
+	if sh.String() != "2/5" {
+		t.Errorf("String() = %q", sh.String())
+	}
+	if !Full().IsFull() {
+		t.Error("Full() not full")
+	}
+	if (Shard{Index: 1, Count: 3}).IsFull() {
+		t.Error("1/3 reported full")
+	}
+	for _, bad := range []string{"", "3", "a/b", "1/0", "-1/2", "2/2", "3/2"} {
+		if _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard(%q) did not fail", bad)
+		}
+	}
+}
+
+func TestShardSpanDegenerate(t *testing.T) {
+	// More shards than cells: extra shards get empty spans, cells still
+	// land in exactly one shard.
+	total := 0
+	for i := 0; i < 8; i++ {
+		lo, hi := (Shard{Index: i, Count: 8}).Span(3)
+		total += hi - lo
+	}
+	if total != 3 {
+		t.Errorf("8 shards over 3 cells cover %d cells", total)
+	}
+	if lo, hi := Full().Span(0); lo != 0 || hi != 0 {
+		t.Errorf("empty set span = [%d,%d)", lo, hi)
+	}
+}
+
+// Shard examples double as documentation for the flag syntax.
+func ExampleParseShard() {
+	sh, _ := ParseShard("1/3")
+	lo, hi := sh.Span(10)
+	fmt.Println(lo, hi)
+	// Output: 3 6
+}
