@@ -9,7 +9,7 @@ GO ?= go
 SWEEP_FLAGS ?= -exp table1,table6,table7,table8,fig8,warmstart,abl-cache \
 	-models ViT,ResNet,GPTN-S -budget 5s -branches 1500
 
-.PHONY: build test test-short bench lint vet fmt fmt-check staticcheck shard-check clean
+.PHONY: build test test-short bench bench-solver lint vet fmt fmt-check staticcheck shard-check clean
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,15 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# The CP-SAT / LC-OPG perf trajectory: cpsat micro-benchmarks, cold
+# opg.Solve on the bundled Table 4 models, and the Table 4 sweep itself.
+# CI's nightly job archives the output (via cmd/benchjson) as
+# BENCH_solver.json so future solver changes have a baseline to beat.
+bench-solver:
+	$(GO) test -run '^$$' -bench 'BenchmarkKnapsack|BenchmarkImplicationChain' -benchtime=3x ./internal/cpsat
+	$(GO) test -run '^$$' -bench 'BenchmarkColdSolve' -benchtime=1x ./internal/opg
+	$(GO) test -run '^$$' -bench 'BenchmarkTable4Solver' -benchtime=1x .
 
 lint: fmt-check vet staticcheck
 

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: repro/internal/cpsat
+cpu: Fake CPU @ 2.70GHz
+BenchmarkKnapsackWindow-2    2   41599137 ns/op   20000 branches   582520 props   106920 B/op   259 allocs/op
+BenchmarkColdSolveLlama70B-2 1  1645096656 ns/op  256137 branches  1.628 solve-s
+PASS
+ok   repro/internal/cpsat 0.335s
+`
+	rep, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.CPU != "Fake CPU @ 2.70GHz" {
+		t.Errorf("environment headers wrong: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkKnapsackWindow" {
+		t.Errorf("name = %q (cpu suffix must be stripped)", b.Name)
+	}
+	if b.Iterations != 2 || b.NsPerOp != 41599137 {
+		t.Errorf("iters/ns = %d/%g", b.Iterations, b.NsPerOp)
+	}
+	if b.Metrics["branches"] != 20000 || b.Metrics["B/op"] != 106920 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+	if rep.Benchmarks[1].Metrics["solve-s"] != 1.628 {
+		t.Errorf("custom metric lost: %v", rep.Benchmarks[1].Metrics)
+	}
+}
+
+func TestParseSkipsGarbage(t *testing.T) {
+	rep, err := parse(strings.NewReader("Benchmark-nonsense line\nrandom text\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Errorf("garbage parsed as %d benchmarks", len(rep.Benchmarks))
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -71,8 +72,21 @@ func runBench(args []string) error {
 	cachePath := fs.String("cache", "", "plan-cache snapshot: loaded at start, saved at exit")
 	shardFlag := fs.String("shard", "", "run only shard i/N of every experiment's cell matrix (e.g. 0/3)")
 	partialPath := fs.String("partial", "", "write machine-readable partial results (JSON) here instead of rendering tables")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	sh := sweep.Full()

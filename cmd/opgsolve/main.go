@@ -62,7 +62,8 @@ func main() {
 	fmt.Printf("Process nodes: %8.3f s\n", st.ProcessTime.Seconds())
 	fmt.Printf("Build model:   %8.3f s\n", st.BuildTime.Seconds())
 	fmt.Printf("Solve model:   %8.3f s\n", st.SolveTime.Seconds())
-	fmt.Printf("Solver status: %s (%d windows, %d branches)\n", st.Status, st.Windows, st.Branches)
+	fmt.Printf("Solver status: %s (%d windows, %d branches, %dk wakes, %dk trail ops)\n",
+		st.Status, st.Windows, st.Branches, st.Wakes/1000, st.TrailOps/1000)
 	fmt.Printf("Fallbacks:     soft=%d preload=%d greedy=%d\n",
 		st.Fallbacks.SoftThreshold, st.Fallbacks.IncrementalPreload, st.Fallbacks.Greedy)
 	fmt.Printf("Preload |W|:   %v (%d%% streamed)\n",

@@ -258,6 +258,9 @@ type PlanSummary struct {
 	PreloadMB       float64 // the |W| set
 	SolverStatus    string
 	SolverWindows   int
+	SolverBranches  int64
+	SolverWakes     int64 // CP constraint activations (watchlist traffic)
+	SolverTrailOps  int64 // CP trailed bound changes (backtracking volume)
 	FallbackGreedy  int
 
 	// FromCache reports that this plan was served by the runtime's plan
@@ -277,6 +280,9 @@ func (m *Model) Plan() PlanSummary {
 		PreloadMB:       p.PreloadBytes().MiB(),
 		SolverStatus:    p.Stats.Status.String(),
 		SolverWindows:   p.Stats.Windows,
+		SolverBranches:  p.Stats.Branches,
+		SolverWakes:     p.Stats.Wakes,
+		SolverTrailOps:  p.Stats.TrailOps,
 		FallbackGreedy:  p.Stats.Fallbacks.Greedy,
 		FromCache:       m.prep.FromCache,
 	}

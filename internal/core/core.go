@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/device"
 	"repro/internal/fusion"
@@ -99,6 +100,20 @@ type Prepared struct {
 	// FromCache reports that this preparation was served from the plan
 	// cache rather than solved.
 	FromCache bool
+}
+
+// PlanCost returns the recorded cost of producing this preparation: the
+// solver's process + build + solve time. Cost-aware cache eviction uses it
+// to keep plans that would be expensive to re-solve (a 70B model's plan
+// costs seconds; a small CNN's costs microseconds) over cheap ones of equal
+// recency. Cache-served copies share the original's stats, so the cost
+// survives hits and snapshot round trips.
+func (p *Prepared) PlanCost() time.Duration {
+	if p == nil || p.Plan == nil {
+		return 0
+	}
+	st := p.Plan.Stats
+	return st.ProcessTime + st.BuildTime + st.SolveTime
 }
 
 // Prepare runs the offline stage: fusion, LC-OPG, prefetch adjustment.

@@ -5,10 +5,15 @@
 // It supports exactly the fragment OPG needs — interval domains, linear
 // constraints with two-sided bounds, reified threshold implications
 // ((x ≥ c) ⇒ (y ≤ d)), and linear objective minimization — implemented
-// honestly: bounds-consistency propagation to fixpoint, depth-first branch
-// and bound with domain bisection, incumbent-driven objective tightening,
-// and a wall-clock time limit yielding OPTIMAL / FEASIBLE / INFEASIBLE /
-// UNKNOWN statuses like the paper's Table 4 reports.
+// honestly: bounds-consistency propagation driven by var→constraint
+// watchlists (only constraints watching a tightened variable wake up),
+// trail-based backtracking (an undo stack of bound changes instead of
+// domain-array copies at every branch), incremental expression-bound
+// maintenance for linear rows, depth-first branch and bound with
+// most-constrained-variable selection and objective-directed value
+// ordering, incumbent-driven objective tightening, and a wall-clock time
+// limit yielding OPTIMAL / FEASIBLE / INFEASIBLE / UNKNOWN statuses like
+// the paper's Table 4 reports.
 package cpsat
 
 import (
@@ -141,55 +146,104 @@ type Result struct {
 	Objective int64
 
 	Branches     int64
-	Propagations int64
+	Propagations int64 // propagator executions (queue pops)
+	Wakes        int64 // constraint activations scheduled by bound changes
+	TrailOps     int64 // bound changes pushed to (and undone from) the trail
 	Elapsed      time.Duration
 }
 
 // Value returns the solution value of v.
 func (r Result) Value(v Var) int64 { return r.Values[v] }
 
+// propPollStride is how many propagator executions may pass between
+// wall-clock deadline polls. Without it, a long propagation burst between
+// two branches would only notice an expired TimeLimit at the next branch —
+// arbitrarily late, since a single fixpoint can run for seconds on
+// adversarial chains.
+const propPollStride = 2048
+
+// watch is one linear row's interest in a variable.
+type watch struct {
+	c    int32 // row index in searcher.lins
+	coef int64
+}
+
+// trailEntry records a variable's bounds before a tightening, so
+// backtracking restores them (and the incremental row sums) by replaying
+// the deltas in reverse.
+type trailEntry struct {
+	v            int32
+	oldLo, oldHi int64
+}
+
 type searcher struct {
 	m *Model
 
 	lo, hi []int64
 
-	best      []int64
-	bestObj   int64
-	hasBest   bool
-	objBound  int64 // incumbent-driven cap: objective ≤ objBound
+	// lins holds the model's (deduplicated) linear rows plus, at objIdx,
+	// the objective row obj ≤ incumbent-1 whose hi tightens as solutions
+	// are found. linLo/linHi are each row's Σ bounds under the current
+	// domains, maintained incrementally by setLo/setHi.
+	lins   []linear
+	objIdx int
+	linLo  []int64
+	linHi  []int64
+
+	watchLin [][]watch // var → linear rows containing it
+	watchImp [][]int32 // var → implications mentioning it
+	degree   []int32   // var → watcher count (branching tie-break)
+	objCoef  []int64   // var → objective coefficient (value ordering)
+
+	// queue is a FIFO of pending constraint ids: [0,len(lins)) are linear
+	// rows, len(lins)+i is implication i. inQueue suppresses duplicates.
+	queue      []int32
+	qhead      int
+	inQueue    []bool
+	objPending bool // objective row woken; propagated only at cheap-row fixpoint
+
+	trail []trailEntry
+
+	best    []int64
+	bestObj int64
+	hasBest bool
+
+	rootInfeasible bool // empty constraint range found during row dedup
+
 	deadline  time.Time
 	hasLimit  bool
 	branches  int64
 	maxBranch int64
 	props     int64
+	wakes     int64
+	trailOps  int64
+	lastPoll  int64
 	timedOut  bool
 }
 
 // Solve runs branch-and-bound and returns the best solution found.
 func (m *Model) Solve(opts Options) Result {
 	start := time.Now()
-	s := &searcher{
-		m:         m,
-		lo:        append([]int64(nil), m.lo...),
-		hi:        append([]int64(nil), m.hi...),
-		objBound:  math.MaxInt64 / 4,
-		maxBranch: opts.MaxBranches,
-	}
+	s := newSearcher(m, opts)
 	if opts.TimeLimit > 0 {
 		s.deadline = start.Add(opts.TimeLimit)
 		s.hasLimit = true
 	}
 
 	complete := false
-	if s.propagate(s.lo, s.hi) {
-		complete = s.search(s.lo, s.hi)
+	if s.rootInfeasible {
+		complete = true
+	} else if s.propagateRoot() {
+		complete = s.search()
 	} else {
-		complete = true // root infeasible, proven
+		complete = !s.timedOut // root wipeout is proven unless the clock cut the fixpoint short
 	}
 
 	res := Result{
 		Branches:     s.branches,
 		Propagations: s.props,
+		Wakes:        s.wakes,
+		TrailOps:     s.trailOps,
 		Elapsed:      time.Since(start),
 	}
 	switch {
@@ -209,7 +263,141 @@ func (m *Model) Solve(opts Options) Result {
 	return res
 }
 
-// expired reports whether a search budget ran out.
+// newSearcher builds the watchlists, incremental row sums, and branching
+// metadata for one solve.
+func newSearcher(m *Model, opts Options) *searcher {
+	nv := len(m.lo)
+	s := &searcher{
+		m:         m,
+		lo:        append([]int64(nil), m.lo...),
+		hi:        append([]int64(nil), m.hi...),
+		objIdx:    -1,
+		maxBranch: opts.MaxBranches,
+	}
+
+	// Root reduction: rows with identical terms collapse to one row with
+	// intersected bounds. OPG's window models emit many such duplicates
+	// (adjacent in-flight rows over an unchanged candidate set), and every
+	// duplicate would otherwise wake — and scan — on each of its vars'
+	// tightenings.
+	s.lins = dedupRows(m.linears, &s.rootInfeasible)
+	if m.hasObj {
+		s.objIdx = len(s.lins)
+		s.lins = append(s.lins, linear{
+			vars: m.objVars, coefs: m.objCoefs,
+			lo: math.MinInt64 / 4, hi: math.MaxInt64 / 4,
+		})
+	}
+
+	nl := len(s.lins)
+	s.linLo = make([]int64, nl)
+	s.linHi = make([]int64, nl)
+	s.inQueue = make([]bool, nl+len(m.implies))
+	s.degree = make([]int32, nv)
+	s.objCoef = make([]int64, nv)
+	for i, v := range m.objVars {
+		s.objCoef[v] += m.objCoefs[i]
+	}
+
+	// Watchlists over one flat backing array each: counting pass, then
+	// capacity-sliced per-var lists, so construction does O(1) allocations.
+	linCnt := make([]int32, nv)
+	impCnt := make([]int32, nv)
+	terms := 0
+	for ci := range s.lins {
+		c := &s.lins[ci]
+		var exprLo, exprHi int64
+		for j, v := range c.vars {
+			k := c.coefs[j]
+			if k >= 0 {
+				exprLo += k * s.lo[v]
+				exprHi += k * s.hi[v]
+			} else {
+				exprLo += k * s.hi[v]
+				exprHi += k * s.lo[v]
+			}
+			if k != 0 {
+				linCnt[v]++
+				terms++
+			}
+		}
+		s.linLo[ci], s.linHi[ci] = exprLo, exprHi
+	}
+	for i := range m.implies {
+		impCnt[m.implies[i].x]++
+		impCnt[m.implies[i].y]++
+	}
+	s.watchLin = make([][]watch, nv)
+	s.watchImp = make([][]int32, nv)
+	linFlat := make([]watch, terms)
+	impFlat := make([]int32, 2*len(m.implies))
+	linOff, impOff := 0, 0
+	for v := 0; v < nv; v++ {
+		s.watchLin[v] = linFlat[linOff : linOff : linOff+int(linCnt[v])]
+		s.watchImp[v] = impFlat[impOff : impOff : impOff+int(impCnt[v])]
+		linOff += int(linCnt[v])
+		impOff += int(impCnt[v])
+		s.degree[v] = linCnt[v] + impCnt[v]
+	}
+	for ci := range s.lins {
+		c := &s.lins[ci]
+		for j, v := range c.vars {
+			if c.coefs[j] != 0 {
+				s.watchLin[v] = append(s.watchLin[v], watch{c: int32(ci), coef: c.coefs[j]})
+			}
+		}
+	}
+	for i := range m.implies {
+		im := &m.implies[i]
+		s.watchImp[im.x] = append(s.watchImp[im.x], int32(i))
+		s.watchImp[im.y] = append(s.watchImp[im.y], int32(i))
+	}
+	return s
+}
+
+// dedupRows merges rows with identical (vars, coefs) terms by intersecting
+// their bound ranges. An empty intersection proves root infeasibility.
+func dedupRows(rows []linear, infeasible *bool) []linear {
+	if len(rows) < 2 {
+		return append([]linear(nil), rows...)
+	}
+	seen := make(map[string]int, len(rows))
+	keyBuf := make([]byte, 0, 256)
+	out := make([]linear, 0, len(rows))
+	for _, r := range rows {
+		keyBuf = keyBuf[:0]
+		for j, v := range r.vars {
+			keyBuf = appendInt64(keyBuf, int64(v))
+			keyBuf = appendInt64(keyBuf, r.coefs[j])
+		}
+		k := string(keyBuf)
+		if i, ok := seen[k]; ok {
+			if r.lo > out[i].lo {
+				out[i].lo = r.lo
+			}
+			if r.hi < out[i].hi {
+				out[i].hi = r.hi
+			}
+			if out[i].lo > out[i].hi {
+				*infeasible = true
+			}
+			continue
+		}
+		seen[k] = len(out)
+		out = append(out, r)
+	}
+	return out
+}
+
+func appendInt64(b []byte, v int64) []byte {
+	u := uint64(v)
+	return append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+}
+
+// expired reports whether a search budget ran out. The wall clock is also
+// polled inside drain on a propagation stride, so a long fixpoint between
+// branches cannot overshoot the limit.
 func (s *searcher) expired() bool {
 	if s.timedOut {
 		return true
@@ -225,188 +413,328 @@ func (s *searcher) expired() bool {
 	return false
 }
 
-// propagate runs bounds-consistency to fixpoint on (lo, hi) in place.
-// It reports false on a wipeout (infeasible node).
-func (s *searcher) propagate(lo, hi []int64) bool {
-	for changed := true; changed; {
-		changed = false
-		for i := range s.m.linears {
-			ok, ch := s.propLinear(&s.m.linears[i], lo, hi)
-			if !ok {
-				return false
-			}
-			changed = changed || ch
+// enqueue schedules constraint id c (a lins index, or len(lins)+i for
+// implication i) unless it is already pending.
+func (s *searcher) enqueue(c int32) {
+	if int(c) == s.objIdx {
+		// The objective row is by far the widest and purely redundant for
+		// feasibility: defer it until the cheap rows reach fixpoint so one
+		// scan sees all their tightenings instead of interleaving with them.
+		if !s.objPending {
+			s.objPending = true
+			s.wakes++
 		}
-		for i := range s.m.implies {
-			ok, ch := s.propImply(&s.m.implies[i], lo, hi)
-			if !ok {
-				return false
-			}
-			changed = changed || ch
+		return
+	}
+	if s.inQueue[c] {
+		return
+	}
+	s.inQueue[c] = true
+	s.wakes++
+	s.queue = append(s.queue, c)
+}
+
+// clearQueue discards pending work after a wipeout or timeout.
+func (s *searcher) clearQueue() {
+	for _, c := range s.queue[s.qhead:] {
+		s.inQueue[c] = false
+	}
+	s.queue = s.queue[:0]
+	s.qhead = 0
+	s.objPending = false
+}
+
+// setLo tightens v's lower bound, trails the old bounds, refreshes the
+// incremental sums of every row watching v, and wakes those watchers. It
+// reports false on an emptied domain.
+func (s *searcher) setLo(v int, nl int64) bool {
+	ol := s.lo[v]
+	if nl <= ol {
+		return true
+	}
+	s.trail = append(s.trail, trailEntry{v: int32(v), oldLo: ol, oldHi: s.hi[v]})
+	s.trailOps++
+	s.lo[v] = nl
+	d := nl - ol
+	for _, w := range s.watchLin[v] {
+		if w.coef > 0 {
+			s.linLo[w.c] += w.coef * d
+		} else {
+			s.linHi[w.c] += w.coef * d
 		}
-		if s.m.hasObj {
-			ok, ch := s.propObjective(lo, hi)
+		s.enqueue(w.c)
+	}
+	nLin := int32(len(s.lins))
+	for _, ii := range s.watchImp[v] {
+		s.enqueue(nLin + ii)
+	}
+	return nl <= s.hi[v]
+}
+
+// setHi is setLo's mirror for upper bounds.
+func (s *searcher) setHi(v int, nh int64) bool {
+	oh := s.hi[v]
+	if nh >= oh {
+		return true
+	}
+	s.trail = append(s.trail, trailEntry{v: int32(v), oldLo: s.lo[v], oldHi: oh})
+	s.trailOps++
+	s.hi[v] = nh
+	d := nh - oh
+	for _, w := range s.watchLin[v] {
+		if w.coef > 0 {
+			s.linHi[w.c] += w.coef * d
+		} else {
+			s.linLo[w.c] += w.coef * d
+		}
+		s.enqueue(w.c)
+	}
+	nLin := int32(len(s.lins))
+	for _, ii := range s.watchImp[v] {
+		s.enqueue(nLin + ii)
+	}
+	return s.lo[v] <= nh
+}
+
+// undoTo pops the trail back to mark, restoring domains and replaying the
+// incremental row-sum deltas in reverse. Watchers are not woken: relaxing
+// a bound never enables new propagation.
+func (s *searcher) undoTo(mark int) {
+	for i := len(s.trail) - 1; i >= mark; i-- {
+		e := &s.trail[i]
+		v := int(e.v)
+		if d := e.oldLo - s.lo[v]; d != 0 {
+			for _, w := range s.watchLin[v] {
+				if w.coef > 0 {
+					s.linLo[w.c] += w.coef * d
+				} else {
+					s.linHi[w.c] += w.coef * d
+				}
+			}
+			s.lo[v] = e.oldLo
+		}
+		if d := e.oldHi - s.hi[v]; d != 0 {
+			for _, w := range s.watchLin[v] {
+				if w.coef > 0 {
+					s.linHi[w.c] += w.coef * d
+				} else {
+					s.linLo[w.c] += w.coef * d
+				}
+			}
+			s.hi[v] = e.oldHi
+		}
+	}
+	s.trail = s.trail[:mark]
+}
+
+// propagateRoot wakes every constraint once and drains to fixpoint.
+func (s *searcher) propagateRoot() bool {
+	for c := range s.inQueue {
+		s.enqueue(int32(c))
+	}
+	return s.drain()
+}
+
+// drain runs woken propagators until the queue empties (fixpoint), a
+// domain wipes out, or the wall clock expires mid-burst. On failure the
+// remaining queue is discarded.
+func (s *searcher) drain() bool {
+	nLin := len(s.lins)
+	for {
+		for s.qhead < len(s.queue) {
+			if s.hasLimit && s.props-s.lastPoll >= propPollStride {
+				s.lastPoll = s.props
+				if time.Now().After(s.deadline) {
+					s.timedOut = true
+					s.clearQueue()
+					return false
+				}
+			}
+			c := int(s.queue[s.qhead])
+			s.qhead++
+			s.inQueue[c] = false
+			ok := true
+			if c < nLin {
+				ok = s.propLinear(c)
+			} else {
+				ok = s.propImply(c - nLin)
+			}
+			if !ok {
+				s.clearQueue()
+				return false
+			}
+		}
+		s.queue = s.queue[:0]
+		s.qhead = 0
+		if !s.objPending {
+			return true
+		}
+		s.objPending = false
+		if !s.propLinear(s.objIdx) {
+			s.clearQueue()
+			return false
+		}
+	}
+}
+
+// propLinear tightens variable bounds against one linear row using the
+// incrementally maintained expression bounds: the O(1) feasibility and
+// entailment checks come first, and any tightening refreshes linLo/linHi
+// through setLo/setHi instead of a full O(n) recomputation.
+func (s *searcher) propLinear(ci int) bool {
+	c := &s.lins[ci]
+	s.props++
+	hiBound := c.hi
+	exprLo, exprHi := s.linLo[ci], s.linHi[ci]
+	if exprLo > hiBound || exprHi < c.lo {
+		return false
+	}
+	if exprLo >= c.lo && exprHi <= hiBound {
+		return true // entailed: no filtering can tighten anything
+	}
+	for i, v := range c.vars {
+		k := c.coefs[i]
+		if k == 0 || s.lo[v] == s.hi[v] {
+			continue
+		}
+		var termLo, termHi int64
+		if k > 0 {
+			termLo, termHi = k*s.lo[v], k*s.hi[v]
+		} else {
+			termLo, termHi = k*s.hi[v], k*s.lo[v]
+		}
+		// k·v ≤ c.hi − restLo  and  k·v ≥ c.lo − restHi. A division is only
+		// worth paying when the term bound actually exceeds its budget:
+		// termHi ≤ ubTerm (resp. termLo ≥ lbTerm) already proves v cannot
+		// be tightened by this row.
+		ubTerm := c.hi - (exprLo - termLo)
+		lbTerm := c.lo - (exprHi - termHi)
+		tightened := false
+		if termHi > ubTerm {
+			// k·v ≤ ubTerm bites: caps v from above for k > 0, below for k < 0.
+			ok := false
+			if k > 0 {
+				ok = s.setHi(int(v), floorDiv(ubTerm, k))
+			} else {
+				ok = s.setLo(int(v), ceilDiv(ubTerm, k))
+			}
 			if !ok {
 				return false
 			}
-			changed = changed || ch
+			tightened = true
+		}
+		if termLo < lbTerm {
+			// k·v ≥ lbTerm bites: caps v from below for k > 0, above for k < 0.
+			ok := false
+			if k > 0 {
+				ok = s.setLo(int(v), ceilDiv(lbTerm, k))
+			} else {
+				ok = s.setHi(int(v), floorDiv(lbTerm, k))
+			}
+			if !ok {
+				return false
+			}
+			tightened = true
+		}
+		if tightened {
+			exprLo, exprHi = s.linLo[ci], s.linHi[ci]
+			if exprLo > c.hi || exprHi < c.lo {
+				return false
+			}
 		}
 	}
 	return true
 }
 
-// propLinear tightens variable bounds against one linear constraint.
-func (s *searcher) propLinear(c *linear, lo, hi []int64) (ok, changed bool) {
-	s.props++
-	var exprLo, exprHi int64
-	for i, v := range c.vars {
-		if c.coefs[i] >= 0 {
-			exprLo += c.coefs[i] * lo[v]
-			exprHi += c.coefs[i] * hi[v]
-		} else {
-			exprLo += c.coefs[i] * hi[v]
-			exprHi += c.coefs[i] * lo[v]
-		}
-	}
-	if exprLo > c.hi || exprHi < c.lo {
-		return false, false
-	}
-	for i, v := range c.vars {
-		k := c.coefs[i]
-		if k == 0 {
-			continue
-		}
-		// Residual bounds of the expression without v's term.
-		var termLo, termHi int64
-		if k > 0 {
-			termLo, termHi = k*lo[v], k*hi[v]
-		} else {
-			termLo, termHi = k*hi[v], k*lo[v]
-		}
-		restLo, restHi := exprLo-termLo, exprHi-termHi
-		// k*v ≤ c.hi - restLo  and  k*v ≥ c.lo - restHi.
-		ubTerm := c.hi - restLo
-		lbTerm := c.lo - restHi
-		var newLo, newHi int64
-		if k > 0 {
-			newHi = floorDiv(ubTerm, k)
-			newLo = ceilDiv(lbTerm, k)
-		} else {
-			newLo = ceilDiv(ubTerm, k)
-			newHi = floorDiv(lbTerm, k)
-		}
-		if newLo > lo[v] {
-			lo[v] = newLo
-			changed = true
-		}
-		if newHi < hi[v] {
-			hi[v] = newHi
-			changed = true
-		}
-		if lo[v] > hi[v] {
-			return false, changed
-		}
-		if changed {
-			// Refresh running expression bounds after a tightening.
-			exprLo, exprHi = 0, 0
-			for j, w := range c.vars {
-				if c.coefs[j] >= 0 {
-					exprLo += c.coefs[j] * lo[w]
-					exprHi += c.coefs[j] * hi[w]
-				} else {
-					exprLo += c.coefs[j] * hi[w]
-					exprHi += c.coefs[j] * lo[w]
-				}
-			}
-			if exprLo > c.hi || exprHi < c.lo {
-				return false, changed
-			}
-		}
-	}
-	return true, changed
-}
-
 // propImply enforces (x ≥ c) ⇒ (y ≤ d) and its contrapositive.
-func (s *searcher) propImply(im *implication, lo, hi []int64) (ok, changed bool) {
+func (s *searcher) propImply(ii int) bool {
+	im := &s.m.implies[ii]
 	s.props++
-	if lo[im.x] >= im.c && hi[im.y] > im.d {
-		hi[im.y] = im.d
-		changed = true
-	}
-	if lo[im.y] > im.d && hi[im.x] >= im.c {
-		hi[im.x] = im.c - 1
-		changed = true
-	}
-	if lo[im.x] > hi[im.x] || lo[im.y] > hi[im.y] {
-		return false, changed
-	}
-	return true, changed
-}
-
-// propObjective prunes nodes whose objective lower bound meets or exceeds
-// the incumbent.
-func (s *searcher) propObjective(lo, hi []int64) (ok, changed bool) {
-	if !s.hasBest {
-		return true, false
-	}
-	s.props++
-	var objLo int64
-	for i, v := range s.m.objVars {
-		if s.m.objCoefs[i] >= 0 {
-			objLo += s.m.objCoefs[i] * lo[v]
-		} else {
-			objLo += s.m.objCoefs[i] * hi[v]
+	if s.lo[im.x] >= im.c && s.hi[im.y] > im.d {
+		if !s.setHi(int(im.y), im.d) {
+			return false
 		}
 	}
-	if objLo > s.objBound {
-		return false, false
+	if s.lo[im.y] > im.d && s.hi[im.x] >= im.c {
+		if !s.setHi(int(im.x), im.c-1) {
+			return false
+		}
 	}
-	return true, false
+	return true
 }
 
-// search explores the subtree under the given (already propagated) domains.
-// It returns true if the subtree was explored exhaustively.
-func (s *searcher) search(lo, hi []int64) bool {
+// prunedByBound reports whether the current node cannot improve on the
+// incumbent: an O(1) check against the objective row's incremental lower
+// bound (or, without an objective, any incumbent at all — the first
+// solution of a satisfaction problem ends the search).
+func (s *searcher) prunedByBound() bool {
+	if !s.hasBest {
+		return false
+	}
+	if s.objIdx < 0 {
+		return true
+	}
+	return s.linLo[s.objIdx] > s.lins[s.objIdx].hi
+}
+
+// search explores the subtree under the current (already propagated)
+// domains, branching on the most-constrained variable — smallest domain,
+// ties broken toward the most-watched — and trying the objective-preferred
+// half first. It returns true if the subtree was explored exhaustively.
+func (s *searcher) search() bool {
 	if s.expired() {
 		return false
 	}
-	// Find the branching variable: smallest unfixed domain (first-fail).
+	if s.prunedByBound() {
+		return true // no improving solution below this node: proven
+	}
 	branch := -1
 	var bestSpan int64 = math.MaxInt64
-	for v := range lo {
-		span := hi[v] - lo[v]
-		if span > 0 && span < bestSpan {
+	var bestDeg int32 = -1
+	for v := range s.lo {
+		span := s.hi[v] - s.lo[v]
+		if span > 0 && (span < bestSpan || (span == bestSpan && s.degree[v] > bestDeg)) {
 			bestSpan = span
+			bestDeg = s.degree[v]
 			branch = v
 		}
 	}
 	if branch < 0 {
 		// All fixed: feasible leaf (propagation already validated bounds).
-		s.record(lo)
+		s.record()
 		return true
 	}
 
 	s.branches++
-	mid := lo[branch] + (hi[branch]-lo[branch])/2
-	// Branch order: explore the half that locally improves the objective
-	// first (negative coefficient → prefer large values).
-	lowFirst := s.objCoefFor(Var(branch)) >= 0
-
-	halves := [2][2]int64{{lo[branch], mid}, {mid + 1, hi[branch]}}
-	order := [2]int{0, 1}
-	if !lowFirst {
-		order = [2]int{1, 0}
+	lo, hi := s.lo[branch], s.hi[branch]
+	// Value ordering: commit the objective-preferred endpoint first (the
+	// greedy dive), leaving the rest of the domain for the refutation
+	// branch. Minimization prefers small values under a non-negative
+	// coefficient and large ones under a negative coefficient.
+	var halves [2][2]int64
+	if s.objCoef[branch] < 0 {
+		halves = [2][2]int64{{hi, hi}, {lo, hi - 1}}
+	} else {
+		halves = [2][2]int64{{lo, lo}, {lo + 1, hi}}
 	}
+	order := [2]int{0, 1}
 	complete := true
 	for _, oi := range order {
-		nlo := append([]int64(nil), lo...)
-		nhi := append([]int64(nil), hi...)
-		nlo[branch], nhi[branch] = halves[oi][0], halves[oi][1]
-		if s.propagate(nlo, nhi) {
-			if !s.search(nlo, nhi) {
+		mark := len(s.trail)
+		ok := s.setLo(branch, halves[oi][0]) && s.setHi(branch, halves[oi][1])
+		if ok {
+			ok = s.drain()
+		} else {
+			s.clearQueue()
+		}
+		if ok {
+			if !s.search() {
 				complete = false
 			}
+		} else if s.timedOut {
+			complete = false
 		}
+		s.undoTo(mark)
 		if s.expired() {
 			return false
 		}
@@ -414,27 +742,22 @@ func (s *searcher) search(lo, hi []int64) bool {
 	return complete
 }
 
-// objCoefFor returns the objective coefficient of v (0 if absent).
-func (s *searcher) objCoefFor(v Var) int64 {
-	for i, ov := range s.m.objVars {
-		if ov == v {
-			return s.m.objCoefs[i]
-		}
-	}
-	return 0
-}
-
-// record stores a feasible assignment, tightening the incumbent bound.
-func (s *searcher) record(vals []int64) {
+// record stores the current (fully fixed) assignment, tightening the
+// objective row's bound so the rest of the search only accepts strict
+// improvements.
+func (s *searcher) record() {
 	var obj int64
 	for i, v := range s.m.objVars {
-		obj += s.m.objCoefs[i] * vals[v]
+		obj += s.m.objCoefs[i] * s.lo[v]
 	}
 	if !s.hasBest || obj < s.bestObj {
-		s.best = append([]int64(nil), vals...)
+		s.best = append(s.best[:0], s.lo...)
 		s.bestObj = obj
 		s.hasBest = true
-		s.objBound = obj - 1
+		if s.objIdx >= 0 {
+			s.lins[s.objIdx].hi = obj - 1
+			s.enqueue(int32(s.objIdx))
+		}
 	}
 }
 

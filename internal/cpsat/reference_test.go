@@ -1,0 +1,291 @@
+package cpsat
+
+import (
+	"math"
+	"time"
+)
+
+// This file preserves the pre-watchlist solver — naive re-scan-everything
+// fixpoint propagation and full domain-array copies at every branch — as a
+// test-only reference implementation. The differential harness in
+// diff_test.go runs it against the event-driven engine on randomized models
+// and requires identical statuses and objectives: any divergence is a bug
+// in one of the two propagators, and the reference is the simpler one to
+// audit by eye.
+
+// refSolve runs the reference branch-and-bound on m.
+func refSolve(m *Model, opts Options) Result {
+	start := time.Now()
+	s := &refSearcher{
+		m:         m,
+		lo:        append([]int64(nil), m.lo...),
+		hi:        append([]int64(nil), m.hi...),
+		objBound:  math.MaxInt64 / 4,
+		maxBranch: opts.MaxBranches,
+	}
+	if opts.TimeLimit > 0 {
+		s.deadline = start.Add(opts.TimeLimit)
+		s.hasLimit = true
+	}
+
+	complete := false
+	if s.propagate(s.lo, s.hi) {
+		complete = s.search(s.lo, s.hi)
+	} else {
+		complete = true // root infeasible, proven
+	}
+
+	res := Result{
+		Branches:     s.branches,
+		Propagations: s.props,
+		Elapsed:      time.Since(start),
+	}
+	switch {
+	case s.hasBest && (complete || !m.hasObj):
+		res.Status = Optimal
+		res.Values = s.best
+		res.Objective = s.bestObj
+	case s.hasBest:
+		res.Status = Feasible
+		res.Values = s.best
+		res.Objective = s.bestObj
+	case complete:
+		res.Status = Infeasible
+	default:
+		res.Status = Unknown
+	}
+	return res
+}
+
+type refSearcher struct {
+	m *Model
+
+	lo, hi []int64
+
+	best      []int64
+	bestObj   int64
+	hasBest   bool
+	objBound  int64
+	deadline  time.Time
+	hasLimit  bool
+	branches  int64
+	maxBranch int64
+	props     int64
+	timedOut  bool
+}
+
+func (s *refSearcher) expired() bool {
+	if s.timedOut {
+		return true
+	}
+	if s.maxBranch > 0 && s.branches >= s.maxBranch {
+		s.timedOut = true
+		return true
+	}
+	if s.hasLimit && s.branches%64 == 0 && time.Now().After(s.deadline) {
+		s.timedOut = true
+		return true
+	}
+	return false
+}
+
+// propagate runs bounds-consistency to fixpoint by re-scanning every
+// constraint until none changes.
+func (s *refSearcher) propagate(lo, hi []int64) bool {
+	for changed := true; changed; {
+		changed = false
+		for i := range s.m.linears {
+			ok, ch := s.propLinear(&s.m.linears[i], lo, hi)
+			if !ok {
+				return false
+			}
+			changed = changed || ch
+		}
+		for i := range s.m.implies {
+			ok, ch := s.propImply(&s.m.implies[i], lo, hi)
+			if !ok {
+				return false
+			}
+			changed = changed || ch
+		}
+		if s.m.hasObj {
+			ok, ch := s.propObjective(lo, hi)
+			if !ok {
+				return false
+			}
+			changed = changed || ch
+		}
+	}
+	return true
+}
+
+func (s *refSearcher) propLinear(c *linear, lo, hi []int64) (ok, changed bool) {
+	s.props++
+	var exprLo, exprHi int64
+	for i, v := range c.vars {
+		if c.coefs[i] >= 0 {
+			exprLo += c.coefs[i] * lo[v]
+			exprHi += c.coefs[i] * hi[v]
+		} else {
+			exprLo += c.coefs[i] * hi[v]
+			exprHi += c.coefs[i] * lo[v]
+		}
+	}
+	if exprLo > c.hi || exprHi < c.lo {
+		return false, false
+	}
+	for i, v := range c.vars {
+		k := c.coefs[i]
+		if k == 0 {
+			continue
+		}
+		var termLo, termHi int64
+		if k > 0 {
+			termLo, termHi = k*lo[v], k*hi[v]
+		} else {
+			termLo, termHi = k*hi[v], k*lo[v]
+		}
+		restLo, restHi := exprLo-termLo, exprHi-termHi
+		ubTerm := c.hi - restLo
+		lbTerm := c.lo - restHi
+		var newLo, newHi int64
+		if k > 0 {
+			newHi = floorDiv(ubTerm, k)
+			newLo = ceilDiv(lbTerm, k)
+		} else {
+			newLo = ceilDiv(ubTerm, k)
+			newHi = floorDiv(lbTerm, k)
+		}
+		if newLo > lo[v] {
+			lo[v] = newLo
+			changed = true
+		}
+		if newHi < hi[v] {
+			hi[v] = newHi
+			changed = true
+		}
+		if lo[v] > hi[v] {
+			return false, changed
+		}
+		if changed {
+			// Full O(n) refresh of the running expression bounds after any
+			// tightening: the quadratic blow-up the incremental engine fixes.
+			exprLo, exprHi = 0, 0
+			for j, w := range c.vars {
+				if c.coefs[j] >= 0 {
+					exprLo += c.coefs[j] * lo[w]
+					exprHi += c.coefs[j] * hi[w]
+				} else {
+					exprLo += c.coefs[j] * hi[w]
+					exprHi += c.coefs[j] * lo[w]
+				}
+			}
+			if exprLo > c.hi || exprHi < c.lo {
+				return false, changed
+			}
+		}
+	}
+	return true, changed
+}
+
+func (s *refSearcher) propImply(im *implication, lo, hi []int64) (ok, changed bool) {
+	s.props++
+	if lo[im.x] >= im.c && hi[im.y] > im.d {
+		hi[im.y] = im.d
+		changed = true
+	}
+	if lo[im.y] > im.d && hi[im.x] >= im.c {
+		hi[im.x] = im.c - 1
+		changed = true
+	}
+	if lo[im.x] > hi[im.x] || lo[im.y] > hi[im.y] {
+		return false, changed
+	}
+	return true, changed
+}
+
+func (s *refSearcher) propObjective(lo, hi []int64) (ok, changed bool) {
+	if !s.hasBest {
+		return true, false
+	}
+	s.props++
+	var objLo int64
+	for i, v := range s.m.objVars {
+		if s.m.objCoefs[i] >= 0 {
+			objLo += s.m.objCoefs[i] * lo[v]
+		} else {
+			objLo += s.m.objCoefs[i] * hi[v]
+		}
+	}
+	if objLo > s.objBound {
+		return false, false
+	}
+	return true, false
+}
+
+// search branches by copying the full domain arrays for each child node.
+func (s *refSearcher) search(lo, hi []int64) bool {
+	if s.expired() {
+		return false
+	}
+	branch := -1
+	var bestSpan int64 = math.MaxInt64
+	for v := range lo {
+		span := hi[v] - lo[v]
+		if span > 0 && span < bestSpan {
+			bestSpan = span
+			branch = v
+		}
+	}
+	if branch < 0 {
+		s.record(lo)
+		return true
+	}
+
+	s.branches++
+	mid := lo[branch] + (hi[branch]-lo[branch])/2
+	lowFirst := s.objCoefFor(Var(branch)) >= 0
+
+	halves := [2][2]int64{{lo[branch], mid}, {mid + 1, hi[branch]}}
+	order := [2]int{0, 1}
+	if !lowFirst {
+		order = [2]int{1, 0}
+	}
+	complete := true
+	for _, oi := range order {
+		nlo := append([]int64(nil), lo...)
+		nhi := append([]int64(nil), hi...)
+		nlo[branch], nhi[branch] = halves[oi][0], halves[oi][1]
+		if s.propagate(nlo, nhi) {
+			if !s.search(nlo, nhi) {
+				complete = false
+			}
+		}
+		if s.expired() {
+			return false
+		}
+	}
+	return complete
+}
+
+func (s *refSearcher) objCoefFor(v Var) int64 {
+	for i, ov := range s.m.objVars {
+		if ov == v {
+			return s.m.objCoefs[i]
+		}
+	}
+	return 0
+}
+
+func (s *refSearcher) record(vals []int64) {
+	var obj int64
+	for i, v := range s.m.objVars {
+		obj += s.m.objCoefs[i] * vals[v]
+	}
+	if !s.hasBest || obj < s.bestObj {
+		s.best = append([]int64(nil), vals...)
+		s.bestObj = obj
+		s.hasBest = true
+		s.objBound = obj - 1
+	}
+}

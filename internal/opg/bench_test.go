@@ -1,0 +1,53 @@
+package opg
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/profiler"
+)
+
+// Cold-solve benchmarks: a full LC-OPG run with no plan cache, the exact
+// path every first-sight Prepare, solver-version bump, and cache-miss
+// sweep cell pays. Budgets match bench_test.go's Table 4 runner so the
+// numbers line up with BenchmarkTable4Solver. Run via `make bench-solver`;
+// CI's nightly job archives the results as BENCH_solver.json.
+
+func benchColdSolve(b *testing.B, spec models.Spec) {
+	b.Helper()
+	g := spec.Build()
+	caps := profiler.AnalyticCapacityFunc(device.OnePlus12())
+	cfg := DefaultConfig()
+	cfg.SolveTimeout = 60 * time.Millisecond
+	cfg.MaxBranches = 4000
+	cfg = AdaptMPeak(cfg, g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var plan *Plan
+	for i := 0; i < b.N; i++ {
+		plan = Solve(g, caps, cfg)
+	}
+	b.StopTimer()
+	if err := plan.Validate(g, caps, cfg); err != nil {
+		b.Fatalf("plan invalid: %v", err)
+	}
+	b.ReportMetric(float64(plan.Stats.Branches), "branches")
+	b.ReportMetric(float64(plan.Stats.Wakes), "wakes")
+	b.ReportMetric(plan.Stats.SolveTime.Seconds(), "solve-s")
+}
+
+// BenchmarkColdSolveLlama70B is the largest bundled model — the worst cold
+// solve in Table 4.
+func BenchmarkColdSolveLlama70B(b *testing.B) {
+	benchColdSolve(b, models.SolverOnly()[2])
+}
+
+func BenchmarkColdSolveViT8B(b *testing.B) {
+	benchColdSolve(b, models.SolverOnly()[0])
+}
+
+func BenchmarkColdSolveGPTNeoS(b *testing.B) {
+	benchColdSolve(b, models.MustByAbbr("GPTN-S"))
+}

@@ -233,22 +233,54 @@ func (s *solver) tryCP(batch []weightItem, relax float64) (ok, proven bool) {
 		if lo < 0 {
 			lo = 0
 		}
-		wv.z = m.NewIntVar(lo, int64(w.node)-1, "z")
 
+		// Root reduction, part 1: fix trivially-forced x-vars. When the
+		// candidates' (relaxed) capacities sum to exactly T(w) — which
+		// includes every single-candidate weight — any solution must fill
+		// every column to its cap, so the variables enter the model fixed,
+		// their C0 row is redundant, and z collapses to the earliest used
+		// layer. The CP then never branches on them.
+		his := make([]int64, len(layers))
+		var hiSum int64
+		for i, l := range layers {
+			his[i] = int64(minInt(w.chunks, int(relax*float64(s.capRemaining[l]))))
+			hiSum += his[i]
+		}
+		if hiSum < int64(w.chunks) {
+			// Unreachable given solveBatch's prefilter, but if capacities
+			// cannot cover the weight even at their caps the window is
+			// infeasible as built.
+			return false, true
+		}
+		if hiSum == int64(w.chunks) {
+			for i, l := range layers {
+				x := m.NewIntVar(his[i], his[i], "x")
+				wv.xs = append(wv.xs, x)
+				perLayerX[l] = append(perLayerX[l], x)
+			}
+			earliest := int64(layers[len(layers)-1]) // newest-first ordering
+			wv.z = m.NewIntVar(earliest, earliest, "z")
+			wvs = append(wvs, wv)
+			continue
+		}
+
+		wv.z = m.NewIntVar(lo, int64(w.node)-1, "z")
 		var c0Vars []cpsat.Var
 		var c0Coefs []int64
 		for rank, l := range layers {
-			hi := minInt(w.chunks, int(relax*float64(s.capRemaining[l])))
-			x := m.NewIntVar(0, int64(hi), "x")
+			x := m.NewIntVar(0, his[rank], "x")
 			wv.xs = append(wv.xs, x)
 			perLayerX[l] = append(perLayerX[l], x)
 			c0Vars = append(c0Vars, x)
 			c0Coefs = append(c0Coefs, 1)
 			// C1: (x ≥ 1) ⇒ (z ≤ ℓ).
 			m.AddImplication(x, 1, wv.z, int64(l))
-			// Proximity tie-break (rank 0 = nearest to consumption).
-			objVars = append(objVars, x)
-			objCoefs = append(objCoefs, int64(rank))
+			// Proximity tie-break (rank 0 = nearest to consumption; its
+			// zero coefficient would be dead weight in the objective row).
+			if rank > 0 {
+				objVars = append(objVars, x)
+				objCoefs = append(objCoefs, int64(rank))
+			}
 		}
 		// C0: Σ_ℓ x_{w,ℓ} = T(w).
 		m.AddLinearEQ(c0Vars, c0Coefs, int64(w.chunks))
@@ -267,7 +299,15 @@ func (s *solver) tryCP(batch []weightItem, relax float64) (ok, proven bool) {
 
 	// C2: cumulative in-flight transformed chunks. A chunk transformed at
 	// ℓ' stays in flight on [ℓ', i_w), so every layer from the earliest
-	// candidate to the last consumption in the window needs a constraint.
+	// candidate to the last consumption in the window is constrained.
+	//
+	// Root reduction, part 2: merge duplicate rows. The row's term set only
+	// changes at a breakpoint — a layer where some candidate column enters
+	// (ℓ' = l) or some consuming node drops its terms (i_w = l). All layers
+	// between two breakpoints would emit the same left-hand side, so the
+	// run collapses to a single row bounded by the tightest slack in the
+	// segment — typically shrinking the window CP by an order of magnitude
+	// in rows for sparse windows.
 	loLayer, hiLayer := graph.NodeID(1<<30), graph.NodeID(0)
 	for _, wv := range wvs {
 		for _, l := range wv.layers {
@@ -279,23 +319,52 @@ func (s *solver) tryCP(batch []weightItem, relax float64) (ok, proven bool) {
 			hiLayer = wv.w.node
 		}
 	}
-	for l := loLayer; l < hiLayer; l++ {
+	var breaks []graph.NodeID
+	if loLayer < hiLayer {
+		seen := map[graph.NodeID]bool{loLayer: true}
+		breaks = append(breaks, loLayer)
+		addBreak := func(l graph.NodeID) {
+			if l > loLayer && l < hiLayer && !seen[l] {
+				seen[l] = true
+				breaks = append(breaks, l)
+			}
+		}
+		for _, wv := range wvs {
+			for _, l := range wv.layers {
+				addBreak(l)
+			}
+			addBreak(wv.w.node)
+		}
+		sort.Slice(breaks, func(i, j int) bool { return breaks[i] < breaks[j] })
+	}
+	for bi, b := range breaks {
+		segEnd := hiLayer
+		if bi+1 < len(breaks) {
+			segEnd = breaks[bi+1]
+		}
 		var vars []cpsat.Var
 		var coefs []int64
 		for _, wv := range wvs {
-			if wv.w.node <= l {
-				continue // consumed at or before l
+			if wv.w.node <= b {
+				continue // consumed at or before the segment
 			}
 			for i, al := range wv.layers {
-				if al <= l {
+				if al <= b {
 					vars = append(vars, wv.xs[i])
 					coefs = append(coefs, 1)
 				}
 			}
 		}
-		if len(vars) > 0 {
-			m.AddLinearLE(vars, coefs, int64(s.mpeakSlackChunks(l)))
+		if len(vars) == 0 {
+			continue
 		}
+		limit := s.mpeakSlackChunks(b)
+		for l := b + 1; l < segEnd; l++ {
+			if sl := s.mpeakSlackChunks(l); sl < limit {
+				limit = sl
+			}
+		}
+		m.AddLinearLE(vars, coefs, int64(limit))
 	}
 
 	m.Minimize(objVars, objCoefs)
@@ -305,6 +374,8 @@ func (s *solver) tryCP(batch []weightItem, relax float64) (ok, proven bool) {
 	res := m.Solve(cpsat.Options{TimeLimit: s.cfg.SolveTimeout, MaxBranches: s.cfg.MaxBranches})
 	s.stats.SolveTime += time.Since(tSolve)
 	s.stats.Branches += res.Branches
+	s.stats.Wakes += res.Wakes
+	s.stats.TrailOps += res.TrailOps
 
 	if res.Status != cpsat.Optimal && res.Status != cpsat.Feasible {
 		return false, res.Status == cpsat.Infeasible

@@ -176,6 +176,11 @@ func TestSolveStatsBreakdownPopulated(t *testing.T) {
 	if st.ProcessTime <= 0 || st.BuildTime <= 0 || st.SolveTime <= 0 {
 		t.Errorf("stats breakdown not populated: %+v", st)
 	}
+	// The event-driven engine's counters must surface in Table 4 stats: a
+	// real solve always wakes constraints and trails bound changes.
+	if st.Wakes == 0 || st.TrailOps == 0 {
+		t.Errorf("wake/trail counters not plumbed: wakes=%d trail=%d", st.Wakes, st.TrailOps)
+	}
 }
 
 func TestAdjustLoadStartsMovesEarlier(t *testing.T) {

@@ -90,7 +90,11 @@ type FallbackStats struct {
 	Greedy             int
 }
 
-// SolveStats is the Table 4 breakdown.
+// SolveStats is the Table 4 breakdown. Wakes and TrailOps expose the
+// event-driven CP engine's internals — constraint activations scheduled by
+// bound changes, and bound changes recorded on (then undone from) the
+// backtracking trail — so solver-speed changes are observable in Table 4
+// output rather than only in wall-clock noise.
 type SolveStats struct {
 	ProcessTime time.Duration // node/capacity processing
 	BuildTime   time.Duration // CP model construction
@@ -98,6 +102,8 @@ type SolveStats struct {
 	Status      cpsat.Status  // OPTIMAL iff every window proved optimal
 	Windows     int
 	Branches    int64
+	Wakes       int64
+	TrailOps    int64
 	Fallbacks   FallbackStats
 }
 

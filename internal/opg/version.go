@@ -9,4 +9,9 @@ package opg
 //
 // Bump this string whenever a change to this package (or to the cpsat
 // search it drives) can alter the plan produced for an identical input.
-const SolverVersion = "lc-opg-2"
+//
+// lc-opg-3: event-driven cpsat engine (watchlists, trail backtracking,
+// most-constrained branching) plus the window-model root reduction
+// (forced-variable fixing, duplicate C2 row merging) — equally optimal
+// plans may pick different assignments than lc-opg-2 did.
+const SolverVersion = "lc-opg-3"

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -13,12 +14,14 @@ import (
 	"repro/internal/units"
 )
 
-// FormatVersion tags the on-disk snapshot layout. Version 2 adds the
-// solver-version field. Version-1 files still decode without error, but
-// their entries are all dropped (with a count): they predate the
-// solver-version salt in plan keys, so none of them could ever hit.
-// Unknown versions are rejected rather than guessed at.
-const FormatVersion = 2
+// FormatVersion tags the on-disk snapshot layout. Version 2 added the
+// solver-version field; version 3 records each entry's solve cost so a
+// reloaded cache keeps cost-aware eviction priorities. Version-1 and -2
+// files still decode without error, but their entries are all dropped
+// (with a count): they predate the current solver generation's key salt,
+// so none of them could ever hit. Unknown versions are rejected rather
+// than guessed at.
+const FormatVersion = 3
 
 // persistedNode flattens one graph node; IDs are implicit in order, which
 // matches how graph.Graph.Add assigns them on rebuild.
@@ -35,11 +38,15 @@ type persistedGraph struct {
 	Nodes []persistedNode `json:"nodes"`
 }
 
-// persistedEntry is one cached plan with its key.
+// persistedEntry is one cached plan with its key. Cost carries the
+// recorded solve cost across processes so a warm-started cache evicts
+// cheap plans before expensive ones, exactly like the process that solved
+// them would.
 type persistedEntry struct {
 	Key   string         `json:"key"`
 	Graph persistedGraph `json:"graph"`
 	Plan  *opg.Plan      `json:"plan"`
+	Cost  time.Duration  `json:"cost_ns,omitempty"`
 }
 
 // snapshot is the whole file, entries ordered least → most recently used
@@ -89,6 +96,7 @@ func (c *Cache) Save(path string) error {
 			Key:   en.key,
 			Graph: flattenGraph(en.prep.Graph),
 			Plan:  en.prep.Plan,
+			Cost:  en.cost,
 		})
 	}
 	c.mu.Unlock()
@@ -154,7 +162,11 @@ func (c *Cache) loadFile(path string) (LoadStats, error) {
 	c.mu.Lock()
 	evictionsBefore := c.stats.Evictions
 	for i, en := range entries {
-		c.insert(en.Key, preps[i])
+		cost := en.Cost
+		if cost == 0 {
+			cost = preps[i].PlanCost() // older v3 writers; stats still carry it
+		}
+		c.insert(en.Key, preps[i], cost)
 	}
 	stats.Evicted = int(c.stats.Evictions - evictionsBefore)
 	c.mu.Unlock()
@@ -190,13 +202,14 @@ func decodeSnapshot(path string, data []byte) ([]persistedEntry, LoadStats, erro
 			}
 		}
 		return entries, LoadStats{Files: 1, Loaded: len(entries)}, nil
-	case 1:
+	case 1, 2:
 		// Version-1 snapshots predate the solver-version salt in
-		// core.PlanKey: every stored key was computed without the salt, so
-		// no current lookup can ever hit one. They are handled like a
-		// stale-solver file — every entry dropped with a count, never a
-		// hard error — so an old warm-start file (even a damaged one)
-		// degrades to a cold start instead of failing the run.
+		// core.PlanKey, and version-2 files were necessarily written by a
+		// pre-lc-opg-3 solver: either way no current lookup can ever hit
+		// their keys. They are handled like a stale-solver file — every
+		// entry dropped with a count, never a hard error — so an old
+		// warm-start file (even a damaged one) degrades to a cold start
+		// instead of failing the run.
 		return nil, LoadStats{Files: 1, Dropped: len(raw.Entries)}, nil
 	default:
 		return nil, LoadStats{Files: 1}, fmt.Errorf("plancache: %s has format version %d, want %d", path, raw.Version, FormatVersion)

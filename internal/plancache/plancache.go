@@ -3,14 +3,17 @@
 // deterministic, so its result — the fused graph plus the overlap plan —
 // can be reused by every later Prepare with the same key: repeated
 // Runtime.Load calls, baseline comparisons, and every cell of the
-// evaluation sweeps. The cache is a bounded LRU with hit/miss counters and
-// optional JSON persistence so benchmark tools warm-start across
-// invocations.
+// evaluation sweeps. The cache is a bounded, cost-aware LRU — eviction
+// prefers the cheapest-to-re-solve plan among the least recently used, so
+// a 70B model's multi-second solve outlives a batch of microsecond CNN
+// plans — with hit/miss counters and optional JSON persistence so
+// benchmark tools warm-start across invocations.
 package plancache
 
 import (
 	"container/list"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 )
@@ -18,6 +21,12 @@ import (
 // DefaultMaxEntries bounds the cache when New is given a non-positive
 // limit. Plans are small (kilobytes) relative to the solves they save.
 const DefaultMaxEntries = 512
+
+// evictionSample is how many entries from the LRU tail the evictor
+// considers: the cheapest of the sample is dropped, so recency still rules
+// at a coarse grain while an expensive old plan survives a run of cheap
+// newcomers. Samples larger than the tail degrade gracefully.
+const evictionSample = 8
 
 // Stats counts cache traffic since construction; loads via Load do not
 // count as stores.
@@ -36,6 +45,7 @@ type Cache struct {
 type entry struct {
 	key  string
 	prep *core.Prepared
+	cost time.Duration // recorded solve cost; persisted in snapshots
 }
 
 // New builds a cache bounded to maxEntries (<= 0 uses DefaultMaxEntries).
@@ -64,29 +74,54 @@ func (c *Cache) Get(key string) (*core.Prepared, bool) {
 	return el.Value.(*entry).prep, true
 }
 
-// Put stores a preparation, evicting the least recently used entry past
-// the bound. The value is retained by reference and must stay immutable.
+// Put stores a preparation, evicting past the bound — cost-aware, see
+// insert. The value is retained by reference and must stay immutable.
 func (c *Cache) Put(key string, p *core.Prepared) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats.Stores++
-	c.insert(key, p)
+	c.insert(key, p, p.PlanCost())
 }
 
-// insert adds or refreshes an entry; callers hold c.mu.
-func (c *Cache) insert(key string, p *core.Prepared) {
+// insert adds or refreshes an entry; callers hold c.mu. Past the bound it
+// evicts the cheapest plan among the evictionSample least recently used:
+// plain LRU treats a 70B plan that took seconds to solve and a trivial
+// plan solved in microseconds as equals, so sweeps over many small models
+// would flush exactly the entries that are most expensive to lose.
+func (c *Cache) insert(key string, p *core.Prepared, cost time.Duration) {
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*entry).prep = p
+		en := el.Value.(*entry)
+		en.prep = p
+		en.cost = cost
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&entry{key: key, prep: p})
+	c.entries[key] = c.order.PushFront(&entry{key: key, prep: p, cost: cost})
 	for c.order.Len() > c.max {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*entry).key)
-		c.stats.Evictions++
+		c.evictOne()
 	}
+}
+
+// evictOne removes the cheapest entry among the evictionSample least
+// recently used; on cost ties the older entry goes, preserving strict LRU
+// for plans without recorded costs. The front (most recently used) entry
+// is never sampled: at cache bounds below the sample size it would be the
+// entry Put is inserting right now, and evicting it would turn the store
+// into a silent no-op. Callers hold c.mu.
+func (c *Cache) evictOne() {
+	victim := c.order.Back()
+	if victim == nil {
+		return
+	}
+	front := c.order.Front()
+	for el, i := victim.Prev(), 1; el != nil && el != front && i < evictionSample; el, i = el.Prev(), i+1 {
+		if el.Value.(*entry).cost < victim.Value.(*entry).cost {
+			victim = el
+		}
+	}
+	c.order.Remove(victim)
+	delete(c.entries, victim.Value.(*entry).key)
+	c.stats.Evictions++
 }
 
 // Len returns the number of cached plans.

@@ -511,3 +511,86 @@ func TestLoadReportsEvictionsPastBound(t *testing.T) {
 		t.Errorf("len = %d, want the bound 2", dst.Len())
 	}
 }
+
+func costedPrep(solve time.Duration) *core.Prepared {
+	return &core.Prepared{
+		Graph: models.MustByAbbr("DepthA-S").Build(),
+		Plan: &opg.Plan{ChunkSize: units.MB,
+			Stats: opg.SolveStats{SolveTime: solve}},
+	}
+}
+
+func TestCostAwareEvictionKeepsExpensivePlans(t *testing.T) {
+	c := New(3)
+	c.Put("llama70b", costedPrep(5*time.Second)) // oldest but most expensive
+	c.Put("cnn-a", costedPrep(2*time.Millisecond))
+	c.Put("cnn-b", costedPrep(3*time.Millisecond))
+
+	// Plain LRU would evict llama70b here; cost-aware eviction must drop
+	// the cheapest of the tail sample instead.
+	c.Put("cnn-c", costedPrep(4*time.Millisecond))
+	if _, ok := c.Get("llama70b"); !ok {
+		t.Fatal("expensive plan evicted before cheap ones")
+	}
+	if _, ok := c.Get("cnn-a"); ok {
+		t.Error("cheapest tail entry should have been evicted")
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Entries != 3 {
+		t.Errorf("stats = %+v, want 1 eviction / 3 entries", s)
+	}
+}
+
+func TestCostAwareEvictionTiesFallBackToLRU(t *testing.T) {
+	// Equal (zero) costs must degrade to plain LRU: the oldest entry goes.
+	c := New(2)
+	p := &core.Prepared{}
+	c.Put("old", p)
+	c.Put("mid", p)
+	c.Put("new", p)
+	if _, ok := c.Get("old"); ok {
+		t.Error("tie-break must evict the least recently used entry")
+	}
+	if _, ok := c.Get("mid"); !ok {
+		t.Error("newer tied entry evicted")
+	}
+}
+
+func TestSolveCostSurvivesSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.json")
+	src := New(0)
+	src.Put("expensive", costedPrep(7*time.Second))
+	src.Put("cheap-a", costedPrep(time.Millisecond))
+	src.Put("cheap-b", costedPrep(time.Millisecond))
+	if err := src.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Costs must ride the snapshot: after a reload into a smaller cache,
+	// pressure evicts a reloaded cheap plan, never the expensive one.
+	dst := New(3)
+	if err := dst.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	dst.Put("cheap-c", costedPrep(time.Millisecond))
+	if _, ok := dst.Get("expensive"); !ok {
+		t.Fatal("persisted cost ignored: expensive plan evicted on reload pressure")
+	}
+}
+
+func TestEvictionNeverDropsTheJustInsertedEntry(t *testing.T) {
+	// At bounds below the eviction sample size, the tail walk must stop
+	// before the MRU slot: otherwise inserting a cheap plan into a cache
+	// full of expensive ones would evict the new entry itself, turning the
+	// store into a silent no-op.
+	c := New(3)
+	c.Put("big-a", costedPrep(5*time.Second))
+	c.Put("big-b", costedPrep(5*time.Second))
+	c.Put("big-c", costedPrep(5*time.Second))
+	c.Put("cheap-new", costedPrep(time.Millisecond))
+	if _, ok := c.Get("cheap-new"); !ok {
+		t.Fatal("just-inserted entry was evicted by its own Put")
+	}
+	if _, ok := c.Get("big-a"); ok {
+		t.Error("oldest equal-cost entry should have been evicted instead")
+	}
+}
