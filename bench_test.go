@@ -1,6 +1,7 @@
 package flashmem_test
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -51,6 +52,33 @@ func BenchmarkTable4Solver(b *testing.B) {
 		rows := r.Table4()
 		if i == 0 {
 			b.ReportMetric(rows[len(rows)-1].SolveS, "llama70b-solve-s")
+		}
+	}
+}
+
+// BenchmarkTable4SolverParallel reruns Table 4 with the LC-OPG speculative
+// window pipeline at GOMAXPROCS inside each model cell (cells themselves
+// already fan out on the sweep pool). Plans are byte-identical to
+// BenchmarkTable4Solver's — the delta is wall-clock plus the speculation
+// counters. A fresh runner keeps the shared benchmark runner's
+// configuration untouched.
+func BenchmarkTable4SolverParallel(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	cfg.SolveTimeout = 60 * time.Millisecond
+	cfg.MaxBranches = 4000
+	cfg.OPGParallelism = runtime.GOMAXPROCS(0)
+	r := experiments.NewRunner(cfg)
+	for i := 0; i < b.N; i++ {
+		rows := r.Table4()
+		if i == 0 {
+			b.ReportMetric(rows[len(rows)-1].SolveS, "llama70b-solve-s")
+			var spec, rec int
+			for _, row := range rows {
+				spec += row.Spec
+				rec += row.Recommit
+			}
+			b.ReportMetric(float64(spec), "spec-windows")
+			b.ReportMetric(float64(rec), "recommits")
 		}
 	}
 }

@@ -6,14 +6,25 @@
 //
 // Standard ns/op, B/op and allocs/op columns become fields; every custom
 // b.ReportMetric column (branches, wakes, solve-s, …) lands in Metrics.
+//
+// The compare subcommand is the solver-perf regression gate: it diffs a
+// current run against a stored baseline and fails (exit 1) when any shared
+// benchmark regressed past the ns/op ratio threshold:
+//
+//	go run ./cmd/benchjson compare -max-ratio 2.0 BENCH_solver.json new.json
+//
+// Benchmarks present on only one side are reported but never fail the
+// gate, so adding or retiring benchmarks does not break CI.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -35,6 +46,13 @@ type Report struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		if err := runCompare(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson compare: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -46,6 +64,185 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare implements the compare subcommand.
+func runCompare(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("benchjson compare", flag.ContinueOnError)
+	maxRatio := fs.Float64("max-ratio", 2.0, "fail when a benchmark slows down past this factor (after -ref normalization)")
+	ref := fs.String("ref", "", "reference: ns/op ratios are divided by this benchmark's own ratio, cancelling machine-speed differences between the baseline host and the current runner; the special value 'median' uses the median ratio of all shared non-advisory benchmarks, so no single noisy sample can rescale the verdicts")
+	advisory := fs.String("advisory", "", "substring: matching benchmarks are reported but never fail the gate (e.g. 'Parallel' for core-count-dependent results a scalar reference cannot normalize)")
+	counter := fs.String("counter", "", "custom metric gated on its raw ratio with no normalization — meant for deterministic machine-independent counters like 'branches', which neither runner speed nor sample noise can shift")
+	minNs := fs.Float64("min-ns", 0, "ns/op gating applies only to benchmarks whose baseline is at least this many ns; smaller ones are too noise-prone for a hard wall-clock gate and report advisory only (counter gating still applies)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: benchjson compare [-max-ratio 2.0] [-ref BenchmarkX] baseline.json current.json\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return fmt.Errorf("want exactly two files, got %d", fs.NArg())
+	}
+	base, err := readReport(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cur, err := readReport(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	regs, lines := compareReports(base, cur, compareOpts{
+		maxRatio: *maxRatio, ref: *ref, advisory: *advisory,
+		counter: *counter, minNs: *minNs,
+	})
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+	if len(regs) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed past %.1fx ns/op: %s",
+			len(regs), *maxRatio, strings.Join(regs, ", "))
+	}
+	return nil
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareReports diffs current against baseline by benchmark name. It
+// returns the names that regressed past maxRatio and a rendered line per
+// benchmark (shared ones with their ratio, one-sided ones annotated).
+//
+// Baselines typically come from a different machine than the current run,
+// where absolute ns/op is not comparable. When refName names a benchmark
+// present on both sides, every ratio is divided by the reference's own
+// ratio — the machine-speed factor appears in both and cancels, leaving
+// the workload's *shape* relative to the reference — and the reference
+// itself is exempt from gating (its normalized ratio is 1 by
+// construction). Without a usable reference the raw ratio is judged and a
+// note says so. Benchmarks whose name contains the non-empty advisory
+// substring are reported but never regress the gate: a single-threaded
+// reference cancels scalar speed, not core count, so parallel benchmarks
+// gated across hosts with different parallelism would flap.
+//
+// Normalized wall-clock gating has an inherent blind spot — a regression
+// that slows every benchmark uniformly looks exactly like a slow runner —
+// and sub-millisecond samples are noise-prone. The counter option closes
+// the detectable part of that gap: deterministic search counters (e.g.
+// 'branches') are machine-independent and sample-noise-free, so their raw
+// ratio is gated without any normalization, and minNs keeps the
+// wall-clock verdict to benchmarks big enough to measure.
+type compareOpts struct {
+	maxRatio float64
+	ref      string
+	advisory string
+	counter  string
+	minNs    float64
+}
+
+func compareReports(base, cur *Report, o compareOpts) (regressed []string, lines []string) {
+	maxRatio, refName, advisory := o.maxRatio, o.ref, o.advisory
+	baseBy := map[string]Benchmark{}
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	curBy := map[string]Benchmark{}
+	for _, b := range cur.Benchmarks {
+		curBy[b.Name] = b
+	}
+	scale := 1.0
+	normalized := false
+	switch {
+	case refName == "median":
+		// Median raw ratio across the shared non-advisory benchmarks: a
+		// single noisy sample (GC pause, noisy neighbor) cannot rescale the
+		// verdicts, and one genuine regression barely moves it.
+		var ratios []float64
+		for n, b := range baseBy {
+			if c, ok := curBy[n]; ok && b.NsPerOp > 0 && c.NsPerOp > 0 &&
+				(advisory == "" || !strings.Contains(n, advisory)) {
+				ratios = append(ratios, c.NsPerOp/b.NsPerOp)
+			}
+		}
+		if len(ratios) > 0 {
+			sort.Float64s(ratios)
+			scale = ratios[len(ratios)/2]
+			if len(ratios)%2 == 0 {
+				scale = (scale + ratios[len(ratios)/2-1]) / 2
+			}
+			normalized = true
+			lines = append(lines, fmt.Sprintf("normalizing by the median of %d shared benchmarks: runner is %.2fx the baseline host", len(ratios), scale))
+		} else {
+			lines = append(lines, "no shared benchmarks to take a median over: judging raw ns/op ratios")
+		}
+	case refName != "":
+		rb, rc := baseBy[refName], curBy[refName]
+		if rb.NsPerOp > 0 && rc.NsPerOp > 0 {
+			scale = rc.NsPerOp / rb.NsPerOp
+			normalized = true
+			lines = append(lines, fmt.Sprintf("normalizing by %s: runner is %.2fx the baseline host", refName, scale))
+		} else {
+			lines = append(lines, fmt.Sprintf("reference %s missing on one side: judging raw ns/op ratios", refName))
+		}
+	}
+	names := make([]string, 0, len(baseBy)+len(curBy))
+	for n := range baseBy {
+		names = append(names, n)
+	}
+	for n := range curBy {
+		if _, ok := baseBy[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		b, inBase := baseBy[n]
+		c, inCur := curBy[n]
+		switch {
+		case !inCur:
+			lines = append(lines, fmt.Sprintf("%-40s baseline-only (retired?)", n))
+		case !inBase:
+			lines = append(lines, fmt.Sprintf("%-40s new (no baseline)", n))
+		case b.NsPerOp <= 0:
+			lines = append(lines, fmt.Sprintf("%-40s baseline has no ns/op", n))
+		default:
+			ratio := c.NsPerOp / b.NsPerOp / scale
+			mark := "ok"
+			failed := false
+			switch {
+			case ratio <= maxRatio || (normalized && n == refName):
+			case advisory != "" && strings.Contains(n, advisory):
+				mark = "slow (advisory)"
+			case o.minNs > 0 && b.NsPerOp < o.minNs:
+				mark = "slow (below -min-ns, advisory)"
+			default:
+				mark = "REGRESSED"
+				failed = true
+			}
+			if o.counter != "" && (advisory == "" || !strings.Contains(n, advisory)) {
+				if bc, cc := b.Metrics[o.counter], c.Metrics[o.counter]; bc > 0 && cc/bc > maxRatio {
+					mark = fmt.Sprintf("REGRESSED (%s %.0f -> %.0f)", o.counter, bc, cc)
+					failed = true
+				}
+			}
+			if failed {
+				regressed = append(regressed, n)
+			}
+			lines = append(lines, fmt.Sprintf("%-40s %12.0f -> %12.0f ns/op  %5.2fx  %s",
+				n, b.NsPerOp, c.NsPerOp, ratio, mark))
+		}
+	}
+	return regressed, lines
 }
 
 // parse scans bench output, collecting environment headers and result

@@ -49,3 +49,166 @@ func TestParseSkipsGarbage(t *testing.T) {
 		t.Errorf("garbage parsed as %d benchmarks", len(rep.Benchmarks))
 	}
 }
+
+func TestCompareReports(t *testing.T) {
+	base := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 1000},
+		{Name: "BenchmarkRetired", NsPerOp: 5},
+	}}
+	cur := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 150},  // 1.5x: fine
+		{Name: "BenchmarkB", NsPerOp: 2500}, // 2.5x: regression
+		{Name: "BenchmarkNew", NsPerOp: 7},
+	}}
+	regs, lines := compareReports(base, cur, compareOpts{maxRatio: 2.0, ref: "", advisory: ""})
+	if len(regs) != 1 || regs[0] != "BenchmarkB" {
+		t.Fatalf("regressed = %v, want [BenchmarkB]", regs)
+	}
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want 4: %v", len(lines), lines)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"REGRESSED", "new (no baseline)", "baseline-only"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("output missing %q:\n%s", want, joined)
+		}
+	}
+
+	// One-sided benchmarks never fail the gate.
+	regs, _ = compareReports(base, &Report{Benchmarks: []Benchmark{{Name: "BenchmarkNew", NsPerOp: 7}}}, compareOpts{maxRatio: 2.0, ref: "", advisory: ""})
+	if len(regs) != 0 {
+		t.Fatalf("one-sided compare regressed: %v", regs)
+	}
+}
+
+func TestCompareReportsAtThreshold(t *testing.T) {
+	base := &Report{Benchmarks: []Benchmark{{Name: "BenchmarkA", NsPerOp: 100}}}
+	cur := &Report{Benchmarks: []Benchmark{{Name: "BenchmarkA", NsPerOp: 200}}}
+	// Exactly at the ratio is not a regression; just past it is.
+	if regs, _ := compareReports(base, cur, compareOpts{maxRatio: 2.0, ref: "", advisory: ""}); len(regs) != 0 {
+		t.Fatalf("2.0x at max-ratio 2.0 must pass, got %v", regs)
+	}
+	cur.Benchmarks[0].NsPerOp = 201
+	if regs, _ := compareReports(base, cur, compareOpts{maxRatio: 2.0, ref: "", advisory: ""}); len(regs) != 1 {
+		t.Fatal("2.01x at max-ratio 2.0 must fail")
+	}
+}
+
+func TestCompareReportsRefNormalization(t *testing.T) {
+	// The current "runner" is uniformly 3x slower than the baseline host:
+	// with -ref normalization nothing regresses, and a genuine 3x-on-top
+	// algorithmic regression still fails.
+	base := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkRef", NsPerOp: 100},
+		{Name: "BenchmarkA", NsPerOp: 1000},
+		{Name: "BenchmarkBad", NsPerOp: 1000},
+	}}
+	cur := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkRef", NsPerOp: 300},
+		{Name: "BenchmarkA", NsPerOp: 3000},
+		{Name: "BenchmarkBad", NsPerOp: 9000},
+	}}
+	regs, lines := compareReports(base, cur, compareOpts{maxRatio: 2.0, ref: "BenchmarkRef", advisory: ""})
+	if len(regs) != 1 || regs[0] != "BenchmarkBad" {
+		t.Fatalf("regressed = %v, want [BenchmarkBad]:\n%s", regs, strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(lines[0], "normalizing by BenchmarkRef") {
+		t.Errorf("missing normalization note: %q", lines[0])
+	}
+
+	// Without normalization, the slow runner alone fails everything.
+	regs, _ = compareReports(base, cur, compareOpts{maxRatio: 2.0, ref: "", advisory: ""})
+	if len(regs) != 3 {
+		t.Fatalf("raw compare on a 3x-slower runner should flag all 3, got %v", regs)
+	}
+
+	// A missing reference degrades to raw ratios with a note.
+	regs, lines = compareReports(base, cur, compareOpts{maxRatio: 2.0, ref: "BenchmarkMissing", advisory: ""})
+	if len(regs) != 3 || !strings.Contains(lines[0], "missing on one side") {
+		t.Fatalf("missing-ref fallback wrong: regs=%v lines[0]=%q", regs, lines[0])
+	}
+}
+
+func TestCompareReportsAdvisory(t *testing.T) {
+	base := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 100},
+		{Name: "BenchmarkAParallel", NsPerOp: 100},
+	}}
+	cur := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 500},
+		{Name: "BenchmarkAParallel", NsPerOp: 500},
+	}}
+	regs, lines := compareReports(base, cur, compareOpts{maxRatio: 2.0, ref: "", advisory: "Parallel"})
+	if len(regs) != 1 || regs[0] != "BenchmarkA" {
+		t.Fatalf("regressed = %v, want only BenchmarkA (Parallel is advisory)", regs)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "slow (advisory)") {
+		t.Errorf("advisory slowdown not reported:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestCompareReportsMedianRef(t *testing.T) {
+	// Runner uniformly 3x slower; one genuine 4x-on-top regression. The
+	// median cancels the machine factor without the outlier dragging it.
+	base := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 200},
+		{Name: "BenchmarkC", NsPerOp: 300},
+		{Name: "BenchmarkBad", NsPerOp: 100},
+	}}
+	cur := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 300},
+		{Name: "BenchmarkB", NsPerOp: 600},
+		{Name: "BenchmarkC", NsPerOp: 900},
+		{Name: "BenchmarkBad", NsPerOp: 1200},
+	}}
+	regs, lines := compareReports(base, cur, compareOpts{maxRatio: 2.0, ref: "median", advisory: ""})
+	if len(regs) != 1 || regs[0] != "BenchmarkBad" {
+		t.Fatalf("regressed = %v, want [BenchmarkBad]:\n%s", regs, strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(lines[0], "median of 4 shared benchmarks") {
+		t.Errorf("missing median note: %q", lines[0])
+	}
+}
+
+func TestCompareReportsCounterGate(t *testing.T) {
+	// Same machine-speed story as ever, but the deterministic branch
+	// counter exploded: the counter gate fails it regardless of wall-clock
+	// normalization, and it is immune to a slow runner by construction.
+	base := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 100, Metrics: map[string]float64{"branches": 1000}},
+		{Name: "BenchmarkB", NsPerOp: 100, Metrics: map[string]float64{"branches": 1000}},
+	}}
+	cur := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 110, Metrics: map[string]float64{"branches": 5000}},
+		{Name: "BenchmarkB", NsPerOp: 110, Metrics: map[string]float64{"branches": 1001}},
+	}}
+	regs, lines := compareReports(base, cur, compareOpts{maxRatio: 2.0, counter: "branches"})
+	if len(regs) != 1 || regs[0] != "BenchmarkA" {
+		t.Fatalf("regressed = %v, want [BenchmarkA]:\n%s", regs, strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "branches 1000 -> 5000") {
+		t.Errorf("counter detail missing:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestCompareReportsMinNs(t *testing.T) {
+	// A 6ms benchmark doubling is sample noise, not a verdict; a 600ms one
+	// doubling is a regression.
+	base := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkTiny", NsPerOp: 6e6},
+		{Name: "BenchmarkBig", NsPerOp: 6e8},
+	}}
+	cur := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkTiny", NsPerOp: 15e6},
+		{Name: "BenchmarkBig", NsPerOp: 15e8},
+	}}
+	regs, lines := compareReports(base, cur, compareOpts{maxRatio: 2.0, minNs: 5e7})
+	if len(regs) != 1 || regs[0] != "BenchmarkBig" {
+		t.Fatalf("regressed = %v, want [BenchmarkBig]:\n%s", regs, strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "below -min-ns") {
+		t.Errorf("min-ns advisory note missing:\n%s", strings.Join(lines, "\n"))
+	}
+}

@@ -66,6 +66,7 @@ func runBench(args []string) error {
 	modelsFlag := fs.String("models", "", "comma-separated Table 6 abbreviations (default: all 11)")
 	budget := fs.Duration("budget", 100*time.Millisecond, "per-window CP solve budget")
 	branches := fs.Int64("branches", 8000, "per-window CP branch budget")
+	opgParallel := fs.Int("opg-parallel", 0, "LC-OPG speculative window pipeline workers (0/1 = sequential); plans are byte-identical at any setting")
 	iters := fs.Int("iters", 10, "multi-model iterations for fig6")
 	jobs := fs.Int("jobs", 1, "experiments run concurrently; >1 multiplies with -workers and oversubscribes the CPU, which can starve wall-clock CP budgets and shift solver fallback rates")
 	workers := fs.Int("workers", 0, "sweep cells per experiment run concurrently (0 = GOMAXPROCS)")
@@ -124,6 +125,7 @@ func runBench(args []string) error {
 	cfg.MaxBranches = *branches
 	cfg.Iterations = *iters
 	cfg.Workers = *workers
+	cfg.OPGParallelism = *opgParallel
 	cfg.PlanCache = cache
 	if *modelsFlag != "" {
 		cfg.Models = strings.Split(*modelsFlag, ",")
@@ -188,8 +190,9 @@ func runBench(args []string) error {
 // fingerprint summarizes the result-affecting configuration so merge can
 // refuse to join partials from diverging runs — including shards produced
 // by binaries with different solver generations. Concurrency knobs
-// (-jobs, -workers) and cache paths are excluded: they change scheduling,
-// not results.
+// (-jobs, -workers, -opg-parallel) and cache paths are excluded: they
+// change scheduling, not results (the speculative window pipeline commits
+// byte-identical plans at any worker count).
 func fingerprint(ids []string, models string, budget time.Duration, branches int64, iters int) string {
 	return fmt.Sprintf("solver=%s exp=%s models=%s budget=%s branches=%d iters=%d",
 		opg.SolverVersion, strings.Join(ids, ","), models, budget, branches, iters)

@@ -27,6 +27,7 @@ func main() {
 	mpeakMB := flag.Int64("mpeak", 500, "M_peak in MB (0 = adaptive only)")
 	chunkMB := flag.Int64("chunk", 1, "chunk size S in MB")
 	lambda := flag.Float64("lambda", 0.9, "objective weight λ")
+	parallel := flag.Int("parallel", 0, "speculative window pipeline workers (0/1 = sequential)")
 	flag.Parse()
 
 	spec, ok := models.ByAbbr(*model)
@@ -50,6 +51,7 @@ func main() {
 	cfg.MPeak = units.Bytes(*mpeakMB) * units.MB
 	cfg.ChunkSize = units.Bytes(*chunkMB) * units.MB
 	cfg.Lambda = *lambda
+	cfg.Parallelism = *parallel
 	cfg = opg.AdaptMPeak(cfg, g)
 
 	caps := profiler.AnalyticCapacityFunc(device.OnePlus12())
@@ -64,6 +66,11 @@ func main() {
 	fmt.Printf("Solve model:   %8.3f s\n", st.SolveTime.Seconds())
 	fmt.Printf("Solver status: %s (%d windows, %d branches, %dk wakes, %dk trail ops)\n",
 		st.Status, st.Windows, st.Branches, st.Wakes/1000, st.TrailOps/1000)
+	fmt.Printf("Learning:      %d nogoods, %d restarts\n", st.Nogoods, st.Restarts)
+	if cfg.Parallelism > 1 {
+		fmt.Printf("Pipeline:      %d speculative, %d recommitted of %d windows\n",
+			st.Speculative, st.Recommitted, st.Windows)
+	}
 	fmt.Printf("Fallbacks:     soft=%d preload=%d greedy=%d\n",
 		st.Fallbacks.SoftThreshold, st.Fallbacks.IncrementalPreload, st.Fallbacks.Greedy)
 	fmt.Printf("Preload |W|:   %v (%d%% streamed)\n",

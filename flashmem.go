@@ -89,6 +89,15 @@ func WithSolverBudget(timeout time.Duration, branches int64) Option {
 	}
 }
 
+// WithSolverParallelism sets the LC-OPG speculative window pipeline's
+// worker count (≤1 = sequential). The committed plan is byte-identical at
+// any setting — speculative window solves only commit when their recorded
+// reads replay exactly against the true state — so this trades nothing
+// but planning wall-clock; plan-cache keys deliberately ignore it.
+func WithSolverParallelism(workers int) Option {
+	return func(o *core.Options) { o.Config.Parallelism = workers }
+}
+
 // WithoutAdaptiveFusion disables the §4.3 adaptive fusion loop.
 func WithoutAdaptiveFusion() Option {
 	return func(o *core.Options) { o.AdaptiveFusion = false }
@@ -261,7 +270,17 @@ type PlanSummary struct {
 	SolverBranches  int64
 	SolverWakes     int64 // CP constraint activations (watchlist traffic)
 	SolverTrailOps  int64 // CP trailed bound changes (backtracking volume)
+	SolverNogoods   int64 // learned CP nogoods (conflict-driven learning)
+	SolverRestarts  int64 // CP Luby restarts
 	FallbackGreedy  int
+
+	// Speculative/Recommitted report the window pipeline's scheduling
+	// outcome (both zero on sequential solves): windows committed straight
+	// from validated speculation vs windows re-solved after a failed
+	// validation. They are diagnostics — unlike the solver counters above
+	// they may vary run to run.
+	SpeculativeWindows int
+	RecommittedWindows int
 
 	// FromCache reports that this plan was served by the runtime's plan
 	// cache rather than solved; Cache snapshots that cache's counters at
@@ -283,8 +302,14 @@ func (m *Model) Plan() PlanSummary {
 		SolverBranches:  p.Stats.Branches,
 		SolverWakes:     p.Stats.Wakes,
 		SolverTrailOps:  p.Stats.TrailOps,
+		SolverNogoods:   p.Stats.Nogoods,
+		SolverRestarts:  p.Stats.Restarts,
 		FallbackGreedy:  p.Stats.Fallbacks.Greedy,
-		FromCache:       m.prep.FromCache,
+
+		SpeculativeWindows: p.Stats.Speculative,
+		RecommittedWindows: p.Stats.Recommitted,
+
+		FromCache: m.prep.FromCache,
 	}
 	if c := m.rt.engine.Cache(); c != nil {
 		ps.Cache = c.Stats()

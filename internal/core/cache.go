@@ -51,6 +51,9 @@ type PlanCache interface {
 //
 // KernelRewriting is deliberately excluded: it shapes execution cost, not
 // the plan, so engines differing only in rewriting share cache entries.
+// Config.Parallelism is excluded for the same reason: the speculative
+// window pipeline commits byte-identical plans at any worker count, so
+// engines differing only in pipeline width share entries too.
 func (e *Engine) PlanKey(g *graph.Graph) (string, bool) {
 	return e.planKeySalted(opg.SolverVersion, g)
 }

@@ -137,7 +137,31 @@ func (m *Model) Minimize(vars []Var, coefs []int64) {
 type Options struct {
 	TimeLimit   time.Duration // wall-clock budget; 0 = no limit
 	MaxBranches int64         // branch budget; 0 = no limit
+
+	// Learn enables conflict-driven nogood learning with Luby restarts and
+	// activity-based variable branching: every refuted decision path is
+	// recorded as a bound-literal nogood, installed at the next restart as a
+	// watched row, and propagated like any other constraint, so restarted
+	// runs never re-explore refuted subtrees. Off, the search behaves
+	// exactly like the plain event-driven engine.
+	Learn bool
+
+	// RestartBase is the conflict budget of the first run; later runs scale
+	// it by the Luby sequence (1,1,2,1,1,2,4,…). 0 means the package
+	// default. Only meaningful with Learn.
+	RestartBase int64
 }
+
+// defaultRestartBase is the Luby unit: easy solves finish well under it and
+// never restart, so learning costs them nothing.
+const defaultRestartBase = 256
+
+// maxNogoodLits bounds learned-nogood length: a refutation 50 decisions
+// deep prunes almost nothing and bloats the watch lists.
+const maxNogoodLits = 48
+
+// maxNogoods bounds the learned store per solve (no clause-DB reduction).
+const maxNogoods = 4096
 
 // Result is a solve outcome.
 type Result struct {
@@ -149,7 +173,14 @@ type Result struct {
 	Propagations int64 // propagator executions (queue pops)
 	Wakes        int64 // constraint activations scheduled by bound changes
 	TrailOps     int64 // bound changes pushed to (and undone from) the trail
+	Nogoods      int64 // learned nogoods installed (incl. root-unit ones)
+	Restarts     int64 // Luby restarts performed
 	Elapsed      time.Duration
+
+	// TimedOut reports that the wall clock expired mid-search. A solve cut
+	// short only by MaxBranches leaves it false: branch budgets are
+	// deterministic, so equal inputs still produce equal results.
+	TimedOut bool
 }
 
 // Value returns the solution value of v.
@@ -174,6 +205,26 @@ type watch struct {
 type trailEntry struct {
 	v            int32
 	oldLo, oldHi int64
+}
+
+// lit is a bound literal: x ≥ bound when ge, else x ≤ bound. Every branch
+// decision is one literal (the other half of the assigned interval is
+// already implied by the current domain), so a refuted decision path is a
+// conjunction of literals — the learned nogood ¬(l₁ ∧ … ∧ lₖ).
+type lit struct {
+	v     int32
+	ge    bool
+	bound int64
+}
+
+// decision is one entry of the current branch: the literal taken, and —
+// for a second (refutation) half — the sibling literal whose subtree was
+// already fully explored, which is what restart-time nogood extraction
+// needs.
+type decision struct {
+	taken   lit
+	sibling lit
+	second  bool
 }
 
 type searcher struct {
@@ -210,15 +261,43 @@ type searcher struct {
 
 	rootInfeasible bool // empty constraint range found during row dedup
 
-	deadline  time.Time
-	hasLimit  bool
-	branches  int64
-	maxBranch int64
-	props     int64
-	wakes     int64
-	trailOps  int64
-	lastPoll  int64
-	timedOut  bool
+	// Conflict-driven learning state (Options.Learn). When a run's conflict
+	// budget expires, the current branch is snapshotted; the Luby restart
+	// unwinds to the root and installs the branch's reduced nld-nogoods —
+	// for every refutation half on the branch, its decision prefix plus the
+	// already-refuted sibling literal — as watched rows (ngWatchLo/Hi wake
+	// a nogood when a ≥/≤ literal of one of its vars may have become
+	// entailed). Unit propagation then steers the next run past every
+	// subtree the aborted run had already refuted, and branching follows
+	// conflict-bumped activities.
+	learn      bool
+	activity   []float64
+	varInc     float64
+	decStack   []decision
+	branchSnap []decision // branch at the moment the restart triggered
+	nogoods    [][]lit
+	ngW        [][2]int32  // per nogood: the two watched literal indexes
+	ngWatchLo  [][]ngWatch // var → nogoods watching a ≥-literal of it (may hold stale entries)
+	ngWatchHi  [][]ngWatch
+	conflicts  int64
+	restartAt  int64 // conflict count that triggers the next restart
+	restartRq  bool
+	runIdx     int64
+	rstBase    int64
+	rstPenalty int64 // doubles on zero-yield restarts, resets when one learns
+	learned    int64
+	restarts   int64
+
+	deadline    time.Time
+	hasLimit    bool
+	branches    int64
+	maxBranch   int64
+	props       int64
+	wakes       int64
+	trailOps    int64
+	lastPoll    int64
+	timedOut    bool
+	timeExpired bool
 }
 
 // Solve runs branch-and-bound and returns the best solution found.
@@ -231,12 +310,53 @@ func (m *Model) Solve(opts Options) Result {
 	}
 
 	complete := false
-	if s.rootInfeasible {
+	switch {
+	case s.rootInfeasible:
 		complete = true
-	} else if s.propagateRoot() {
-		complete = s.search()
-	} else {
+	case !s.propagateRoot():
 		complete = !s.timedOut // root wipeout is proven unless the clock cut the fixpoint short
+	default:
+		for {
+			if s.search() {
+				complete = true
+				break
+			}
+			if s.timedOut || !s.restartRq {
+				break
+			}
+			// Luby restart: the recursion has already unwound to the root.
+			// Install the run's learned nogoods (possibly refuting the root,
+			// which proves the incumbent optimal), re-propagate the root
+			// under the tightened objective bound, and search again with a
+			// larger conflict budget. A restart that yields no nogoods was
+			// pure overhead — the search dives without refutation halves on
+			// its branch — so zero-yield restarts double an extra penalty on
+			// the next budget until one pays off again; models whose shape
+			// learning cannot help thus stop restarting almost immediately.
+			s.restartRq = false
+			s.restarts++
+			s.runIdx++
+			before := s.learned
+			if !s.installBranchNogoods() {
+				complete = !s.timedOut
+				break
+			}
+			if s.learned == before {
+				if s.rstPenalty < 1<<20 {
+					s.rstPenalty *= 2
+				}
+			} else {
+				s.rstPenalty = 1
+			}
+			s.restartAt = s.conflicts + s.rstBase*luby(s.runIdx+1)*s.rstPenalty
+			if s.hasBest && s.objIdx >= 0 {
+				s.enqueue(int32(s.objIdx))
+			}
+			if !s.drain() {
+				complete = !s.timedOut
+				break
+			}
+		}
 	}
 
 	res := Result{
@@ -244,7 +364,10 @@ func (m *Model) Solve(opts Options) Result {
 		Propagations: s.props,
 		Wakes:        s.wakes,
 		TrailOps:     s.trailOps,
+		Nogoods:      s.learned,
+		Restarts:     s.restarts,
 		Elapsed:      time.Since(start),
+		TimedOut:     s.timeExpired,
 	}
 	switch {
 	case s.hasBest && (complete || !m.hasObj):
@@ -273,6 +396,17 @@ func newSearcher(m *Model, opts Options) *searcher {
 		hi:        append([]int64(nil), m.hi...),
 		objIdx:    -1,
 		maxBranch: opts.MaxBranches,
+		learn:     opts.Learn,
+	}
+	if s.learn {
+		s.activity = make([]float64, nv)
+		s.varInc = 1
+		s.rstBase = opts.RestartBase
+		if s.rstBase <= 0 {
+			s.rstBase = defaultRestartBase
+		}
+		s.restartAt = s.rstBase
+		s.rstPenalty = 1
 	}
 
 	// Root reduction: rows with identical terms collapse to one row with
@@ -408,9 +542,180 @@ func (s *searcher) expired() bool {
 	}
 	if s.hasLimit && s.branches%64 == 0 && time.Now().After(s.deadline) {
 		s.timedOut = true
+		s.timeExpired = true
 		return true
 	}
 	return false
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence
+// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,…
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<k)-1 {
+			return 1 << (k - 1)
+		}
+		if i < (1<<k)-1 {
+			return luby(i - (1 << (k - 1)) + 1)
+		}
+	}
+}
+
+// litHolds reports whether the current domains entail the literal.
+func (s *searcher) litHolds(l lit) bool {
+	if l.ge {
+		return s.lo[l.v] >= l.bound
+	}
+	return s.hi[l.v] <= l.bound
+}
+
+// noteConflict bumps the decision path's activities and checks the run's
+// conflict budget; when the budget expires the current branch is
+// snapshotted for restart-time nogood extraction.
+func (s *searcher) noteConflict() {
+	s.conflicts++
+	if !s.learn {
+		return
+	}
+	for _, d := range s.decStack {
+		s.activity[d.taken.v] += s.varInc
+		if s.activity[d.taken.v] > 1e100 {
+			for i := range s.activity {
+				s.activity[i] *= 1e-100
+			}
+			s.varInc *= 1e-100
+		}
+	}
+	s.varInc *= 1.052 // MiniSat-style decay of everything else
+	if s.conflicts >= s.restartAt && !s.restartRq {
+		s.restartRq = true
+		s.branchSnap = append(s.branchSnap[:0], s.decStack...)
+	}
+}
+
+// installBranchNogoods turns the aborted run's final branch into reduced
+// nld-nogoods (Lecoutre et al.): a second (refutation) half δⱼ on the
+// branch means its sibling's subtree under the prefix δ₁…δⱼ₋₁ was fully
+// explored without an improving solution, so {δ₁,…,δⱼ₋₁, sibling(δⱼ)} is a
+// nogood — at most one per branch level. It runs at the root: literals
+// refuted by the root domains kill their nogood, entailed literals are
+// dropped, an emptied nogood refutes the root (the incumbent is optimal —
+// the caller reports completeness), and a unit nogood is enforced
+// permanently. It reports false when the root is refuted.
+func (s *searcher) installBranchNogoods() bool {
+	for j, d := range s.branchSnap {
+		if !d.second || j+1 > maxNogoodLits || len(s.nogoods) >= maxNogoods {
+			continue
+		}
+		kept := make([]lit, 0, j+1)
+		dead := false
+		for i := 0; i <= j; i++ {
+			l := s.branchSnap[i].taken
+			if i == j {
+				l = d.sibling
+			}
+			var never, always bool
+			if l.ge {
+				never, always = s.hi[l.v] < l.bound, s.lo[l.v] >= l.bound
+			} else {
+				never, always = s.lo[l.v] > l.bound, s.hi[l.v] <= l.bound
+			}
+			if never {
+				dead = true
+				break
+			}
+			if !always {
+				kept = append(kept, l)
+			}
+		}
+		if dead {
+			continue
+		}
+		s.learned++
+		switch len(kept) {
+		case 0:
+			return false
+		case 1:
+			if !s.negateLit(kept[0]) {
+				return false
+			}
+		default:
+			if s.ngWatchLo == nil {
+				s.ngWatchLo = make([][]ngWatch, len(s.lo))
+				s.ngWatchHi = make([][]ngWatch, len(s.lo))
+			}
+			id := int32(len(s.nogoods))
+			s.nogoods = append(s.nogoods, kept)
+			s.inQueue = append(s.inQueue, false)
+			// Watch the two deepest literals (free at the root by
+			// construction). The shallow prefix literals re-entail early on
+			// every similar branch; watching them would wake the nogood long
+			// before it could possibly propagate.
+			w0, w1 := int32(len(kept)-1), int32(len(kept)-2)
+			s.ngW = append(s.ngW, [2]int32{w0, w1})
+			s.regNgWatch(id, kept[w0])
+			s.regNgWatch(id, kept[w1])
+		}
+	}
+	return true
+}
+
+// negateLit enforces the negation of a literal.
+func (s *searcher) negateLit(l lit) bool {
+	if l.ge {
+		return s.setHi(int(l.v), l.bound-1)
+	}
+	return s.setLo(int(l.v), l.bound+1)
+}
+
+// regNgWatch registers nogood id in the watch list that fires when l may
+// become entailed (setLo for ≥-literals, setHi for ≤-literals).
+func (s *searcher) regNgWatch(id int32, l lit) {
+	if l.ge {
+		s.ngWatchLo[l.v] = append(s.ngWatchLo[l.v], ngWatch{ng: id, bound: l.bound})
+	} else {
+		s.ngWatchHi[l.v] = append(s.ngWatchHi[l.v], ngWatch{ng: id, bound: l.bound})
+	}
+}
+
+// propNogood enforces one learned nogood ¬(l₁ ∧ … ∧ lₖ): with two free
+// (non-entailed) literals it just re-points the watches at them; with a
+// single free literal it asserts that literal's negation; with none the
+// refuted path has been re-entered and the node fails. Backtracking never
+// invalidates watches — relaxing bounds cannot entail a literal.
+func (s *searcher) propNogood(k int) bool {
+	s.props++
+	ng := s.nogoods[k]
+	f0, f1 := int32(-1), int32(-1)
+	for i := len(ng) - 1; i >= 0; i-- {
+		// Deepest-first: free literals cluster at the branch's deep end, so
+		// the scan usually stops after a couple of probes, and relocated
+		// watches stay on late-entailing literals.
+		if !s.litHolds(ng[i]) {
+			if f0 < 0 {
+				f0 = int32(i)
+			} else {
+				f1 = int32(i)
+				break
+			}
+		}
+	}
+	switch {
+	case f0 < 0:
+		return false
+	case f1 < 0:
+		return s.negateLit(ng[f0])
+	default:
+		w := s.ngW[k]
+		if w[0] != f0 && w[1] != f0 {
+			s.regNgWatch(int32(k), ng[f0])
+		}
+		if w[0] != f1 && w[1] != f1 {
+			s.regNgWatch(int32(k), ng[f1])
+		}
+		s.ngW[k] = [2]int32{f0, f1}
+		return true
+	}
 }
 
 // enqueue schedules constraint id c (a lins index, or len(lins)+i for
@@ -468,6 +773,9 @@ func (s *searcher) setLo(v int, nl int64) bool {
 	for _, ii := range s.watchImp[v] {
 		s.enqueue(nLin + ii)
 	}
+	if s.ngWatchLo != nil {
+		s.wakeNogoods(v, true)
+	}
 	return nl <= s.hi[v]
 }
 
@@ -493,7 +801,51 @@ func (s *searcher) setHi(v int, nh int64) bool {
 	for _, ii := range s.watchImp[v] {
 		s.enqueue(nLin + ii)
 	}
+	if s.ngWatchHi != nil {
+		s.wakeNogoods(v, false)
+	}
 	return s.lo[v] <= nh
+}
+
+// ngWatch is one entry of a per-variable nogood watch list: the watching
+// nogood plus the watched literal's bound, so a bound change that cannot
+// have entailed the literal is filtered here without touching the nogood.
+type ngWatch struct {
+	ng    int32
+	bound int64
+}
+
+// wakeNogoods schedules the nogoods watching a ≥-literal (ge) or ≤-literal
+// of v that the bound change may have entailed. Entries whose nogood has
+// since moved its watches off (v, bound) are stale — two-watch relocation
+// appends to the new literal's list and leaves the old entry behind — and
+// are swap-deleted here instead of waking.
+func (s *searcher) wakeNogoods(v int, ge bool) {
+	lists := s.ngWatchHi
+	if ge {
+		lists = s.ngWatchLo
+	}
+	list := lists[v]
+	base := int32(len(s.lins) + len(s.m.implies))
+	for i := 0; i < len(list); {
+		e := list[i]
+		if ge && s.lo[v] < e.bound || !ge && s.hi[v] > e.bound {
+			i++ // the watched literal is still free: nothing to propagate
+			continue
+		}
+		w := s.ngW[e.ng]
+		lits := s.nogoods[e.ng]
+		a, b := lits[w[0]], lits[w[1]]
+		if (int(a.v) != v || a.ge != ge || a.bound != e.bound) &&
+			(int(b.v) != v || b.ge != ge || b.bound != e.bound) {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			continue
+		}
+		s.enqueue(base + e.ng)
+		i++
+	}
+	lists[v] = list
 }
 
 // undoTo pops the trail back to mark, restoring domains and replaying the
@@ -540,12 +892,14 @@ func (s *searcher) propagateRoot() bool {
 // remaining queue is discarded.
 func (s *searcher) drain() bool {
 	nLin := len(s.lins)
+	nImp := len(s.m.implies)
 	for {
 		for s.qhead < len(s.queue) {
 			if s.hasLimit && s.props-s.lastPoll >= propPollStride {
 				s.lastPoll = s.props
 				if time.Now().After(s.deadline) {
 					s.timedOut = true
+					s.timeExpired = true
 					s.clearQueue()
 					return false
 				}
@@ -554,10 +908,13 @@ func (s *searcher) drain() bool {
 			s.qhead++
 			s.inQueue[c] = false
 			ok := true
-			if c < nLin {
+			switch {
+			case c < nLin:
 				ok = s.propLinear(c)
-			} else {
+			case c < nLin+nImp:
 				ok = s.propImply(c - nLin)
+			default:
+				ok = s.propNogood(c - nLin - nImp)
 			}
 			if !ok {
 				s.clearQueue()
@@ -679,21 +1036,50 @@ func (s *searcher) prunedByBound() bool {
 
 // search explores the subtree under the current (already propagated)
 // domains, branching on the most-constrained variable — smallest domain,
-// ties broken toward the most-watched — and trying the objective-preferred
-// half first. It returns true if the subtree was explored exhaustively.
+// ties broken toward the most-watched; with learning on, conflict-bumped
+// activity dominates both — and trying the objective-preferred half first.
+// It returns true if the subtree was explored exhaustively.
 func (s *searcher) search() bool {
-	if s.expired() {
+	if s.expired() || s.restartRq {
 		return false
 	}
 	if s.prunedByBound() {
+		// Not a learning conflict: bound-dominated nodes are legion and
+		// cheap, and counting them would flood the restart budget; the nld
+		// extraction still captures any refutation that included them.
 		return true // no improving solution below this node: proven
 	}
 	branch := -1
 	var bestSpan int64 = math.MaxInt64
 	var bestDeg int32 = -1
+	bestAct := math.Inf(-1)
 	for v := range s.lo {
 		span := s.hi[v] - s.lo[v]
-		if span > 0 && (span < bestSpan || (span == bestSpan && s.degree[v] > bestDeg)) {
+		if span <= 0 {
+			continue
+		}
+		if s.learn {
+			// Most-constrained first, conflict activity as the tie-break
+			// above watcher degree: the small-domain dive is what makes
+			// branch budgets productive on wide windows (activity-first
+			// branching triples propagation per node there), while activity
+			// still steers equals toward the contended columns restarts
+			// learned about. Before any conflict this reproduces the
+			// non-learning heuristic exactly.
+			switch {
+			case span < bestSpan:
+			case span > bestSpan:
+				continue
+			case s.activity[v] < bestAct:
+				continue
+			case s.activity[v] == bestAct && s.degree[v] <= bestDeg:
+				continue
+			}
+			bestAct = s.activity[v]
+			bestSpan = span
+			bestDeg = s.degree[v]
+			branch = v
+		} else if span < bestSpan || (span == bestSpan && s.degree[v] > bestDeg) {
 			bestSpan = span
 			bestDeg = s.degree[v]
 			branch = v
@@ -710,17 +1096,22 @@ func (s *searcher) search() bool {
 	// Value ordering: commit the objective-preferred endpoint first (the
 	// greedy dive), leaving the rest of the domain for the refutation
 	// branch. Minimization prefers small values under a non-negative
-	// coefficient and large ones under a negative coefficient.
+	// coefficient and large ones under a negative coefficient. Each half is
+	// a single bound literal — the decision recorded on the path.
 	var halves [2][2]int64
+	var decs [2]lit
 	if s.objCoef[branch] < 0 {
 		halves = [2][2]int64{{hi, hi}, {lo, hi - 1}}
+		decs = [2]lit{{v: int32(branch), ge: true, bound: hi}, {v: int32(branch), bound: hi - 1}}
 	} else {
 		halves = [2][2]int64{{lo, lo}, {lo + 1, hi}}
+		decs = [2]lit{{v: int32(branch), bound: lo}, {v: int32(branch), ge: true, bound: lo + 1}}
 	}
 	order := [2]int{0, 1}
 	complete := true
 	for _, oi := range order {
 		mark := len(s.trail)
+		s.decStack = append(s.decStack, decision{taken: decs[oi], sibling: decs[1-oi], second: oi == 1})
 		ok := s.setLo(branch, halves[oi][0]) && s.setHi(branch, halves[oi][1])
 		if ok {
 			ok = s.drain()
@@ -733,9 +1124,12 @@ func (s *searcher) search() bool {
 			}
 		} else if s.timedOut {
 			complete = false
+		} else {
+			s.noteConflict()
 		}
+		s.decStack = s.decStack[:len(s.decStack)-1]
 		s.undoTo(mark)
-		if s.expired() {
+		if s.expired() || s.restartRq {
 			return false
 		}
 	}

@@ -98,23 +98,35 @@ func TestDifferentialAgainstReference(t *testing.T) {
 	if testing.Short() {
 		seeds = 200
 	}
-	opts := Options{} // no budgets: both engines must prove their answer
+	// Both engine configurations must agree with the naive fixpoint
+	// reference: the plain event-driven search, and the conflict-driven
+	// configuration with nogood learning and an aggressively small Luby
+	// unit so restarts, installs, and learned-row propagation all fire on
+	// models this size.
+	engines := []struct {
+		tag  string
+		opts Options
+	}{
+		{"plain", Options{}},
+		{"learn", Options{Learn: true, RestartBase: 4}},
+	}
 	for seed := int64(0); seed < int64(seeds); seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		m, lins, imps := randomModel(rng)
+		want := refSolve(m, Options{})
 
-		got := m.Solve(opts)
-		want := refSolve(m, opts)
-
-		if got.Status != want.Status {
-			t.Fatalf("seed %d: status %v (watchlist) vs %v (reference)", seed, got.Status, want.Status)
-		}
-		if got.Status == Optimal && m.hasObj && got.Objective != want.Objective {
-			t.Fatalf("seed %d: objective %d (watchlist) vs %d (reference)",
-				seed, got.Objective, want.Objective)
-		}
-		if got.Values != nil {
-			checkSolution(t, "watchlist solution", seed, got.Values, lins, imps)
+		for _, eng := range engines {
+			got := m.Solve(eng.opts)
+			if got.Status != want.Status {
+				t.Fatalf("seed %d: %s status %v vs %v (reference)", seed, eng.tag, got.Status, want.Status)
+			}
+			if got.Status == Optimal && m.hasObj && got.Objective != want.Objective {
+				t.Fatalf("seed %d: %s objective %d vs %d (reference)",
+					seed, eng.tag, got.Objective, want.Objective)
+			}
+			if got.Values != nil {
+				checkSolution(t, eng.tag+" solution", seed, got.Values, lins, imps)
+			}
 		}
 		if want.Values != nil {
 			checkSolution(t, "reference solution", seed, want.Values, lins, imps)
@@ -177,13 +189,15 @@ func TestDifferentialOPGShapedModels(t *testing.T) {
 		}
 		m.Minimize(objVars, objCoefs)
 
-		got := m.Solve(Options{})
 		want := refSolve(m, Options{})
-		if got.Status != want.Status {
-			t.Fatalf("seed %d: status %v vs reference %v", seed, got.Status, want.Status)
-		}
-		if got.Status == Optimal && got.Objective != want.Objective {
-			t.Fatalf("seed %d: objective %d vs reference %d", seed, got.Objective, want.Objective)
+		for _, opts := range []Options{{}, {Learn: true, RestartBase: 4}} {
+			got := m.Solve(opts)
+			if got.Status != want.Status {
+				t.Fatalf("seed %d (learn=%t): status %v vs reference %v", seed, opts.Learn, got.Status, want.Status)
+			}
+			if got.Status == Optimal && got.Objective != want.Objective {
+				t.Fatalf("seed %d (learn=%t): objective %d vs reference %d", seed, opts.Learn, got.Objective, want.Objective)
+			}
 		}
 	}
 }

@@ -43,6 +43,11 @@ type Config struct {
 
 	// Workers bounds sweep concurrency: 0 = GOMAXPROCS, 1 = serial.
 	Workers int
+	// OPGParallelism is the LC-OPG speculative window pipeline's worker
+	// count (opg.Config.Parallelism): ≤1 solves windows sequentially.
+	// Plans are byte-identical either way, so — like Workers — it is a
+	// scheduling knob and stays out of result fingerprints.
+	OPGParallelism int
 	// PlanCache memoizes Prepare results across every engine the runner
 	// builds — the main runner and the per-cell engines of the figure and
 	// ablation sweeps (nil = no memoization).
@@ -161,6 +166,7 @@ func engineOptions(cfg Config, dev device.Device) core.Options {
 	if cfg.MaxBranches > 0 {
 		opts.Config.MaxBranches = cfg.MaxBranches
 	}
+	opts.Config.Parallelism = cfg.OPGParallelism
 	opts.Cache = cfg.PlanCache
 	return opts
 }
@@ -179,6 +185,7 @@ func (r *Runner) solveConfig() opg.Config {
 	if r.Cfg.MaxBranches > 0 {
 		cfg.MaxBranches = r.Cfg.MaxBranches
 	}
+	cfg.Parallelism = r.Cfg.OPGParallelism
 	return cfg
 }
 

@@ -1,6 +1,7 @@
 package opg
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -15,13 +16,14 @@ import (
 // numbers line up with BenchmarkTable4Solver. Run via `make bench-solver`;
 // CI's nightly job archives the results as BENCH_solver.json.
 
-func benchColdSolve(b *testing.B, spec models.Spec) {
+func benchColdSolve(b *testing.B, spec models.Spec, parallelism int) {
 	b.Helper()
 	g := spec.Build()
 	caps := profiler.AnalyticCapacityFunc(device.OnePlus12())
 	cfg := DefaultConfig()
 	cfg.SolveTimeout = 60 * time.Millisecond
 	cfg.MaxBranches = 4000
+	cfg.Parallelism = parallelism
 	cfg = AdaptMPeak(cfg, g)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -36,18 +38,35 @@ func benchColdSolve(b *testing.B, spec models.Spec) {
 	b.ReportMetric(float64(plan.Stats.Branches), "branches")
 	b.ReportMetric(float64(plan.Stats.Wakes), "wakes")
 	b.ReportMetric(plan.Stats.SolveTime.Seconds(), "solve-s")
+	if parallelism > 1 {
+		b.ReportMetric(float64(plan.Stats.Speculative), "spec-windows")
+		b.ReportMetric(float64(plan.Stats.Recommitted), "recommits")
+	}
 }
 
 // BenchmarkColdSolveLlama70B is the largest bundled model — the worst cold
 // solve in Table 4.
 func BenchmarkColdSolveLlama70B(b *testing.B) {
-	benchColdSolve(b, models.SolverOnly()[2])
+	benchColdSolve(b, models.SolverOnly()[2], 0)
 }
 
 func BenchmarkColdSolveViT8B(b *testing.B) {
-	benchColdSolve(b, models.SolverOnly()[0])
+	benchColdSolve(b, models.SolverOnly()[0], 0)
 }
 
 func BenchmarkColdSolveGPTNeoS(b *testing.B) {
-	benchColdSolve(b, models.MustByAbbr("GPTN-S"))
+	benchColdSolve(b, models.MustByAbbr("GPTN-S"), 0)
+}
+
+// Parallel variants run the speculative window pipeline at GOMAXPROCS;
+// plans are byte-identical to the sequential runs above, so the delta is
+// pure wall-clock. GPT-Neo-S is the capacity-rich case where speculation
+// validates nearly always; Llama2-70B is the contended case where the
+// adaptive throttle keeps doomed speculation from hurting.
+func BenchmarkColdSolveLlama70BParallel(b *testing.B) {
+	benchColdSolve(b, models.SolverOnly()[2], runtime.GOMAXPROCS(0))
+}
+
+func BenchmarkColdSolveGPTNeoSParallel(b *testing.B) {
+	benchColdSolve(b, models.MustByAbbr("GPTN-S"), runtime.GOMAXPROCS(0))
 }

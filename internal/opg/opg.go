@@ -49,6 +49,11 @@ func AdaptMPeak(cfg Config, g *graph.Graph) Config {
 
 // Solve runs LC-OPG over the graph and returns a complete plan. It never
 // fails: the tiered fallback guarantees a schedule (worst case: preload).
+//
+// With cfg.Parallelism > 1 the rolling windows run through the speculative
+// pipeline (see pipeline.go); the committed plan and all solver counters
+// are byte-identical to a sequential solve, so the knob trades nothing but
+// wall-clock and wasted speculative work.
 func Solve(g *graph.Graph, caps Capacity, cfg Config) *Plan {
 	if cfg.ChunkSize <= 0 {
 		cfg = DefaultConfig()
@@ -81,16 +86,15 @@ func Solve(g *graph.Graph, caps Capacity, cfg Config) *Plan {
 	}
 	s.stats.ProcessTime = time.Since(t0)
 
-	// Rolling windows: batch weights by consumption layer.
-	for start := 0; start < len(weights); {
-		end := start + 1
-		windowEnd := int(weights[start].node) + cfg.Window
-		for end < len(weights) && int(weights[end].node) < windowEnd {
-			end++
+	// Rolling windows, enumerated up front: batch weights by consumption
+	// layer, then solve sequentially or through the speculative pipeline.
+	wins := enumerateWindows(weights, cfg.Window)
+	if cfg.Parallelism > 1 && len(wins) > 1 {
+		s.solveParallel(wins, cfg.Parallelism)
+	} else {
+		for _, win := range wins {
+			s.apply(solveWindow(&s.cfg, win, s.capRemaining, s.inflight, false))
 		}
-		s.solveBatch(weights[start:end])
-		s.stats.Windows++
-		start = end
 	}
 
 	sort.Slice(s.plan.Weights, func(i, j int) bool {
@@ -99,379 +103,39 @@ func Solve(g *graph.Graph, caps Capacity, cfg Config) *Plan {
 	return s.plan
 }
 
-// candidates returns the transform-layer candidates for a weight: the
-// nearest MaxCandidates preceding layers with remaining capacity, within
-// the window, newest first.
-func (s *solver) candidates(w weightItem) []graph.NodeID {
-	var out []graph.NodeID
-	lo := int(w.node) - s.cfg.Window
-	if lo < 0 {
-		lo = 0
-	}
-	for l := int(w.node) - 1; l >= lo && len(out) < MaxCandidates; l-- {
-		if s.capRemaining[l] > 0 {
-			out = append(out, graph.NodeID(l))
-		}
-	}
-	return out
-}
-
-// mpeakSlackChunks returns how many more chunks may be in flight at layer l.
-func (s *solver) mpeakSlackChunks(l graph.NodeID) int {
-	slack := int64(s.cfg.MPeak) - s.inflight[l]
-	if slack <= 0 {
-		return 0
-	}
-	return int(slack / int64(s.cfg.ChunkSize))
-}
-
-// solveBatch schedules one window of weights with the C4 fallback ladder.
-func (s *solver) solveBatch(batch []weightItem) {
-	// Structurally unstreamable weights go straight into W, as §3.1
-	// prescribes for the first layers: no candidate layers, candidate
-	// capacity that cannot cover the chunk count even optimistically, or a
-	// tensor bigger than the whole in-flight budget. Filtering them here
-	// keeps one impossible weight from poisoning the window CP.
-	var solvable []weightItem
-	for _, w := range batch {
-		cands := s.candidates(w)
-		capSum := 0
-		for _, l := range cands {
-			capSum += s.capRemaining[l]
-		}
-		switch {
-		case len(cands) == 0,
-			capSum < w.chunks,
-			int64(w.chunks)*int64(s.cfg.ChunkSize) > int64(s.cfg.MPeak):
-			s.preload(w)
-		default:
-			solvable = append(solvable, w)
-		}
-	}
-	if len(solvable) == 0 {
-		return
-	}
-
-	// Ladder rung 1: CP at nominal capacity, no preloading — streaming is
-	// the goal; W is the fallback, as the objective's λ weighting encodes.
-	ok, proven := s.tryCP(solvable, 1.0)
-	if ok {
-		return
-	}
-	if !proven {
-		// Hybrid execution mode (§3.2): the budget expired without proving
-		// infeasibility, so relaxation and preloading would not help —
-		// switch straight to the heuristic on the full batch.
-		s.stats.Fallbacks.Greedy++
-		s.stats.Status = cpsat.Feasible
-		s.greedy(solvable)
-		return
-	}
-	// Rung 2: soft thresholding (C4) against proven capacity shortfalls.
-	s.stats.Fallbacks.SoftThreshold++
-	if ok, _ = s.tryCP(solvable, s.cfg.SoftThreshold); ok {
-		return
-	}
-	// Rung 3: incremental preloading — peel the largest weights into W and
-	// retry the CP on the remainder.
-	order := append([]weightItem(nil), solvable...)
-	sort.Slice(order, func(i, j int) bool { return order[i].bytes > order[j].bytes })
-	rest := solvable
-	for k := 0; k < 3 && len(rest) > 1; k++ {
-		biggest := order[k].node
-		s.preload(order[k])
-		kept := rest[:0:0]
-		for _, w := range rest {
-			if w.node != biggest {
-				kept = append(kept, w)
+// apply commits one window result: plan entries, state deltas (capacity
+// clamped at zero exactly as the old in-place soft-threshold overdraw
+// did), and the stats share of the solve that actually got committed.
+func (s *solver) apply(res *windowResult) {
+	s.plan.Weights = append(s.plan.Weights, res.weights...)
+	for i, u := range res.capUsed {
+		if u != 0 {
+			l := res.off + i
+			if s.capRemaining[l] -= u; s.capRemaining[l] < 0 {
+				s.capRemaining[l] = 0
 			}
 		}
-		rest = kept
-		s.stats.Fallbacks.IncrementalPreload++
-		if ok, _ = s.tryCP(rest, s.cfg.SoftThreshold); ok {
-			return
+	}
+	for i, a := range res.inAdd {
+		if a != 0 {
+			s.inflight[res.off+i] += a
 		}
 	}
-	// Rung 4: greedy heuristic backup. Always succeeds.
-	s.stats.Fallbacks.Greedy++
-	s.stats.Status = cpsat.Feasible
-	s.greedy(rest)
-}
-
-// tryCP builds and solves the window CP model (streaming only — preloading
-// is handled by the outer ladder). On success it applies the solution and
-// reports ok; otherwise `proven` distinguishes proven infeasibility from a
-// budget-expired Unknown.
-func (s *solver) tryCP(batch []weightItem, relax float64) (ok, proven bool) {
-	if len(batch) == 0 {
-		return true, true
-	}
-	tBuild := time.Now()
-	m := cpsat.NewModel()
-
-	type weightVars struct {
-		w      weightItem
-		layers []graph.NodeID
-		xs     []cpsat.Var
-		z      cpsat.Var
-	}
-	var wvs []weightVars
-	perLayerX := map[graph.NodeID][]cpsat.Var{}
-
-	var objVars []cpsat.Var
-	var objCoefs []int64
-	// Objective: (1−λ)·Σ(i_w − z_w) plus a tiny proximity tie-break on x
-	// assignments (nearer layers cost less, encoding "load closer to
-	// execution"). The λ·|W| term lives in the fallback ladder: preloads
-	// only happen when streaming is infeasible.
-	distCoef := int64((1-s.cfg.Lambda)*100) + 1
-
-	for _, w := range batch {
-		layers := s.candidates(w)
-		wv := weightVars{w: w, layers: layers}
-		lo := int64(int(w.node) - s.cfg.Window)
-		if lo < 0 {
-			lo = 0
-		}
-
-		// Root reduction, part 1: fix trivially-forced x-vars. When the
-		// candidates' (relaxed) capacities sum to exactly T(w) — which
-		// includes every single-candidate weight — any solution must fill
-		// every column to its cap, so the variables enter the model fixed,
-		// their C0 row is redundant, and z collapses to the earliest used
-		// layer. The CP then never branches on them.
-		his := make([]int64, len(layers))
-		var hiSum int64
-		for i, l := range layers {
-			his[i] = int64(minInt(w.chunks, int(relax*float64(s.capRemaining[l]))))
-			hiSum += his[i]
-		}
-		if hiSum < int64(w.chunks) {
-			// Unreachable given solveBatch's prefilter, but if capacities
-			// cannot cover the weight even at their caps the window is
-			// infeasible as built.
-			return false, true
-		}
-		if hiSum == int64(w.chunks) {
-			for i, l := range layers {
-				x := m.NewIntVar(his[i], his[i], "x")
-				wv.xs = append(wv.xs, x)
-				perLayerX[l] = append(perLayerX[l], x)
-			}
-			earliest := int64(layers[len(layers)-1]) // newest-first ordering
-			wv.z = m.NewIntVar(earliest, earliest, "z")
-			wvs = append(wvs, wv)
-			continue
-		}
-
-		wv.z = m.NewIntVar(lo, int64(w.node)-1, "z")
-		var c0Vars []cpsat.Var
-		var c0Coefs []int64
-		for rank, l := range layers {
-			x := m.NewIntVar(0, his[rank], "x")
-			wv.xs = append(wv.xs, x)
-			perLayerX[l] = append(perLayerX[l], x)
-			c0Vars = append(c0Vars, x)
-			c0Coefs = append(c0Coefs, 1)
-			// C1: (x ≥ 1) ⇒ (z ≤ ℓ).
-			m.AddImplication(x, 1, wv.z, int64(l))
-			// Proximity tie-break (rank 0 = nearest to consumption; its
-			// zero coefficient would be dead weight in the objective row).
-			if rank > 0 {
-				objVars = append(objVars, x)
-				objCoefs = append(objCoefs, int64(rank))
-			}
-		}
-		// C0: Σ_ℓ x_{w,ℓ} = T(w).
-		m.AddLinearEQ(c0Vars, c0Coefs, int64(w.chunks))
-
-		// Distance term: minimizing (i_w − z) ⇔ maximizing z.
-		objVars = append(objVars, wv.z)
-		objCoefs = append(objCoefs, -distCoef)
-		wvs = append(wvs, wv)
-	}
-
-	// C3: joint per-layer capacity.
-	for l, xs := range perLayerX {
-		limit := int64(relax * float64(s.capRemaining[l]))
-		m.AddLinearLE(xs, onesOf(len(xs)), limit)
-	}
-
-	// C2: cumulative in-flight transformed chunks. A chunk transformed at
-	// ℓ' stays in flight on [ℓ', i_w), so every layer from the earliest
-	// candidate to the last consumption in the window is constrained.
-	//
-	// Root reduction, part 2: merge duplicate rows. The row's term set only
-	// changes at a breakpoint — a layer where some candidate column enters
-	// (ℓ' = l) or some consuming node drops its terms (i_w = l). All layers
-	// between two breakpoints would emit the same left-hand side, so the
-	// run collapses to a single row bounded by the tightest slack in the
-	// segment — typically shrinking the window CP by an order of magnitude
-	// in rows for sparse windows.
-	loLayer, hiLayer := graph.NodeID(1<<30), graph.NodeID(0)
-	for _, wv := range wvs {
-		for _, l := range wv.layers {
-			if l < loLayer {
-				loLayer = l
-			}
-		}
-		if wv.w.node > hiLayer {
-			hiLayer = wv.w.node
-		}
-	}
-	var breaks []graph.NodeID
-	if loLayer < hiLayer {
-		seen := map[graph.NodeID]bool{loLayer: true}
-		breaks = append(breaks, loLayer)
-		addBreak := func(l graph.NodeID) {
-			if l > loLayer && l < hiLayer && !seen[l] {
-				seen[l] = true
-				breaks = append(breaks, l)
-			}
-		}
-		for _, wv := range wvs {
-			for _, l := range wv.layers {
-				addBreak(l)
-			}
-			addBreak(wv.w.node)
-		}
-		sort.Slice(breaks, func(i, j int) bool { return breaks[i] < breaks[j] })
-	}
-	for bi, b := range breaks {
-		segEnd := hiLayer
-		if bi+1 < len(breaks) {
-			segEnd = breaks[bi+1]
-		}
-		var vars []cpsat.Var
-		var coefs []int64
-		for _, wv := range wvs {
-			if wv.w.node <= b {
-				continue // consumed at or before the segment
-			}
-			for i, al := range wv.layers {
-				if al <= b {
-					vars = append(vars, wv.xs[i])
-					coefs = append(coefs, 1)
-				}
-			}
-		}
-		if len(vars) == 0 {
-			continue
-		}
-		limit := s.mpeakSlackChunks(b)
-		for l := b + 1; l < segEnd; l++ {
-			if sl := s.mpeakSlackChunks(l); sl < limit {
-				limit = sl
-			}
-		}
-		m.AddLinearLE(vars, coefs, int64(limit))
-	}
-
-	m.Minimize(objVars, objCoefs)
-	s.stats.BuildTime += time.Since(tBuild)
-
-	tSolve := time.Now()
-	res := m.Solve(cpsat.Options{TimeLimit: s.cfg.SolveTimeout, MaxBranches: s.cfg.MaxBranches})
-	s.stats.SolveTime += time.Since(tSolve)
-	s.stats.Branches += res.Branches
-	s.stats.Wakes += res.Wakes
-	s.stats.TrailOps += res.TrailOps
-
-	if res.Status != cpsat.Optimal && res.Status != cpsat.Feasible {
-		return false, res.Status == cpsat.Infeasible
-	}
-	if res.Status == cpsat.Feasible || relax > 1.0 {
-		// Time-limited or soft-thresholded plans are not proven optimal.
+	st := &res.stats
+	s.stats.BuildTime += st.buildTime
+	s.stats.SolveTime += st.solveTime
+	s.stats.Branches += st.branches
+	s.stats.Wakes += st.wakes
+	s.stats.TrailOps += st.trailOps
+	s.stats.Nogoods += st.nogoods
+	s.stats.Restarts += st.restarts
+	s.stats.Fallbacks.SoftThreshold += st.fallbacks.SoftThreshold
+	s.stats.Fallbacks.IncrementalPreload += st.fallbacks.IncrementalPreload
+	s.stats.Fallbacks.Greedy += st.fallbacks.Greedy
+	if st.degraded {
 		s.stats.Status = cpsat.Feasible
 	}
-
-	// Apply the solution.
-	for _, wv := range wvs {
-		wp := WeightPlan{Weight: wv.w.node, Bytes: wv.w.bytes, Chunks: wv.w.chunks}
-		minLayer := wv.w.node
-		for i, l := range wv.layers {
-			n := int(res.Value(wv.xs[i]))
-			if n == 0 {
-				continue
-			}
-			wp.Transforms = append(wp.Transforms, Assignment{Layer: l, Chunks: n})
-			s.capRemaining[l] -= n
-			if s.capRemaining[l] < 0 {
-				s.capRemaining[l] = 0 // soft-threshold overdraw
-			}
-			for ll := l; ll < wv.w.node; ll++ {
-				s.inflight[ll] += int64(n) * int64(s.cfg.ChunkSize)
-			}
-			if l < minLayer {
-				minLayer = l
-			}
-		}
-		z := graph.NodeID(res.Value(wv.z))
-		if z > minLayer {
-			z = minLayer
-		}
-		wp.LoadStart = z
-		sort.Slice(wp.Transforms, func(i, j int) bool { return wp.Transforms[i].Layer < wp.Transforms[j].Layer })
-		s.plan.Weights = append(s.plan.Weights, wp)
-	}
-	return true, true
-}
-
-// greedy is the rung-4 heuristic: fill chunks backwards from the consuming
-// layer through capacity-bearing candidates under the M_peak budget;
-// whatever does not fit is preloaded.
-func (s *solver) greedy(batch []weightItem) {
-	for _, w := range batch {
-		remaining := w.chunks
-		wp := WeightPlan{Weight: w.node, Bytes: w.bytes, Chunks: w.chunks}
-		lo := int(w.node) - s.cfg.Window
-		if lo < 0 {
-			lo = 0
-		}
-		for l := int(w.node) - 1; l >= lo && remaining > 0; l-- {
-			// A chunk placed at l is in flight on [l, i_w): the binding
-			// M_peak slack is the minimum over that whole interval.
-			slack := s.mpeakSlackChunks(graph.NodeID(l))
-			for ll := l + 1; ll < int(w.node); ll++ {
-				if sl := s.mpeakSlackChunks(graph.NodeID(ll)); sl < slack {
-					slack = sl
-				}
-			}
-			avail := minInt(s.capRemaining[l], slack)
-			if avail <= 0 {
-				continue
-			}
-			n := minInt(avail, remaining)
-			wp.Transforms = append(wp.Transforms, Assignment{Layer: graph.NodeID(l), Chunks: n})
-			s.capRemaining[l] -= n
-			for ll := l; ll < int(w.node); ll++ {
-				s.inflight[ll] += int64(n) * int64(s.cfg.ChunkSize)
-			}
-			remaining -= n
-		}
-		if remaining > 0 {
-			// Roll back partial placement and preload instead: partially
-			// streamed weights would still hold a full UM copy.
-			for _, a := range wp.Transforms {
-				s.capRemaining[a.Layer] += a.Chunks
-				for ll := int(a.Layer); ll < int(w.node); ll++ {
-					s.inflight[ll] -= int64(a.Chunks) * int64(s.cfg.ChunkSize)
-				}
-			}
-			s.preload(w)
-			continue
-		}
-		sort.Slice(wp.Transforms, func(i, j int) bool { return wp.Transforms[i].Layer < wp.Transforms[j].Layer })
-		wp.LoadStart = wp.Transforms[0].Layer
-		s.plan.Weights = append(s.plan.Weights, wp)
-	}
-}
-
-// preload commits a weight to the preload set W.
-func (s *solver) preload(w weightItem) {
-	s.plan.Weights = append(s.plan.Weights, WeightPlan{
-		Weight: w.node, Bytes: w.bytes, Chunks: w.chunks, Preload: true,
-	})
+	s.stats.Windows++
 }
 
 func minInt(a, b int) int {

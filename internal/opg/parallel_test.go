@@ -1,0 +1,152 @@
+package opg
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/profiler"
+	"repro/internal/units"
+)
+
+// deterministicConfig returns CP budgets that are branch-bound, not
+// wall-clock-bound — the same trick the CI sharded matrix uses: a generous
+// time limit with a binding branch budget keeps every window solve a pure
+// function of its inputs, which is what parallel≡sequential equivalence
+// needs (and what the pipeline's wallClocked guard protects).
+func deterministicConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SolveTimeout = 30 * time.Second
+	cfg.MaxBranches = 1500
+	return cfg
+}
+
+func encodePlan(t *testing.T, p *Plan) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelPlanEquivalenceTable4 pins the pipeline's core guarantee:
+// at Parallelism=8 the committed plan is byte-identical to a sequential
+// solve across the Table 4 model set, and the committed-solve counters
+// match exactly (only the scheduling-dependent Speculative/Recommitted
+// diagnostics may differ).
+func TestParallelPlanEquivalenceTable4(t *testing.T) {
+	specs := models.Table4Set()
+	if testing.Short() {
+		specs = specs[:3] // the GPT-Neo family; the billion-scale rows are nightly food
+	}
+	caps := profiler.AnalyticCapacityFunc(device.OnePlus12())
+	for _, spec := range specs {
+		g := spec.Build()
+		cfg := AdaptMPeak(deterministicConfig(), g)
+
+		seq := Solve(g, caps, cfg)
+
+		par := cfg
+		par.Parallelism = 8
+		pp := Solve(g, caps, par)
+
+		if !bytes.Equal(encodePlan(t, seq), encodePlan(t, pp)) {
+			t.Errorf("%s: parallel plan differs from sequential", spec.Abbr)
+			continue
+		}
+		ss, ps := seq.Stats, pp.Stats
+		if ss.Windows != ps.Windows || ss.Status != ps.Status ||
+			ss.Branches != ps.Branches || ss.Wakes != ps.Wakes ||
+			ss.TrailOps != ps.TrailOps || ss.Nogoods != ps.Nogoods ||
+			ss.Restarts != ps.Restarts || ss.Fallbacks != ps.Fallbacks {
+			t.Errorf("%s: committed-solve counters diverged:\nseq %+v\npar %+v", spec.Abbr, ss, ps)
+		}
+		if ss.Speculative != 0 || ss.Recommitted != 0 {
+			t.Errorf("%s: sequential solve reported pipeline counters: %+v", spec.Abbr, ss)
+		}
+		// Scheduling-dependent, so informational only: under degenerate
+		// scheduling one worker can direct-solve every frontier window
+		// before any peer speculates, leaving both counters zero.
+		t.Logf("%s: %d windows, %d speculative, %d recommitted",
+			spec.Abbr, ps.Windows, ps.Speculative, ps.Recommitted)
+		if err := pp.Validate(g, caps, cfg); err != nil {
+			t.Errorf("%s: parallel plan invalid: %v", spec.Abbr, err)
+		}
+	}
+}
+
+// TestParallelPlanEquivalenceToy repeats the check across toy shapes where
+// capacity pressure, M_peak pressure, and zero-capacity fallbacks each
+// drive different ladder rungs.
+func TestParallelPlanEquivalenceToy(t *testing.T) {
+	cases := []struct {
+		name     string
+		capBytes units.Bytes
+		mpeak    units.Bytes
+	}{
+		{"ample", 16 * units.MB, 500 * units.MB},
+		{"tightCap", 3 * units.MB, 500 * units.MB},
+		{"tightMPeak", 16 * units.MB, 6 * units.MB},
+		{"zeroCap", 0, 500 * units.MB},
+	}
+	for _, tc := range cases {
+		g := toyGraph(30, 8*units.MB)
+		caps := flatCapacity(tc.capBytes)
+		cfg := deterministicConfig()
+		cfg.MPeak = tc.mpeak
+		cfg.Window = 12 // several windows even on the toy chain
+
+		seq := Solve(g, caps, cfg)
+		par := cfg
+		par.Parallelism = 4
+		pp := Solve(g, caps, par)
+
+		if !bytes.Equal(encodePlan(t, seq), encodePlan(t, pp)) {
+			t.Errorf("%s: parallel plan differs from sequential", tc.name)
+		}
+		if err := pp.Validate(g, caps, par); err != nil {
+			t.Errorf("%s: parallel plan invalid: %v", tc.name, err)
+		}
+	}
+}
+
+// TestParallelismExcludedFromKeyedBehavior pins that Parallelism is pure
+// scheduling: plan contents, statuses, and counters do not depend on the
+// worker count.
+func TestParallelismWorkerCountInvariance(t *testing.T) {
+	g := toyGraph(24, 6*units.MB)
+	caps := flatCapacity(10 * units.MB)
+	cfg := deterministicConfig()
+	cfg.Window = 10
+	var ref []byte
+	for _, p := range []int{1, 2, 3, 8, 16} {
+		c := cfg
+		c.Parallelism = p
+		plan := Solve(g, caps, c)
+		enc := encodePlan(t, plan)
+		if ref == nil {
+			ref = enc
+		} else if !bytes.Equal(ref, enc) {
+			t.Fatalf("Parallelism=%d changed the plan", p)
+		}
+	}
+}
+
+// TestSolveStatsLearningCountersPopulated checks the new counters flow
+// through SolveStats on a contended model that actually conflicts.
+func TestSolveStatsLearningCountersPopulated(t *testing.T) {
+	g := toyGraph(40, 8*units.MB)
+	caps := flatCapacity(4 * units.MB)
+	cfg := deterministicConfig()
+	cfg.MaxBranches = 20000
+	p := Solve(g, caps, cfg)
+	if p.Stats.Nogoods == 0 && p.Stats.Restarts == 0 {
+		t.Skip("model produced no CP conflicts; learning counters legitimately zero")
+	}
+	if p.Stats.Nogoods < 0 || p.Stats.Restarts < 0 {
+		t.Fatalf("negative learning counters: %+v", p.Stats)
+	}
+}

@@ -38,6 +38,19 @@ type Config struct {
 	// SoftThreshold is the C4 relaxation factor applied to capacities when
 	// a window is infeasible (e.g. 1.2 = allow 20% over).
 	SoftThreshold float64
+
+	// Parallelism is the speculative window pipeline's worker count: >1
+	// solves upcoming windows concurrently against optimistically-predicted
+	// capacity/in-flight state, validating each result against the true
+	// state at commit (mismatches re-solve sequentially). ≤1 solves windows
+	// strictly in order. The committed plan is byte-identical either way,
+	// so Parallelism is deliberately excluded from plan-cache keys and
+	// sweep fingerprints (like worker counts, it changes scheduling, not
+	// results) — provided the CP budget is branch-bound; a binding
+	// wall-clock budget makes any solve timing-dependent, and the pipeline
+	// then refuses to commit speculative results (it degrades to sequential
+	// re-solves rather than risk a nondeterministic plan).
+	Parallelism int
 }
 
 // DefaultConfig mirrors the paper's memory-priority setting: S = 1 MB,
@@ -104,7 +117,19 @@ type SolveStats struct {
 	Branches    int64
 	Wakes       int64
 	TrailOps    int64
-	Fallbacks   FallbackStats
+	Nogoods     int64 // learned CP nogoods installed across window solves
+	Restarts    int64 // CP Luby restarts across window solves
+
+	// Pipeline counters (zero on sequential solves). Speculative counts
+	// windows whose ahead-of-commit solve validated and was committed
+	// as-is; Recommitted counts windows whose speculation failed validation
+	// and were re-solved on the true state. Unlike the solver counters
+	// above — which cover only committed solves and therefore match the
+	// sequential run exactly — these two depend on scheduling.
+	Speculative int
+	Recommitted int
+
+	Fallbacks FallbackStats
 }
 
 // Plan is a complete overlap plan for one model.

@@ -9,9 +9,17 @@ package opg
 //
 // Bump this string whenever a change to this package (or to the cpsat
 // search it drives) can alter the plan produced for an identical input.
+// Config.Parallelism deliberately does NOT need a bump of its own: the
+// speculative pipeline commits byte-identical plans at any worker count.
+//
+// lc-opg-4: conflict-driven cpsat (nld-nogood learning, Luby restarts,
+// activity branching) plus the canonical clamped window-model build
+// (C2/C3 limits clamped at their row ceilings) that the speculative
+// pipeline's commit validation relies on — equally optimal plans may pick
+// different assignments than lc-opg-3 did, and budget-bound windows may
+// surface different incumbents.
 //
 // lc-opg-3: event-driven cpsat engine (watchlists, trail backtracking,
 // most-constrained branching) plus the window-model root reduction
-// (forced-variable fixing, duplicate C2 row merging) — equally optimal
-// plans may pick different assignments than lc-opg-2 did.
-const SolverVersion = "lc-opg-3"
+// (forced-variable fixing, duplicate C2 row merging).
+const SolverVersion = "lc-opg-4"
