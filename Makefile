@@ -9,7 +9,7 @@ GO ?= go
 SWEEP_FLAGS ?= -exp table1,table6,table7,table8,fig8,warmstart,abl-cache \
 	-models ViT,ResNet,GPTN-S -budget 5s -branches 1500
 
-.PHONY: build test test-short bench bench-solver bench-gate lint vet fmt fmt-check staticcheck shard-check clean
+.PHONY: build test test-short bench bench-solver bench-server bench-gate lint vet fmt fmt-check staticcheck shard-check clean
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,13 @@ bench-solver:
 	$(GO) test -run '^$$' -bench 'BenchmarkKnapsack|BenchmarkImplicationChain' -benchtime=3x ./internal/cpsat
 	$(GO) test -run '^$$' -bench 'BenchmarkColdSolve' -benchtime=1x ./internal/opg
 	$(GO) test -run '^$$' -bench 'BenchmarkTable4Solver' -benchtime=1x .
+
+# The request-driven serving trajectory: sustained plan-requests/sec with
+# p99 against a warm cache, the same path under client parallelism, and
+# the end-to-end cold miss (queue + worker pool + solve) for contrast.
+# CI's nightly job archives the output as BENCH_server.json.
+bench-server:
+	$(GO) test -run '^$$' -bench 'BenchmarkPlanServe' -benchtime=100x ./internal/server
 
 # The solver-perf regression gate (CI quick job): rerun the solver
 # benchmarks and fail on any >2x ns/op regression against the committed
@@ -60,6 +67,12 @@ bench-gate:
 	$(GO) run ./cmd/benchjson compare -max-ratio 2.0 -ref median \
 		-advisory Parallel -counter branches -min-ns 50000000 \
 		BENCH_solver.json $$tmp
+	@tmp=$$(mktemp) && txt=$$(mktemp) && trap 'rm -f "$$tmp" "$$txt"' EXIT && \
+	$(MAKE) --no-print-directory bench-server > $$txt && \
+	$(GO) run ./cmd/benchjson < $$txt > $$tmp && \
+	$(GO) run ./cmd/benchjson compare -max-ratio 2.0 -ref median \
+		-advisory Parallel -min-ns 50000000 \
+		BENCH_server.json $$tmp
 
 lint: fmt-check vet staticcheck
 

@@ -220,7 +220,9 @@ func runMerge(args []string) error {
 		}
 		stats, err := plancache.MergeSnapshotFiles(*cacheOut, strings.Split(*caches, ",")...)
 		if err != nil {
-			return err
+			// The merge error names the snapshot files that disagree; add the
+			// operator's next move so a failed CI merge is self-explanatory.
+			return fmt.Errorf("%w (conflicting snapshots come from diverging runs — re-run the named shard with the shared fingerprint config, or drop its snapshot from -caches)", err)
 		}
 		fmt.Fprintf(os.Stderr, "flashbench: merged %d snapshots into %s: %d plans (%d deduplicated, %d dropped)\n",
 			stats.Files, *cacheOut, stats.Entries, stats.Replaced, stats.Dropped)

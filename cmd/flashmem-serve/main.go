@@ -1,0 +1,116 @@
+// Command flashmem-serve runs the FlashMem plan-serving service: a
+// long-running HTTP backend where fleet devices request overlap plans by
+// (device profile × model × solver configuration). The plan cache is the
+// hot store — warm it at boot from merged sharded-sweep snapshots — and
+// cache misses queue onto a bounded solve worker pool with admission
+// control (full queue → 429 + Retry-After; slow solve → 504 while the
+// solve finishes in the background).
+//
+// Usage:
+//
+//	flashmem-serve -addr :8080
+//	flashmem-serve -cache merged.json,extra.json   # warm the fleet cache
+//	flashmem-serve -workers 4 -queue 128 -timeout 10s
+//	flashmem-serve -save plans.json                # persist solves on exit
+//
+// Endpoints:
+//
+//	curl -X POST -d '{"device":"OnePlus 12","model":"ViT"}' :8080/plan
+//	curl :8080/healthz
+//	curl :8080/statsz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/opg"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "flashmem-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("flashmem-serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cachePaths := fs.String("cache", "", "comma-separated plan-cache snapshots to warm the fleet cache at boot (merged sharded-sweep output)")
+	savePath := fs.String("save", "", "write the plan cache as a snapshot here on shutdown")
+	cacheEntries := fs.Int("cache-entries", 8192, "plan cache bound")
+	workers := fs.Int("workers", 0, "solve worker pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "queued-solve bound; beyond it /plan answers 429 + Retry-After")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve wait; beyond it /plan answers 504 while the solve continues")
+	budget := fs.Duration("budget", opg.DefaultConfig().SolveTimeout, "default per-window CP solve budget (per-request config can override)")
+	branches := fs.Int64("branches", opg.DefaultConfig().MaxBranches, "default per-window CP branch budget")
+	opgParallel := fs.Int("opg-parallel", 0, "LC-OPG speculative window pipeline workers per solve (0/1 = sequential)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	solver := opg.DefaultConfig()
+	solver.SolveTimeout = *budget
+	solver.MaxBranches = *branches
+	solver.Parallelism = *opgParallel
+
+	s := server.New(server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		SolveTimeout: *timeout,
+		CacheEntries: *cacheEntries,
+		Solver:       solver,
+	})
+	defer s.Close()
+
+	if *cachePaths != "" {
+		stats, err := s.LoadSnapshots(strings.Split(*cachePaths, ",")...)
+		if err != nil {
+			return fmt.Errorf("warm snapshots: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "flashmem-serve: warm cache: %d plans loaded from %d files (%d stale or undecodable dropped, %d evicted)\n",
+			stats.Loaded, stats.Files, stats.Dropped, stats.Evicted)
+	}
+	fmt.Fprintf(os.Stderr, "flashmem-serve: solver %s, %d warm plans, listening on %s\n",
+		opg.SolverVersion, s.WarmPlans(), *addr)
+
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		return err // ListenAndServe never returns nil
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	s.Close()
+
+	if *savePath != "" {
+		if err := s.SaveSnapshot(*savePath); err != nil {
+			return fmt.Errorf("save snapshot: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "flashmem-serve: saved %d plans to %s\n", s.Cache().Len(), *savePath)
+	}
+	st := s.Stats()
+	fmt.Fprintf(os.Stderr, "flashmem-serve: served %d requests: %d warm, %d cached, %d solved, %d collapsed, %d rejected, %d timed out\n",
+		st.Requests, st.WarmHits, st.Hits, st.Solves, st.Collapsed, st.Rejected, st.TimedOut)
+	return nil
+}

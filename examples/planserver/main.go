@@ -1,0 +1,114 @@
+// Planserver: the fleet-backend loop in one process. A Fleet warm-starts a
+// plan-cache snapshot (the role the sharded offline sweep plays at scale),
+// a plan server boots against it, and concurrent clients for two device
+// profiles request plans over HTTP — warm keys serve from the snapshot,
+// cold keys collapse onto single solves. The /statsz accounting at the end
+// shows exactly who hit, who missed, and how many solves actually ran.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/opg"
+	"repro/internal/server"
+)
+
+func main() {
+	// 1. Warm a snapshot the way a sharded sweep would: direct solves
+	// through the public Fleet API, persisted as a plan-cache file.
+	fleet := flashmem.NewFleet(nil, flashmem.WithSolverBudget(5*time.Second, 500))
+	warmed := []struct {
+		dev  flashmem.Device
+		abbr string
+	}{
+		{flashmem.OnePlus12(), "ViT"},
+		{flashmem.XiaomiMi6(), "ViT"},
+	}
+	for _, c := range warmed {
+		if _, err := fleet.Load(c.dev, c.abbr); err != nil {
+			log.Fatal(err)
+		}
+	}
+	dir, err := os.MkdirTemp("", "planserver")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	snap := filepath.Join(dir, "fleet.json")
+	if err := fleet.Cache().Save(snap); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Boot the plan server against the snapshot. The solver config must
+	// match the one that produced the snapshot — it is part of the plan
+	// key — so start from opg.DefaultConfig() and apply the same budget.
+	solver := opg.DefaultConfig()
+	solver.SolveTimeout = 5 * time.Second
+	solver.MaxBranches = 500
+	s := server.New(server.Config{Solver: solver})
+	defer s.Close()
+	if _, err := s.LoadSnapshots(snap); err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	fmt.Printf("plan server on %s: %d warm plans from %s\n\n", ts.URL, s.WarmPlans(), filepath.Base(snap))
+
+	// 3. Concurrent clients for two device profiles: ViT is warm on both;
+	// ResNet is cold and duplicated, so its requests collapse onto one
+	// solve per device.
+	type reply struct {
+		device, model, source string
+		waitMS                float64
+	}
+	var wg sync.WaitGroup
+	replies := make(chan reply, 12)
+	for _, devName := range []string{"OnePlus 12", "Xiaomi Mi 6"} {
+		for _, model := range []string{"ViT", "ResNet", "ResNet", "ResNet"} {
+			wg.Add(1)
+			go func(devName, model string) {
+				defer wg.Done()
+				body := fmt.Sprintf(`{"device":%q,"model":%q}`, devName, model)
+				resp, err := http.Post(ts.URL+"/plan", "application/json", bytes.NewReader([]byte(body)))
+				if err != nil {
+					log.Fatal(err)
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b, _ := io.ReadAll(resp.Body)
+					log.Fatalf("%s/%s: %s: %s", devName, model, resp.Status, b)
+				}
+				var pr server.PlanResponse
+				if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+					log.Fatal(err)
+				}
+				replies <- reply{devName, model, pr.Source, pr.WaitMS}
+			}(devName, model)
+		}
+	}
+	wg.Wait()
+	close(replies)
+	for r := range replies {
+		fmt.Printf("  %-12s %-8s %-10s %8.2f ms\n", r.device, r.model, r.source, r.waitMS)
+	}
+
+	// 4. The server-side accounting: warm hits for ViT, one solve plus
+	// collapses (or late cache hits) for each device's ResNet storm.
+	st := s.Stats()
+	fmt.Printf("\n/statsz: %d requests — %d warm, %d cached, %d solved, %d collapsed; %d solver runs\n",
+		st.Requests, st.WarmHits, st.Hits, st.Solves, st.Collapsed, st.SolveLatency.Count)
+	fmt.Printf("cache: %d entries, %d hits / %d misses; solve p99 %.1f ms, request p99 %.3f ms\n",
+		st.Cache.Entries, st.Cache.Hits, st.Cache.Misses,
+		st.SolveLatency.P99MS, st.RequestLatency.P99MS)
+}

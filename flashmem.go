@@ -20,6 +20,7 @@ package flashmem
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/baselines"
@@ -44,6 +45,12 @@ func XiaomiMi6() Device { return device.XiaomiMi6() }
 
 // Devices returns all device profiles.
 func Devices() []Device { return device.All() }
+
+// DeviceByName looks up an evaluation device profile by its Name ("OnePlus
+// 12", "Google Pixel 8", …). Request-driven callers — the plan server, the
+// CLIs — address the device matrix by name; the second return is false for
+// names outside Devices().
+func DeviceByName(name string) (Device, bool) { return device.ByName(name) }
 
 // Models returns the Table 6 model abbreviations the zoo can build.
 func Models() []string {
@@ -179,7 +186,12 @@ func WithPlanCache(pc *PlanCache) Option {
 	}
 }
 
-// Runtime plans and executes models on one device.
+// Runtime plans and executes models on one device profile. A Runtime is
+// safe for concurrent use — Load, LoadGraph, and model runs may be issued
+// from any number of goroutines — and runtimes sharing a PlanCache
+// deduplicate solves across devices and goroutines. One process serving
+// the whole device matrix builds one Runtime per profile (see Fleet, which
+// does exactly that and nothing else).
 type Runtime struct {
 	engine *core.Engine
 	dev    Device
@@ -315,6 +327,15 @@ func (m *Model) Plan() PlanSummary {
 		ps.Cache = c.Stats()
 	}
 	return ps
+}
+
+// EncodePlan writes the model's overlap plan in its stable JSON wire
+// format (solve once on a workstation, ship the plan with the model). The
+// encoding is deterministic for a given plan, so two plans are equal iff
+// their encodings are byte-identical — which is how the plan server's
+// responses are checked against direct solves.
+func (m *Model) EncodePlan(w io.Writer) error {
+	return m.prep.Plan.Encode(w)
 }
 
 // KernelSource is one generated GPU kernel.

@@ -1,0 +1,57 @@
+package flashmem
+
+import "sync"
+
+// Fleet serves the whole device matrix from one process: per-device
+// Runtimes built lazily under one shared configuration and one shared
+// PlanCache, so a solve performed for any device profile is reused by
+// every later request for the same (device, model, configuration) key.
+// This is the multi-device refactor behind internal/server — a Runtime is
+// still pinned to one device profile, but nothing else is per-device, so a
+// Fleet is nothing more than a concurrency-safe map of runtimes around one
+// cache.
+//
+// Fleet is safe for concurrent use; so are the Runtimes it returns.
+type Fleet struct {
+	mu       sync.Mutex
+	cache    *PlanCache
+	opts     []Option
+	runtimes map[string]*Runtime // keyed by Device.Name
+}
+
+// NewFleet builds a fleet sharing cache across every device profile (a nil
+// cache allocates a fresh default-bounded one). opts apply to every
+// runtime the fleet builds; a WithPlanCache among them overrides the
+// shared cache, which is almost never what a fleet wants.
+func NewFleet(cache *PlanCache, opts ...Option) *Fleet {
+	if cache == nil {
+		cache = NewPlanCache(0)
+	}
+	return &Fleet{cache: cache, opts: opts, runtimes: make(map[string]*Runtime)}
+}
+
+// Cache returns the fleet's shared plan cache — load snapshots into it to
+// warm-start the fleet, save it to persist every solve the fleet did.
+func (f *Fleet) Cache() *PlanCache { return f.cache }
+
+// Runtime returns the fleet's runtime for a device, building it on first
+// use. Devices are keyed by Name: two profiles sharing a Name would share
+// a runtime, so custom profiles must be distinctly named (the evaluation
+// devices all are).
+func (f *Fleet) Runtime(dev Device) *Runtime {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if rt, ok := f.runtimes[dev.Name]; ok {
+		return rt
+	}
+	opts := append([]Option{WithPlanCache(f.cache)}, f.opts...)
+	rt := New(dev, opts...)
+	f.runtimes[dev.Name] = rt
+	return rt
+}
+
+// Load plans a Table 6 model on a device — shorthand for
+// Runtime(dev).Load(abbr).
+func (f *Fleet) Load(dev Device, abbr string) (*Model, error) {
+	return f.Runtime(dev).Load(abbr)
+}

@@ -1,0 +1,84 @@
+package flashmem
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestFleetSharesRuntimesAndCache(t *testing.T) {
+	f := NewFleet(nil, deterministicBudget())
+
+	if rt1, rt2 := f.Runtime(OnePlus12()), f.Runtime(OnePlus12()); rt1 != rt2 {
+		t.Error("same device produced two runtimes")
+	}
+	if f.Runtime(OnePlus12()) == f.Runtime(XiaomiMi6()) {
+		t.Error("distinct devices share a runtime")
+	}
+
+	// A solve done for one device is a hit on the next load of the same
+	// key; a different device is a distinct key and must miss.
+	if _, err := f.Load(OnePlus12(), "ViT"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := f.Load(OnePlus12(), "ViT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Plan().FromCache {
+		t.Error("same-device reload missed the fleet cache")
+	}
+	other, err := f.Load(XiaomiMi6(), "ViT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Plan().FromCache {
+		t.Error("different device falsely hit the fleet cache")
+	}
+	if got := f.Cache().Len(); got != 2 {
+		t.Errorf("fleet cache holds %d plans, want 2", got)
+	}
+}
+
+func TestFleetConcurrentMultiDeviceLoads(t *testing.T) {
+	f := NewFleet(nil, deterministicBudget())
+	devices := []Device{OnePlus12(), XiaomiMi6()}
+	const loadsPerDevice = 4
+
+	plans := make([][]byte, len(devices)*loadsPerDevice)
+	var wg sync.WaitGroup
+	for d := range devices {
+		for i := 0; i < loadsPerDevice; i++ {
+			wg.Add(1)
+			go func(d, i int) {
+				defer wg.Done()
+				m, err := f.Load(devices[d], "ResNet")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var buf bytes.Buffer
+				if err := m.EncodePlan(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+				plans[d*loadsPerDevice+i] = buf.Bytes()
+			}(d, i)
+		}
+	}
+	wg.Wait()
+
+	// Every load of one device serves the same plan bytes, whichever
+	// goroutine solved it.
+	for d := range devices {
+		base := plans[d*loadsPerDevice]
+		for i := 1; i < loadsPerDevice; i++ {
+			if !bytes.Equal(base, plans[d*loadsPerDevice+i]) {
+				t.Errorf("%s: load %d produced different plan bytes", devices[d].Name, i)
+			}
+		}
+	}
+	if got := f.Cache().Len(); got != len(devices) {
+		t.Errorf("fleet cache holds %d plans, want %d", got, len(devices))
+	}
+}

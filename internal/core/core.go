@@ -62,7 +62,12 @@ func DefaultOptions(dev device.Device) Options {
 	}
 }
 
-// Engine plans and executes models on one device configuration.
+// Engine plans and executes models on one device configuration. An Engine
+// is immutable after NewEngine and safe for concurrent use: Prepare,
+// Execute, and GenerateKernels may run from any number of goroutines, and
+// engines for different devices may share one PlanCache (which carries its
+// own locking). The plan server leans on exactly this contract to serve
+// the whole device matrix from one process.
 type Engine struct {
 	opts Options
 	cm   *kernels.CostModel

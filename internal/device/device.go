@@ -93,3 +93,16 @@ func All() []Device {
 func Portability() []Device {
 	return []Device{OnePlus11(), XiaomiMi6(), Pixel8()}
 }
+
+// ByName looks up an evaluation device by its Name field ("OnePlus 12",
+// "Google Pixel 8", …). Request-driven callers — the plan server, CLIs —
+// address the device matrix by name; the second return is false for names
+// outside the evaluation set.
+func ByName(name string) (Device, bool) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Device{}, false
+}

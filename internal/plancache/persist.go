@@ -229,8 +229,10 @@ type MergeStats struct {
 // *different* plans is a conflict and fails the merge — the solver is
 // deterministic and keys embed the full configuration and solver version,
 // so diverging plans mean a corrupt or mislabeled snapshot, not a benign
-// race. Unlike Load, a missing input file is an error: a lost shard
-// snapshot must not silently produce a colder merged cache.
+// race. The conflict error names both snapshot files so the offending
+// shard can be re-run without bisecting the input list. Unlike Load, a
+// missing input file is an error: a lost shard snapshot must not silently
+// produce a colder merged cache.
 func MergeSnapshotFiles(out string, paths ...string) (MergeStats, error) {
 	var stats MergeStats
 	if len(paths) == 0 {
@@ -238,6 +240,7 @@ func MergeSnapshotFiles(out string, paths ...string) (MergeStats, error) {
 	}
 	var order []string // first-appearance key order
 	merged := map[string]persistedEntry{}
+	source := map[string]string{} // key → snapshot file that currently provides it
 	for _, path := range paths {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -254,6 +257,7 @@ func MergeSnapshotFiles(out string, paths ...string) (MergeStats, error) {
 			if !ok {
 				order = append(order, en.Key)
 				merged[en.Key] = en
+				source[en.Key] = path
 				continue
 			}
 			same, err := samePayload(prev, en)
@@ -261,9 +265,14 @@ func MergeSnapshotFiles(out string, paths ...string) (MergeStats, error) {
 				return stats, fmt.Errorf("plancache: merge %s: %w", path, err)
 			}
 			if !same {
-				return stats, fmt.Errorf("plancache: merge %s: key %.16s… maps to conflicting plans", path, en.Key)
+				// Name both snapshots: the operator's next move is deciding
+				// which shard to re-run, so "which files disagree" is the
+				// actionable part of the failure.
+				return stats, fmt.Errorf("plancache: merge: key %.16s… from %s conflicts with plan from %s",
+					en.Key, path, source[en.Key])
 			}
 			merged[en.Key] = en // last writer wins
+			source[en.Key] = path
 			stats.Replaced++
 		}
 	}

@@ -124,6 +124,20 @@ func (c *Cache) evictOne() {
 	c.stats.Evictions++
 }
 
+// Keys returns the cached plan keys, most recently used first. The plan
+// server snapshots it right after boot-time LoadAll to mark which keys
+// belong to the warm fleet cache, so each request can report whether it
+// was served warm (snapshot), cached (solved earlier in-process), or cold.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*entry).key)
+	}
+	return keys
+}
+
 // Len returns the number of cached plans.
 func (c *Cache) Len() int {
 	c.mu.Lock()

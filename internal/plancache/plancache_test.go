@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -137,6 +138,22 @@ func TestLRUEviction(t *testing.T) {
 	}
 	if s.Entries != 2 {
 		t.Errorf("entries = %d, want 2", s.Entries)
+	}
+}
+
+func TestKeysMRUOrder(t *testing.T) {
+	c := New(0)
+	p := &core.Prepared{}
+	c.Put("a", p)
+	c.Put("b", p)
+	c.Put("c", p)
+	if _, ok := c.Get("a"); !ok { // bump "a" to the front
+		t.Fatal("a missing")
+	}
+	got := c.Keys()
+	want := []string{"a", "c", "b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Keys() = %v, want MRU-first %v", got, want)
 	}
 }
 
@@ -442,8 +459,15 @@ func TestMergeSnapshotFiles(t *testing.T) {
 	if err := os.WriteFile(conflicted, mut, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := MergeSnapshotFiles(filepath.Join(dir, "bad.json"), a, conflicted); err == nil {
+	_, err = MergeSnapshotFiles(filepath.Join(dir, "bad.json"), a, conflicted)
+	if err == nil {
 		t.Fatal("conflicting plans under one key must fail the merge")
+	}
+	// The error must name both snapshot files, so an operator merging
+	// dozens of shards knows which one to re-run or drop.
+	if !strings.Contains(err.Error(), filepath.Base(a)) || !strings.Contains(err.Error(), filepath.Base(conflicted)) {
+		t.Errorf("conflict error %q does not name both snapshot files (%s, %s)",
+			err, filepath.Base(a), filepath.Base(conflicted))
 	}
 
 	// A missing shard snapshot must not silently merge colder.

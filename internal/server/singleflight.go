@@ -1,0 +1,59 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// call is one in-flight solve that any number of requests may be waiting
+// on. The leader (the request that created the call) owns enqueueing it;
+// everyone else — followers, "collapsed" requests — just waits on done.
+type call struct {
+	done chan struct{}
+
+	// Written exactly once before done is closed, read only after.
+	prep *core.Prepared
+	err  error
+}
+
+// group is a minimal singleflight keyed by plan-cache key: concurrent
+// requests for the same (device × model × config) collapse onto one solve
+// instead of queueing duplicate work. Unlike golang.org/x/sync/singleflight
+// (not vendored here), completion is decoupled from the calling goroutine:
+// the solve worker pool finishes the call, so the leader request can time
+// out and walk away while the solve keeps going and still warms the cache.
+type group struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+// join returns the call for key, creating it when absent. The second
+// return reports leadership: true means the caller created the call and
+// must arrange for it to be completed (or fail it), false means the caller
+// collapsed onto existing work.
+func (g *group) join(key string) (*call, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = make(map[string]*call)
+	}
+	if c, ok := g.m[key]; ok {
+		return c, false
+	}
+	c := &call{done: make(chan struct{})}
+	g.m[key] = c
+	return c, true
+}
+
+// complete publishes the call's result and wakes every waiter. The key is
+// forgotten first: the result is already in the plan cache (or is an
+// error), so later requests must take the cache path — and on error must
+// be free to elect a new leader — rather than latch onto a finished call.
+func (g *group) complete(key string, c *call, prep *core.Prepared, err error) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.prep, c.err = prep, err
+	close(c.done)
+}

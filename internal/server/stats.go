@@ -1,0 +1,126 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets are the latency histogram's upper bounds. Exponential ×4
+// steps from 64µs to ~17s span the whole serving range — warm cache hits
+// are tens of microseconds, cold 70B solves are seconds — in few enough
+// buckets that /statsz stays readable; the final implicit bucket catches
+// everything slower.
+var histBuckets = [...]time.Duration{
+	64 * time.Microsecond,
+	256 * time.Microsecond,
+	1024 * time.Microsecond,
+	4096 * time.Microsecond,
+	16384 * time.Microsecond,
+	65536 * time.Microsecond,
+	262144 * time.Microsecond,  // ~0.26s
+	1048576 * time.Microsecond, // ~1.0s
+	4194304 * time.Microsecond, // ~4.2s
+	16777216 * time.Microsecond,
+}
+
+// histogram is a fixed-bucket latency histogram safe for concurrent
+// observation without locks. Quantiles read from it are upper bounds of
+// the containing bucket — conservative by construction, which is the right
+// bias for an admission-control dashboard.
+type histogram struct {
+	counts [len(histBuckets) + 1]atomic.Int64
+	sumNS  atomic.Int64
+	n      atomic.Int64
+}
+
+// observe records one latency sample.
+func (h *histogram) observe(d time.Duration) {
+	i := 0
+	for i < len(histBuckets) && d > histBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+	h.n.Add(1)
+}
+
+// HistogramSnapshot is the JSON form of a histogram: cumulative quantile
+// upper bounds plus the raw per-bucket counts.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+
+	// Buckets[i] counts samples ≤ BoundsMS[i]; the final entry counts the
+	// overflow above the last bound.
+	BoundsMS []float64 `json:"bounds_ms"`
+	Buckets  []int64   `json:"buckets"`
+}
+
+// snapshot freezes the histogram. Counters are read without a lock, so a
+// snapshot taken mid-observation can be off by the samples in flight —
+// fine for monitoring, which is all this feeds.
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.n.Load()}
+	if s.Count > 0 {
+		s.MeanMS = float64(h.sumNS.Load()) / float64(s.Count) / 1e6
+	}
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	s.Buckets = counts
+	s.BoundsMS = make([]float64, len(histBuckets))
+	for i, b := range histBuckets {
+		s.BoundsMS[i] = float64(b) / float64(time.Millisecond)
+	}
+	s.P50MS = quantileMS(counts, s.Count, 0.50)
+	s.P90MS = quantileMS(counts, s.Count, 0.90)
+	s.P99MS = quantileMS(counts, s.Count, 0.99)
+	return s
+}
+
+// quantileMS returns the upper bound (in ms) of the bucket containing the
+// q-quantile sample; the overflow bucket reports the last bound ×4 as an
+// honest "at least this" marker.
+func quantileMS(counts []int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			if i < len(histBuckets) {
+				return float64(histBuckets[i]) / float64(time.Millisecond)
+			}
+			return float64(histBuckets[len(histBuckets)-1]) * 4 / float64(time.Millisecond)
+		}
+	}
+	return float64(histBuckets[len(histBuckets)-1]) * 4 / float64(time.Millisecond)
+}
+
+// counters is the server's request-accounting block. Every successful
+// /plan response is exactly one of WarmHits, Hits, Collapsed, or Solves;
+// failures are exactly one of Rejected, TimedOut, SolveErrors, or
+// BadRequests — so the columns always sum back to Requests.
+type counters struct {
+	requests    atomic.Int64
+	warmHits    atomic.Int64 // served from snapshot-loaded entries
+	hits        atomic.Int64 // served from entries solved earlier in-process
+	collapsed   atomic.Int64 // singleflight followers riding a leader's solve
+	solves      atomic.Int64 // requests whose solve actually ran the solver
+	solveErrors atomic.Int64
+	rejected    atomic.Int64 // 429: solve queue full
+	timedOut    atomic.Int64 // 504: solve outlasted the per-request timeout
+	badRequests atomic.Int64
+
+	inFlight atomic.Int64 // solves currently executing on workers
+	waiting  atomic.Int64 // requests parked on an in-flight solve
+}

@@ -9,8 +9,11 @@ import (
 )
 
 // Session is a FIFO multi-DNN queue (§2.2): several planned models executed
-// back-to-back on one device, each activation paying only its streaming
-// cost rather than a full preload.
+// back-to-back on its runtime's device, each activation paying only its
+// streaming cost rather than a full preload. A session simulates one
+// device's queue, so it is single-goroutine by design — but any number of
+// sessions (across any mix of devices, e.g. one per Fleet runtime) may run
+// concurrently, sharing plan caches and planned models freely.
 type Session struct {
 	rt      *Runtime
 	models  []*Model
