@@ -1,6 +1,7 @@
 # Targets mirror what .github/workflows/ci.yml runs: `make lint test-short`
 # is the per-push job, `make test bench` is the nightly job, and
-# `make shard-check` is the sharded-matrix job condensed into one machine.
+# `make shard-check` / `make coord-check` are the static-shard and
+# coordinated-sweep jobs condensed into one machine.
 
 GO ?= go
 
@@ -9,7 +10,7 @@ GO ?= go
 SWEEP_FLAGS ?= -exp table1,table6,table7,table8,fig8,warmstart,abl-cache \
 	-models ViT,ResNet,GPTN-S -budget 5s -branches 1500
 
-.PHONY: build test test-short bench bench-solver bench-server bench-gate lint vet fmt fmt-check staticcheck shard-check clean
+.PHONY: build test test-short bench bench-solver bench-server bench-gate lint vet fmt fmt-check staticcheck shard-check coord-check clean
 
 build:
 	$(GO) build ./...
@@ -106,6 +107,31 @@ shard-check:
 	./flashbench $(SWEEP_FLAGS) -cache merged-cache.json > warm.txt 2> warm.log && \
 	grep -q ' / 0 misses' warm.log && diff full.txt warm.txt && \
 	echo "shard-check: merged output byte-identical; warm start had zero re-solves"
+
+# Runs the experiment suite through the work-stealing coordinator with
+# three local worker processes — the reference run's snapshot seeding
+# batch sizing — and checks the coordinated output is byte-identical to
+# the unsharded run and that the merged worker snapshots warm-start with
+# zero re-solves. The CI coordinate job condensed into one machine.
+coord-check:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) build -o $$dir/flashbench ./cmd/flashbench && \
+	cd $$dir && \
+	./flashbench $(SWEEP_FLAGS) -cache seed-cache.json > full.txt && \
+	{ ./flashbench $(SWEEP_FLAGS) -coordinator 127.0.0.1:9355 \
+		-seed-costs seed-cache.json -cache coord-cache.json \
+		-stats-out coord-stats.json > coord.txt 2> coord.log & \
+	  pid=$$!; \
+	  for w in 1 2 3; do \
+		./flashbench $(SWEEP_FLAGS) -worker http://127.0.0.1:9355 \
+			-worker-name w$$w 2> worker-$$w.log & \
+	  done; \
+	  wait $$pid; } && \
+	diff full.txt coord.txt && \
+	./flashbench $(SWEEP_FLAGS) -cache coord-cache.json > warm.txt 2> warm.log && \
+	grep -q ' / 0 misses' warm.log && diff full.txt warm.txt && \
+	cat coord-stats.json && \
+	echo "coord-check: coordinated output byte-identical; warm start had zero re-solves"
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

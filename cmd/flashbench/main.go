@@ -25,6 +25,18 @@
 //	flashbench merge -caches cache-0.json,cache-1.json,cache-2.json \
 //	    -cache-out merged.json partial-0.json partial-1.json partial-2.json
 //
+// Coordinated runs replace the static partition with a coordinator that
+// deals cost-sized cell batches to pulling workers (work stealing and
+// straggler re-dealing included) and prints the merged tables itself:
+//
+//	flashbench -coordinator 127.0.0.1:9355 -seed-costs nightly.json \
+//	    -cache merged.json -stats-out coord-stats.json
+//	flashbench -worker http://127.0.0.1:9355   # × N, any machines
+//
+// Workers take the experiment list from the coordinator; every other
+// result-affecting flag (-models, -budget, -branches, -iters) must match
+// the coordinator's, which is enforced by a configuration fingerprint.
+//
 // Experiment ids: table1 table4 table6 table7 table8 table9 fig2 fig6 fig7
 // fig8 fig9 fig10 warmstart abl-chunk abl-window abl-fallback abl-cache
 // abl-capacity.
@@ -32,9 +44,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"path/filepath"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -73,9 +89,22 @@ func runBench(args []string) error {
 	cachePath := fs.String("cache", "", "plan-cache snapshot: loaded at start, saved at exit")
 	shardFlag := fs.String("shard", "", "run only shard i/N of every experiment's cell matrix (e.g. 0/3)")
 	partialPath := fs.String("partial", "", "write machine-readable partial results (JSON) here instead of rendering tables")
+	coordAddr := fs.String("coordinator", "", "listen address (e.g. 127.0.0.1:9355): serve the experiment matrix as a coordinated sweep to pulling workers, then print the merged tables")
+	workerURL := fs.String("worker", "", "coordinator URL (e.g. http://127.0.0.1:9355): pull and run cell batches; the experiment list comes from the coordinator, every other result-affecting flag must match its")
+	workerName := fs.String("worker-name", "", "worker identity in coordinator stats (default hostname-pid)")
+	seedCosts := fs.String("seed-costs", "", "comma-separated plan-cache snapshots whose recorded solve costs seed coordinator batch sizing")
+	coordWorkers := fs.Int("coordinator-workers", 3, "expected worker count — a batch-sizing hint, not a limit")
+	leaseTimeout := fs.Duration("lease-timeout", 2*time.Minute, "how long a worker may hold a batch before the coordinator re-deals it")
+	statsOut := fs.String("stats-out", "", "write the coordinator's final per-worker batch/steal/retry stats (JSON) here")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *coordAddr != "" && *workerURL != "" {
+		return fmt.Errorf("-coordinator and -worker are mutually exclusive")
+	}
+	if (*coordAddr != "" || *workerURL != "") && (*shardFlag != "" || *partialPath != "") {
+		return fmt.Errorf("coordinated mode replaces -shard/-partial: the coordinator partitions and merges by itself")
 	}
 
 	if *cpuprofile != "" {
@@ -140,6 +169,29 @@ func runBench(args []string) error {
 		ids[i] = strings.TrimSpace(id)
 	}
 
+	if *coordAddr != "" {
+		fp := fingerprint(ids, *modelsFlag, *budget, *branches, *iters)
+		return runCoordinator(r, ids, fp, coordinatorOpts{
+			addr:         *coordAddr,
+			seedCosts:    *seedCosts,
+			workers:      *coordWorkers,
+			leaseTimeout: *leaseTimeout,
+			statsOut:     *statsOut,
+			cachePath:    *cachePath,
+		})
+	}
+	if *workerURL != "" {
+		return runWorkerMode(r, cache, workerOpts{
+			coordinator: *workerURL,
+			name:        *workerName,
+			cachePath:   *cachePath,
+			modelsFlag:  *modelsFlag,
+			budget:      *budget,
+			branches:    *branches,
+			iters:       *iters,
+		})
+	}
+
 	var runErr error
 	if *partialPath != "" {
 		// Shard mode: emit machine-readable rows for the merge step.
@@ -196,6 +248,193 @@ func runBench(args []string) error {
 func fingerprint(ids []string, models string, budget time.Duration, branches int64, iters int) string {
 	return fmt.Sprintf("solver=%s exp=%s models=%s budget=%s branches=%d iters=%d",
 		opg.SolverVersion, strings.Join(ids, ","), models, budget, branches, iters)
+}
+
+// coordinatorOpts carries the -coordinator mode's flag values.
+type coordinatorOpts struct {
+	addr         string
+	seedCosts    string
+	workers      int
+	leaseTimeout time.Duration
+	statsOut     string
+	cachePath    string
+}
+
+// runCoordinator serves the experiment matrix as a coordinated sweep:
+// cost-sized batches dealt to pulling workers, expired leases re-dealt,
+// rows assembled and rendered through the same merge validation the
+// partial-file path uses. With -cache, the workers' pushed plan-cache
+// snapshots are merged there; with -stats-out, the per-worker accounting
+// is written as JSON.
+func runCoordinator(r *experiments.Runner, ids []string, fp string, o coordinatorOpts) error {
+	var costs map[string]time.Duration
+	if o.seedCosts != "" {
+		var err error
+		costs, err = plancache.ModelCosts(strings.Split(o.seedCosts, ",")...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "flashbench: coordinator: solve-cost estimates for %d models from %s\n",
+			len(costs), o.seedCosts)
+	}
+	grid, err := experiments.CoordinatorGrid(r, ids, fp, costs)
+	if err != nil {
+		return err
+	}
+	coord, err := sweep.NewCoordinator(sweep.CoordinatorConfig{
+		Grid:         grid,
+		Workers:      o.workers,
+		LeaseTimeout: o.leaseTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "flashbench: coordinator: serving %d cells in %d groups at http://%s (fingerprint %q)\n",
+		grid.Cells(), len(grid.Groups), ln.Addr(), fp)
+
+	res, waitErr := coord.Wait(context.Background())
+	if o.statsOut != "" {
+		if err := writeStatsFile(o.statsOut, coord.Stats()); err != nil {
+			if waitErr == nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "flashbench: coordinator: %v\n", err)
+		}
+	}
+	if waitErr != nil {
+		return waitErr
+	}
+
+	outs, err := experiments.CoordinatedOutputs(grid, res.Rows)
+	if err != nil {
+		return err
+	}
+	for _, out := range outs {
+		if out.Text != "" {
+			fmt.Println(out.Text)
+		}
+	}
+	if o.cachePath != "" {
+		if err := mergeWorkerSnapshots(o.cachePath, res.Snapshots); err != nil {
+			return err
+		}
+	}
+	s := res.Stats
+	fmt.Fprintf(os.Stderr, "flashbench: coordinator: %d batches over %d workers, %d steals, %d retries, %d stale results\n",
+		s.Batches, len(s.Workers), s.Steals, s.Retries, s.StaleResults)
+	// Trailing workers may still be polling for their done signal; give
+	// them a beat to hear it before the listener dies with the process.
+	time.Sleep(time.Second)
+	return nil
+}
+
+// writeStatsFile saves the coordinator accounting — CI archives this next
+// to the nightly BENCH files.
+func writeStatsFile(path string, stats sweep.CoordinatorStats) error {
+	data, err := json.MarshalIndent(stats, "", "  ")
+	if err != nil {
+		return fmt.Errorf("flashbench: encode stats: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("flashbench: write stats: %w", err)
+	}
+	return nil
+}
+
+// mergeWorkerSnapshots merges the plan-cache snapshots workers attached to
+// their results into one file, keeping any plans already at path.
+func mergeWorkerSnapshots(path string, snaps map[string][]byte) error {
+	if len(snaps) == 0 {
+		return fmt.Errorf("flashbench: coordinator: no worker snapshots to merge into %s", path)
+	}
+	dir, err := os.MkdirTemp("", "flashbench-worker-snaps-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	var paths []string
+	if _, err := os.Stat(path); err == nil {
+		paths = append(paths, path)
+	}
+	i := 0
+	for _, snap := range snaps {
+		p := filepath.Join(dir, fmt.Sprintf("worker-%d.json", i))
+		i++
+		if err := os.WriteFile(p, snap, 0o644); err != nil {
+			return err
+		}
+		paths = append(paths, p)
+	}
+	stats, err := plancache.MergeSnapshotFiles(path, paths...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "flashbench: merged %d worker snapshots into %s: %d plans (%d deduplicated, %d dropped)\n",
+		len(snaps), path, stats.Entries, stats.Replaced, stats.Dropped)
+	return nil
+}
+
+// workerOpts carries the -worker mode's flag values.
+type workerOpts struct {
+	coordinator string
+	name        string
+	cachePath   string
+	modelsFlag  string
+	budget      time.Duration
+	branches    int64
+	iters       int
+}
+
+// runWorkerMode pulls and executes cell batches from a coordinator. The
+// experiment list comes from the coordinator's grid; the worker recomputes
+// the configuration fingerprint from its own flags over that list, so any
+// result-affecting divergence is refused at the first lease.
+func runWorkerMode(r *experiments.Runner, cache *plancache.Cache, o workerOpts) error {
+	ctx := context.Background()
+	grid, err := sweep.FetchGrid(ctx, nil, o.coordinator, 0)
+	if err != nil {
+		return err
+	}
+	ids := make([]string, len(grid.Groups))
+	for i, g := range grid.Groups {
+		ids[i] = g.ID
+	}
+	fp := fingerprint(ids, o.modelsFlag, o.budget, o.branches, o.iters)
+	name := o.name
+	if name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	fmt.Fprintf(os.Stderr, "flashbench: worker %s: pulling %d cells in %d groups from %s\n",
+		name, grid.Cells(), len(grid.Groups), o.coordinator)
+	stats, err := sweep.RunWorker(ctx, sweep.WorkerConfig{
+		Coordinator: o.coordinator,
+		Name:        name,
+		Fingerprint: fp,
+		Exec:        experiments.WorkerExec(r),
+		Snapshot:    cache.Snapshot,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "flashbench: worker %s: %d batches (%d cells) accepted, %d stale, %d local errors\n",
+		name, stats.Batches, stats.Cells, stats.Stale, stats.Errors)
+	if o.cachePath != "" {
+		if err := cache.Save(o.cachePath); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func runMerge(args []string) error {

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// Glue between the generic sweep coordinator and the experiment drivers.
+// The coordinator side of the package boundary is deliberately thin: the
+// coordinator deals opaque (group, [lo,hi)) batches and collects opaque
+// JSON rows; everything experiment-shaped — cell enumeration, cost
+// estimation, execution, and the final merge/render — lives here, built
+// from the same Driver pipeline the static shard path uses.
+
+// CoordinatorGrid builds a coordinated sweep's work description: one
+// sweep.Group per experiment id, with per-cell cost estimates in seconds
+// derived from the plan-cache cost export (plancache.ModelCosts). Cells
+// whose dominant model has no recorded cost get 0 — "unknown", which the
+// coordinator prices neutrally, never as free. A nil or empty cost map is
+// fine: batch sizing degrades to equal-sized batches.
+func CoordinatorGrid(r *Runner, ids []string, fingerprint string, costs map[string]time.Duration) (sweep.Grid, error) {
+	grid := sweep.Grid{Fingerprint: fingerprint}
+	for _, id := range ids {
+		d, ok := DriverByID(id)
+		if !ok {
+			return sweep.Grid{}, fmt.Errorf("experiments: coordinate: unknown experiment id %q", id)
+		}
+		g := sweep.Group{ID: id, Cells: d.NumCells(r)}
+		if len(costs) > 0 {
+			keys := d.CostKeys(r)
+			g.Costs = make([]float64, len(keys))
+			for i, key := range keys {
+				if c, ok := costs[key]; ok && c > 0 {
+					g.Costs[i] = c.Seconds()
+				}
+			}
+		}
+		grid.Groups = append(grid.Groups, g)
+	}
+	return grid, nil
+}
+
+// WorkerExec adapts a Runner into a sweep worker's batch executor: each
+// leased batch runs the named experiment's [Lo, Hi) cell range through the
+// same driver code path an unsharded run uses, so the pushed rows are
+// byte-identical to the unsharded run's slice of the same range.
+func WorkerExec(r *Runner) func(ctx context.Context, b sweep.Batch) ([]json.RawMessage, error) {
+	return func(ctx context.Context, b sweep.Batch) ([]json.RawMessage, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		d, ok := DriverByID(b.Group)
+		if !ok {
+			return nil, fmt.Errorf("experiments: coordinate: unknown experiment id %q", b.Group)
+		}
+		return d.RunRange(r, b.Lo, b.Hi)
+	}
+}
+
+// CoordinatedOutputs merges a completed coordinated sweep into rendered
+// experiment outputs. It funnels the coordinator's assembled rows through
+// MergePartials as one synthesized full-space partial, so the coordinated
+// path is pinned by exactly the validation (row counts, tiling, render)
+// that guards the static-shard merge — and therefore produces output
+// byte-identical to an unsharded run.
+func CoordinatedOutputs(grid sweep.Grid, rows map[string][]json.RawMessage) ([]Output, error) {
+	p := &Partial{
+		Version:     PartialVersion,
+		Shard:       sweep.Full(),
+		Fingerprint: grid.Fingerprint,
+	}
+	for _, g := range grid.Groups {
+		r, ok := rows[g.ID]
+		if !ok {
+			return nil, fmt.Errorf("experiments: coordinate: no rows for %q", g.ID)
+		}
+		p.Experiments = append(p.Experiments, PartialExperiment{
+			ID:    g.ID,
+			Cells: g.Cells,
+			Start: 0,
+			Rows:  r,
+		})
+	}
+	return MergePartials([]*Partial{p})
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/plancache"
+	"repro/internal/sweep"
+)
+
+// TestCoordinatedSweepMatchesUnsharded is the coordinated path's
+// acceptance test, the dynamic twin of TestShardedRunMatchesUnsharded:
+// the deterministic experiment matrix served by a coordinator to three
+// workers — each with its own runner and plan cache, one injected dead
+// worker abandoning a lease mid-sweep — must merge into output
+// byte-identical to the single-process run, with no lost or doubly-merged
+// cells, and the merged worker snapshots must warm-start a fresh run with
+// zero re-solves.
+func TestCoordinatedSweepMatchesUnsharded(t *testing.T) {
+	dir := t.TempDir()
+	want := unshardedOutputs(t, plancache.New(0))
+
+	const fp = "det-coord"
+	grid, err := CoordinatorGrid(NewRunner(detConfig()), detIDs, fp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := sweep.NewCoordinator(sweep.CoordinatorConfig{
+		Grid:         grid,
+		Workers:      3,
+		LeaseTimeout: 5 * time.Second,
+		IdleWait:     25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	// Injected worker death: the zombie leases a batch over the real HTTP
+	// API and never reports back. Its lease must expire and the batch be
+	// re-dealt to a live worker.
+	zombieReq, _ := json.Marshal(map[string]string{"worker": "zombie", "fingerprint": fp})
+	resp, err := http.Post(srv.URL+"/lease", "application/json", bytes.NewReader(zombieReq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zombieLease struct {
+		Batch *sweep.Batch `json:"batch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&zombieLease); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if zombieLease.Batch == nil {
+		t.Fatal("zombie got no batch to abandon")
+	}
+
+	// Three live workers, each a separate-machine stand-in: fresh runner,
+	// fresh plan cache, snapshot attached to every pushed result.
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("w%d", i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cache := plancache.New(0)
+			cfg := detConfig()
+			cfg.PlanCache = cache
+			r := NewRunner(cfg)
+			_, err := sweep.RunWorker(context.Background(), sweep.WorkerConfig{
+				Coordinator: srv.URL,
+				Name:        name,
+				Fingerprint: fp,
+				Exec:        WorkerExec(r),
+				Snapshot:    cache.Snapshot,
+				Poll:        25 * time.Millisecond,
+			})
+			if err != nil {
+				t.Errorf("worker %s: %v", name, err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Steals < 1 {
+		t.Errorf("steals = %d, want >= 1 (the zombie's abandoned lease)", res.Stats.Steals)
+	}
+	if zs := res.Stats.Workers["zombie"]; zs.Completed != 0 || zs.StolenFrom != 1 {
+		t.Errorf("zombie stats = %+v, want 0 completed / 1 stolen-from", zs)
+	}
+
+	outs, err := CoordinatedOutputs(grid, res.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(want) {
+		t.Fatalf("coordinated run produced %d outputs, want %d", len(outs), len(want))
+	}
+	for i, out := range outs {
+		if out.ID != detIDs[i] {
+			t.Errorf("output %d is %q, want %q", i, out.ID, detIDs[i])
+		}
+		if out.Text != want[i] {
+			t.Errorf("%s: coordinated output differs from unsharded run\ncoordinated:\n%s\nunsharded:\n%s",
+				out.ID, out.Text, want[i])
+		}
+	}
+
+	// Merge the per-worker snapshots the coordinator collected and
+	// warm-start a fresh run: every Prepare must hit.
+	var snapPaths []string
+	for name, snap := range res.Snapshots {
+		sp := filepath.Join(dir, "snap-"+name+".json")
+		if err := os.WriteFile(sp, snap, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		snapPaths = append(snapPaths, sp)
+	}
+	if len(snapPaths) == 0 {
+		t.Fatal("coordinator collected no worker snapshots")
+	}
+	mergedPath := filepath.Join(dir, "merged-cache.json")
+	if _, err := plancache.MergeSnapshotFiles(mergedPath, snapPaths...); err != nil {
+		t.Fatal(err)
+	}
+	warm := plancache.New(0)
+	if _, err := warm.LoadAll(mergedPath); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Len() == 0 {
+		t.Fatal("merged worker snapshot is empty; warm-start check would be vacuous")
+	}
+	got := unshardedOutputs(t, warm)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s: warm-started output differs from cold run", detIDs[i])
+		}
+	}
+	if s := warm.Stats(); s.Misses != 0 || s.Stores != 0 {
+		t.Errorf("warm start re-solved: %d misses / %d stores, want 0 / 0", s.Misses, s.Stores)
+	}
+}
+
+// TestCoordinatorGridCosts: known models get their exported cost in
+// seconds; cells without a recorded cost get 0 — "unknown", which the
+// coordinator prices neutrally.
+func TestCoordinatorGridCosts(t *testing.T) {
+	r := NewRunner(detConfig())
+	costs := map[string]time.Duration{"ResNet": 1500 * time.Millisecond}
+	grid, err := CoordinatorGrid(r, []string{"table6"}, "fp", costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Groups) != 1 || grid.Groups[0].ID != "table6" {
+		t.Fatalf("unexpected grid %+v", grid)
+	}
+	g := grid.Groups[0]
+	if g.Cells != len(detConfig().Models) || len(g.Costs) != g.Cells {
+		t.Fatalf("group %+v: want %d cells with costs", g, len(detConfig().Models))
+	}
+	d, _ := DriverByID("table6")
+	sawKnown, sawUnknown := false, false
+	for i, key := range d.CostKeys(r) {
+		switch key {
+		case "ResNet":
+			sawKnown = true
+			if g.Costs[i] != 1.5 {
+				t.Errorf("ResNet cell cost = %v, want 1.5 seconds", g.Costs[i])
+			}
+		default:
+			sawUnknown = true
+			if g.Costs[i] != 0 {
+				t.Errorf("cost-less cell %d (%s) priced %v, want 0 (unknown)", i, key, g.Costs[i])
+			}
+		}
+	}
+	if !sawKnown || !sawUnknown {
+		t.Fatalf("test grid lacks known+unknown mix (known=%v unknown=%v)", sawKnown, sawUnknown)
+	}
+
+	if _, err := CoordinatorGrid(r, []string{"no-such-exp"}, "fp", nil); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+// TestCoordinatedOutputsRejectsIncomplete: missing groups or short row
+// sets must fail the merge validation, not render partial output.
+func TestCoordinatedOutputsRejectsIncomplete(t *testing.T) {
+	grid := sweep.Grid{Fingerprint: "fp", Groups: []sweep.Group{{ID: "table6", Cells: 3}}}
+	if _, err := CoordinatedOutputs(grid, map[string][]json.RawMessage{}); err == nil {
+		t.Error("missing group rendered")
+	}
+	short := map[string][]json.RawMessage{"table6": {json.RawMessage(`{}`)}}
+	if _, err := CoordinatedOutputs(grid, short); err == nil {
+		t.Error("short row set rendered")
+	}
+}

@@ -4,24 +4,27 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/models"
 	"repro/internal/multimodel"
 	"repro/internal/profiler"
 	"repro/internal/sweep"
 )
 
 // A Driver expresses one experiment as the three-stage pipeline that
-// sharded execution needs: deterministic cell enumeration, independent
+// distributed execution needs: deterministic cell enumeration, independent
 // per-cell runs, and a merge/render step over the full row set in cell
 // order. Enumeration depends only on the runner configuration, so
 // independent processes agree on the cell space without coordination; any
-// contiguous shard of rows can be computed in isolation and shard outputs
+// contiguous range of rows can be computed in isolation — a static shard's
+// balanced block or a coordinator-dealt batch alike — and ranges
 // concatenated in index order are exactly the unsharded row set. Rows are
 // JSON (machine-readable partial results), so the merge step can run in a
 // process that never touched a simulator.
 type Driver struct {
 	ID       string
 	numCells func(r *Runner) int
-	run      func(r *Runner, sh sweep.Shard) ([]json.RawMessage, error)
+	runRange func(r *Runner, lo, hi int) ([]json.RawMessage, error)
+	costKeys func(r *Runner) []string
 	render   func(rows []json.RawMessage) (string, error)
 }
 
@@ -31,17 +34,37 @@ func (d *Driver) NumCells(r *Runner) int { return d.numCells(r) }
 
 // Run computes the shard's contiguous slice of the cell space, one
 // JSON-encoded row per cell in enumeration order.
-func (d *Driver) Run(r *Runner, sh sweep.Shard) ([]json.RawMessage, error) { return d.run(r, sh) }
+func (d *Driver) Run(r *Runner, sh sweep.Shard) ([]json.RawMessage, error) {
+	if err := sh.Validate(); err != nil {
+		return nil, err
+	}
+	lo, hi := sh.Span(d.numCells(r))
+	return d.runRange(r, lo, hi)
+}
+
+// RunRange computes an explicit half-open cell range [lo, hi) — the
+// coordinated sweep's batch unit, which (unlike a Shard) need not be
+// expressible as i-of-N.
+func (d *Driver) RunRange(r *Runner, lo, hi int) ([]json.RawMessage, error) {
+	return d.runRange(r, lo, hi)
+}
+
+// CostKeys maps each cell, in enumeration order, to the model abbreviation
+// whose solve dominates that cell's cost — the key into the plan-cache
+// cost export (plancache.ModelCosts) that seeds coordinated batch sizing.
+// Cells whose cost has no single dominant model yield "" and are priced
+// neutrally.
+func (d *Driver) CostKeys(r *Runner) []string { return d.costKeys(r) }
 
 // Render merges the full, ordered row set back into the experiment's
 // rendered text output. It needs no Runner: aggregation is pure.
 func (d *Driver) Render(rows []json.RawMessage) (string, error) { return d.render(rows) }
 
 // Output runs the whole experiment in-process and renders it. The
-// unsharded path deliberately shares the sharded pipeline — including the
-// JSON row round-trip — so both produce byte-identical text.
+// unsharded path deliberately shares the distributed pipeline — including
+// the JSON row round-trip — so both produce byte-identical text.
 func (d *Driver) Output(r *Runner) (string, error) {
-	rows, err := d.run(r, sweep.Full())
+	rows, err := d.runRange(r, 0, d.numCells(r))
 	if err != nil {
 		return "", err
 	}
@@ -53,13 +76,12 @@ func def[C, R any](id string, cells func(*Runner) []C, runCell func(*Runner, C) 
 	return &Driver{
 		ID:       id,
 		numCells: func(r *Runner) int { return len(cells(r)) },
-		run: func(r *Runner, sh sweep.Shard) ([]json.RawMessage, error) {
-			if err := sh.Validate(); err != nil {
-				return nil, err
-			}
+		runRange: func(r *Runner, lo, hi int) ([]json.RawMessage, error) {
 			all := cells(r)
-			lo, _ := sh.Span(len(all))
-			rows, err := parallel(r, sweep.Slice(sh, all), func(c C) (R, error) { return runCell(r, c) })
+			if lo < 0 || hi < lo || hi > len(all) {
+				return nil, fmt.Errorf("experiments: %s: cell range [%d,%d) outside [0,%d)", id, lo, hi, len(all))
+			}
+			rows, err := parallel(r, all[lo:hi], func(c C) (R, error) { return runCell(r, c) })
 			if err != nil {
 				return nil, err
 			}
@@ -72,6 +94,14 @@ func def[C, R any](id string, cells func(*Runner) []C, runCell func(*Runner, C) 
 				raw[i] = b
 			}
 			return raw, nil
+		},
+		costKeys: func(r *Runner) []string {
+			all := cells(r)
+			keys := make([]string, len(all))
+			for i, c := range all {
+				keys[i] = cellCostKey(c)
+			}
+			return keys
 		},
 		render: func(raw []json.RawMessage) (string, error) {
 			rows := make([]R, len(raw))
@@ -176,4 +206,33 @@ func AllIDs() []string {
 		ids[i] = d.ID
 	}
 	return ids
+}
+
+// cellCostKey maps one enumerated cell to the model abbreviation that
+// dominates its solve cost, or "" when no single model does. String cells
+// are model abbreviations for some experiments (table1) and framework or
+// setting names for others (table9, fig6, abl-capacity); the model-zoo
+// lookup separates the two, so a framework name never aliases into a
+// model's cost estimate. Every ablation sweep solves ViT variants, whose
+// per-config costs are near the base model's.
+func cellCostKey(c any) string {
+	switch v := c.(type) {
+	case models.Spec:
+		return v.Abbr
+	case string:
+		if _, ok := models.ByAbbr(v); ok {
+			return v
+		}
+		return ""
+	case figure7Cell:
+		return v.Model
+	case figure8Cell:
+		return v.Abbr
+	case figure10Cell:
+		return v.Abbr
+	case ablation:
+		return "ViT"
+	default:
+		return ""
+	}
 }

@@ -8,6 +8,15 @@
 // (internal/sweep) and memoize solved plans through an optional plan cache
 // (internal/plancache), so regenerating the full evaluation is bounded by
 // the slowest cell rather than the sum of all solves.
+//
+// Every experiment is exposed as a Driver — deterministic cell
+// enumeration, independently-runnable cell ranges, pure merge/render —
+// which is what lets the matrix distribute across processes: statically
+// (RunPartial / MergePartials over i/N shards) or dynamically
+// (CoordinatorGrid / WorkerExec / CoordinatedOutputs under the
+// work-stealing coordinator in internal/sweep). Both paths funnel through
+// MergePartials' tiling validation, so distributed output is
+// byte-identical to a single-process run.
 package experiments
 
 import (

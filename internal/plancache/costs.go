@@ -1,0 +1,78 @@
+package plancache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Per-model solve-cost export for the coordinated-sweep scheduler.
+// FormatVersion-3 snapshots record each entry's solve cost; aggregated per
+// model, those costs are exactly the skew signal a coordinator needs to
+// size and order cell batches (a Llama2-70B solve is ~10^3 slower than a
+// CNN's). The export is deliberately forgiving: costs seed a scheduling
+// heuristic, not a correctness decision, so anything unusable simply
+// contributes nothing and the scheduler falls back to neutral sizing.
+
+// costEntry is the projection of a persisted entry the export decodes —
+// the plan's model name and the recorded cost, nothing else, so even
+// snapshots whose full plans no longer decode still yield estimates.
+type costEntry struct {
+	Plan *struct {
+		Model string `json:"model"`
+	} `json:"plan"`
+	Cost time.Duration `json:"cost_ns"`
+}
+
+// ModelCosts extracts per-model solve-cost estimates from snapshot files:
+// the maximum recorded cost per model name across all files (the max, not
+// the mean, because the cold solve is what a sweep cell actually pays).
+//
+// Unusable inputs degrade to absent estimates rather than errors or —
+// worse — zero costs: missing files are skipped (the first coordinated
+// sweep has no snapshot yet); version-1/2 snapshots predate the cost
+// field and contribute nothing; v3 entries without a recorded cost
+// (written by a v1/v2-seeded merge) are skipped, so a model never gets a
+// zero-cost fast lane just because its history is cost-less. Unlike the
+// plan loaders, entries from other solver generations ARE used: a
+// previous generation's solve time is a fine estimate of this one's, and
+// estimates is all this is. Only an unknown future format version is an
+// error.
+func ModelCosts(paths ...string) (map[string]time.Duration, error) {
+	costs := map[string]time.Duration{}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("plancache: costs: %w", err)
+		}
+		var raw rawSnapshot
+		if err := json.Unmarshal(data, &raw); err != nil {
+			return nil, fmt.Errorf("plancache: costs: decode %s: %w", path, err)
+		}
+		switch raw.Version {
+		case 1, 2:
+			continue // no cost field in these layouts
+		case FormatVersion:
+		default:
+			return nil, fmt.Errorf("plancache: costs: %s has format version %d, want <= %d",
+				path, raw.Version, FormatVersion)
+		}
+		for _, msg := range raw.Entries {
+			var en costEntry
+			if err := json.Unmarshal(msg, &en); err != nil {
+				continue // a damaged entry just contributes no estimate
+			}
+			if en.Plan == nil || en.Plan.Model == "" || en.Cost <= 0 {
+				continue
+			}
+			if en.Cost > costs[en.Plan.Model] {
+				costs[en.Plan.Model] = en.Cost
+			}
+		}
+	}
+	return costs, nil
+}

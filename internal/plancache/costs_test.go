@@ -1,0 +1,127 @@
+package plancache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/opg"
+	"repro/internal/units"
+)
+
+// writeSnap writes a hand-built snapshot file and returns its path.
+func writeSnap(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestModelCostsExtractsMaxPerModel(t *testing.T) {
+	snap := fmt.Sprintf(`{"version":3,"solver":%q,"entries":[
+		{"key":"a","plan":{"model":"ViT"},"cost_ns":1000000},
+		{"key":"b","plan":{"model":"ViT"},"cost_ns":3000000},
+		{"key":"c","plan":{"model":"Llama2-70B"},"cost_ns":1700000000}
+	]}`, opg.SolverVersion)
+	costs, err := ModelCosts(writeSnap(t, "v3.json", snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := costs["ViT"]; got != 3*time.Millisecond {
+		t.Errorf("ViT cost = %v, want 3ms (the max, not first or mean)", got)
+	}
+	if got := costs["Llama2-70B"]; got != 1700*time.Millisecond {
+		t.Errorf("Llama2-70B cost = %v, want 1.7s", got)
+	}
+}
+
+// TestModelCostsNeutralOnMissingCostFields: a v3 snapshot whose entries
+// carry no cost (the product of merging v1/v2-era data) must yield NO
+// estimate for those models — absent, so the scheduler prices them
+// neutrally — never a zero cost that would create a fast lane.
+func TestModelCostsNeutralOnMissingCostFields(t *testing.T) {
+	snap := fmt.Sprintf(`{"version":3,"solver":%q,"entries":[
+		{"key":"a","plan":{"model":"ViT"}},
+		{"key":"b","plan":{"model":"ResNet"},"cost_ns":0},
+		{"key":"c","plan":{"model":"GPTN-S"},"cost_ns":5000000}
+	]}`, opg.SolverVersion)
+	costs, err := ModelCosts(writeSnap(t, "v3-nocost.json", snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := costs["ViT"]; ok {
+		t.Error("cost-less ViT entry produced an estimate (want absent → neutral)")
+	}
+	if _, ok := costs["ResNet"]; ok {
+		t.Error("zero-cost ResNet entry produced an estimate (want absent → neutral)")
+	}
+	if got := costs["GPTN-S"]; got != 5*time.Millisecond {
+		t.Errorf("GPTN-S cost = %v, want 5ms", got)
+	}
+}
+
+// TestModelCostsOldFormatsAndMissingFiles: v1/v2 snapshots predate the
+// cost field and contribute nothing; missing files are a normal first-run
+// cold start. Neither is an error.
+func TestModelCostsOldFormatsAndMissingFiles(t *testing.T) {
+	v1 := writeSnap(t, "v1.json", `{"version":1,"entries":[{"key":"a"}]}`)
+	v2 := writeSnap(t, "v2.json", `{"version":2,"solver":"lc-opg-2","entries":[{"key":"a"}]}`)
+	costs, err := ModelCosts(v1, v2, filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) != 0 {
+		t.Errorf("v1/v2/missing inputs produced estimates: %v", costs)
+	}
+}
+
+// TestModelCostsAcceptsStaleSolverGeneration: unlike plan loading, cost
+// export keeps entries from other solver generations — an old
+// generation's solve time still predicts this one's.
+func TestModelCostsAcceptsStaleSolverGeneration(t *testing.T) {
+	snap := `{"version":3,"solver":"lc-opg-0-ancient","entries":[
+		{"key":"a","plan":{"model":"ViT"},"cost_ns":2000000}]}`
+	costs, err := ModelCosts(writeSnap(t, "stale.json", snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := costs["ViT"]; got != 2*time.Millisecond {
+		t.Errorf("stale-generation cost = %v, want 2ms", got)
+	}
+}
+
+func TestModelCostsRejectsUnknownVersion(t *testing.T) {
+	if _, err := ModelCosts(writeSnap(t, "v9.json", `{"version":9,"entries":[]}`)); err == nil {
+		t.Error("unknown format version did not error")
+	}
+}
+
+// TestModelCostsRoundTripsSavedSnapshot: costs recorded by a real cache
+// survive Save → ModelCosts, keyed by the plan's model name.
+func TestModelCostsRoundTripsSavedSnapshot(t *testing.T) {
+	c := New(0)
+	prep := &core.Prepared{
+		Graph: models.MustByAbbr("ResNet").Build(),
+		Plan:  &opg.Plan{Model: "ResNet", ChunkSize: units.MB},
+	}
+	c.mu.Lock()
+	c.insert("key-1", prep, 42*time.Millisecond)
+	c.mu.Unlock()
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	costs, err := ModelCosts(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := costs["ResNet"]; got != 42*time.Millisecond {
+		t.Errorf("round-tripped cost = %v, want 42ms (costs: %v)", got, costs)
+	}
+}

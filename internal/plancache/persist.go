@@ -85,9 +85,12 @@ func (s *LoadStats) add(o LoadStats) {
 	s.Evicted += o.Evicted
 }
 
-// Save writes the cache contents as JSON. Counters are not persisted —
-// stats describe one process lifetime.
-func (c *Cache) Save(path string) error {
+// Snapshot encodes the cache contents as a FormatVersion snapshot in
+// memory — what Save writes to disk, and what a coordinated-sweep worker
+// attaches to each pushed result so the coordinator can merge worker
+// caches without touching the workers' filesystems. Counters are not
+// included — stats describe one process lifetime.
+func (c *Cache) Snapshot() ([]byte, error) {
 	c.mu.Lock()
 	snap := snapshot{Version: FormatVersion, Solver: opg.SolverVersion}
 	for el := c.order.Back(); el != nil; el = el.Prev() {
@@ -103,7 +106,16 @@ func (c *Cache) Save(path string) error {
 
 	data, err := json.Marshal(snap)
 	if err != nil {
-		return fmt.Errorf("plancache: encode: %w", err)
+		return nil, fmt.Errorf("plancache: encode: %w", err)
+	}
+	return data, nil
+}
+
+// Save writes the cache contents as a JSON snapshot file.
+func (c *Cache) Save(path string) error {
+	data, err := c.Snapshot()
+	if err != nil {
+		return err
 	}
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {

@@ -1,0 +1,616 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The coordinator side of a coordinated sweep: one process owns the cell
+// grid, cuts it into cost-sized contiguous batches, and serves them to
+// pulling workers over HTTP/JSON. Work stealing falls out of the pull
+// model — a fast worker simply pulls more batches — and a lease timeout
+// re-deals batches held by dead or straggling workers, so the sweep ends
+// bounded by the live workers, not by the unluckiest one.
+//
+// The coordinator never runs cells itself and knows nothing about what a
+// cell is: groups are opaque names, rows are opaque JSON, and worker
+// plan-cache snapshots are opaque bytes carried back for the caller to
+// merge. That keeps the package free of experiment (or any other) imports,
+// so the same machinery can coordinate anything that enumerates
+// deterministic, independently-runnable cells.
+
+// Group is one named, independently-enumerable cell space of a Grid — for
+// flashbench, one experiment. Costs optionally carries a per-cell solve
+// cost estimate in seconds (0 or missing = unknown); batch sizing treats
+// unknown costs as neutral, never as free.
+type Group struct {
+	ID    string    `json:"id"`
+	Cells int       `json:"cells"`
+	Costs []float64 `json:"costs,omitempty"`
+}
+
+// Grid is the complete work description of a coordinated sweep, published
+// to workers at GET /grid. Fingerprint is the caller's opaque digest of
+// the result-affecting configuration; the coordinator refuses leases to
+// workers whose fingerprint differs, so a mis-flagged worker fails loudly
+// instead of contributing rows from a diverging configuration.
+type Grid struct {
+	Fingerprint string  `json:"fingerprint"`
+	Groups      []Group `json:"groups"`
+}
+
+// Cells is the total cell count across all groups.
+func (g Grid) Cells() int {
+	n := 0
+	for _, gr := range g.Groups {
+		n += gr.Cells
+	}
+	return n
+}
+
+// Batch is one leasable unit of work: the contiguous cell range [Lo, Hi)
+// of one group. Cost is the coordinator's estimate in seconds (the sum of
+// the member cells' effective costs) — informational for workers, and the
+// dealing priority for the coordinator.
+type Batch struct {
+	Seq   int     `json:"seq"`
+	Group string  `json:"group"`
+	Lo    int     `json:"lo"`
+	Hi    int     `json:"hi"`
+	Cost  float64 `json:"cost"`
+}
+
+// CoordinatorConfig sizes a coordinated sweep. The zero value of every
+// field but Grid selects a working default.
+type CoordinatorConfig struct {
+	// Grid is the work description. Required.
+	Grid Grid
+
+	// Workers is the expected worker count, a batch-sizing hint only —
+	// any number of workers may actually connect (<= 0: 3).
+	Workers int
+
+	// BatchesPerWorker over-partitions the grid so the pull model can
+	// rebalance: more batches per worker means finer-grained stealing at
+	// the price of more round trips (<= 0: 4).
+	BatchesPerWorker int
+
+	// LeaseTimeout is how long a worker may hold a batch before the
+	// coordinator re-deals it to someone else (<= 0: 2m). Set it above the
+	// slowest expected batch: an expired lease whose worker is merely slow
+	// costs a duplicate solve, never a wrong result — the first completion
+	// wins and later ones are counted stale.
+	LeaseTimeout time.Duration
+
+	// MaxRetries bounds how many times one batch may be re-dealt (lease
+	// expiry or worker-reported error) before the whole sweep fails
+	// (<= 0: 5). It converts a deterministically-crashing cell into a
+	// loud failure instead of an infinite re-lease loop.
+	MaxRetries int
+
+	// IdleWait is how long a worker is told to wait before re-polling when
+	// every batch is dealt but the sweep is not yet done (<= 0: 250ms).
+	// Real sweeps solve for seconds per batch, so the default costs
+	// nothing; in-process harnesses with millisecond batches set it lower.
+	IdleWait time.Duration
+}
+
+const (
+	batchPending = iota
+	batchLeased
+	batchDone
+)
+
+// batchState is the coordinator-private ledger entry for one batch.
+type batchState struct {
+	Batch
+	state   int
+	retries int
+	token   int64     // active lease token (state == batchLeased)
+	worker  string    // active lease holder
+	expiry  time.Time // active lease deadline
+	rows    []json.RawMessage
+}
+
+// WorkerStats is the per-worker accounting the coordinator keeps — the
+// straggler-behavior record CI archives as an artifact.
+type WorkerStats struct {
+	Leases     int `json:"leases"`      // batches leased to this worker
+	Completed  int `json:"completed"`   // results accepted
+	CellsDone  int `json:"cells_done"`  // cells in accepted results
+	Errors     int `json:"errors"`      // worker-reported batch failures
+	Stale      int `json:"stale"`       // results for batches already completed elsewhere
+	StolenFrom int `json:"stolen_from"` // leases that expired and were re-dealt
+}
+
+// CoordinatorStats is the sweep-wide accounting served at GET /statsz.
+type CoordinatorStats struct {
+	Fingerprint      string                 `json:"fingerprint"`
+	Groups           int                    `json:"groups"`
+	Cells            int                    `json:"cells"`
+	Batches          int                    `json:"batches"`
+	CompletedBatches int                    `json:"completed_batches"`
+	Steals           int                    `json:"steals"`  // expired leases re-dealt
+	Retries          int                    `json:"retries"` // error-triggered re-deals
+	StaleResults     int                    `json:"stale_results"`
+	Done             bool                   `json:"done"`
+	Failed           string                 `json:"failed,omitempty"`
+	Workers          map[string]WorkerStats `json:"workers"`
+}
+
+// CoordinatorResult is what Wait returns once every batch has completed.
+type CoordinatorResult struct {
+	// Rows maps each group ID to its complete row set in cell order —
+	// exactly what an unsharded run of the group would produce.
+	Rows map[string][]json.RawMessage
+	// Snapshots holds each worker's most recent opaque snapshot (for
+	// flashbench, a plan-cache snapshot). Workers attach a fresh snapshot
+	// to every result, so a worker that dies mid-sweep still leaves the
+	// plans of its accepted batches behind.
+	Snapshots map[string][]byte
+	Stats     CoordinatorStats
+}
+
+// Coordinator deals a Grid's cells to pulling workers and assembles their
+// rows. All methods and the HTTP handler are safe for concurrent use.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu        sync.Mutex
+	batches   []*batchState // indexed by Seq
+	queue     []*batchState // pending batches, dealt from the front
+	leases    map[int64]*batchState
+	nextToken int64
+	completed int
+	failed    error
+	snapshots map[string][]byte
+	workers   map[string]*WorkerStats
+	steals    int
+	retries   int
+	stale     int
+
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+// NewCoordinator validates the grid and cuts it into batches. Batch sizing
+// is cost-aware: each group is walked in cell order accumulating effective
+// cost until a batch reaches the per-batch cost target (total effective
+// cost ÷ target batch count), so cheap cells coalesce into large batches
+// and an expensive cell gets a batch of its own. Cells with no cost
+// estimate are priced at the median known cost — neutral, not free — so a
+// cost-less grid degrades to equal-sized batches rather than one giant
+// batch or a zero-cost fast lane. Batches are dealt most expensive first
+// (LPT order): the stragglers start immediately and the cheap tail
+// back-fills the idle workers.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 3
+	}
+	if cfg.BatchesPerWorker <= 0 {
+		cfg.BatchesPerWorker = 4
+	}
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = 2 * time.Minute
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 5
+	}
+	if cfg.IdleWait <= 0 {
+		cfg.IdleWait = 250 * time.Millisecond
+	}
+	seen := map[string]bool{}
+	for _, g := range cfg.Grid.Groups {
+		if g.ID == "" {
+			return nil, fmt.Errorf("sweep: coordinator: group with empty ID")
+		}
+		if seen[g.ID] {
+			return nil, fmt.Errorf("sweep: coordinator: duplicate group %q", g.ID)
+		}
+		seen[g.ID] = true
+		if g.Cells < 0 {
+			return nil, fmt.Errorf("sweep: coordinator: group %q has %d cells", g.ID, g.Cells)
+		}
+		if g.Costs != nil && len(g.Costs) != g.Cells {
+			return nil, fmt.Errorf("sweep: coordinator: group %q has %d cost estimates for %d cells",
+				g.ID, len(g.Costs), g.Cells)
+		}
+	}
+	c := &Coordinator{
+		cfg:       cfg,
+		leases:    map[int64]*batchState{},
+		snapshots: map[string][]byte{},
+		workers:   map[string]*WorkerStats{},
+		done:      make(chan struct{}),
+	}
+	for _, b := range buildBatches(cfg.Grid, cfg.Workers*cfg.BatchesPerWorker) {
+		c.batches = append(c.batches, &batchState{Batch: b})
+	}
+	c.queue = make([]*batchState, len(c.batches))
+	copy(c.queue, c.batches)
+	// Deal order: descending estimated cost, Seq as the stable tie-break.
+	sort.SliceStable(c.queue, func(i, j int) bool { return c.queue[i].Cost > c.queue[j].Cost })
+	if len(c.batches) == 0 {
+		c.doneOnce.Do(func() { close(c.done) }) // an empty grid is already complete
+	}
+	return c, nil
+}
+
+// buildBatches cuts each group into contiguous cost-balanced ranges.
+func buildBatches(grid Grid, targetBatches int) []Batch {
+	if targetBatches < 1 {
+		targetBatches = 1
+	}
+	neutral := neutralCost(grid)
+	total := 0.0
+	for _, g := range grid.Groups {
+		for i := 0; i < g.Cells; i++ {
+			total += effCost(g.Costs, i, neutral)
+		}
+	}
+	target := total / float64(targetBatches)
+
+	var out []Batch
+	seq := 0
+	for _, g := range grid.Groups {
+		lo, acc := 0, 0.0
+		for i := 0; i < g.Cells; i++ {
+			acc += effCost(g.Costs, i, neutral)
+			if acc >= target || i == g.Cells-1 {
+				out = append(out, Batch{Seq: seq, Group: g.ID, Lo: lo, Hi: i + 1, Cost: acc})
+				seq++
+				lo, acc = i+1, 0
+			}
+		}
+	}
+	return out
+}
+
+// effCost prices one cell: a known positive estimate, otherwise neutral.
+func effCost(costs []float64, i int, neutral float64) float64 {
+	if i < len(costs) && costs[i] > 0 {
+		return costs[i]
+	}
+	return neutral
+}
+
+// neutralCost is the stand-in for cells without an estimate: the median of
+// the known positive costs, so unknown cells batch like typical ones. A
+// grid with no estimates at all prices every cell 1 — equal-sized batches,
+// the cost-blind default.
+func neutralCost(grid Grid) float64 {
+	var known []float64
+	for _, g := range grid.Groups {
+		for _, c := range g.Costs {
+			if c > 0 {
+				known = append(known, c)
+			}
+		}
+	}
+	if len(known) == 0 {
+		return 1
+	}
+	sort.Float64s(known)
+	return known[len(known)/2]
+}
+
+// fail poisons the sweep; Wait and every later lease report the error.
+func (c *Coordinator) fail(err error) {
+	if c.failed == nil {
+		c.failed = err
+	}
+	c.doneOnce.Do(func() { close(c.done) })
+}
+
+// reap re-deals expired leases; callers hold c.mu.
+func (c *Coordinator) reap(now time.Time) {
+	for token, bs := range c.leases {
+		if now.Before(bs.expiry) {
+			continue
+		}
+		delete(c.leases, token)
+		c.steals++
+		c.workerStats(bs.worker).StolenFrom++
+		bs.retries++
+		if bs.retries > c.cfg.MaxRetries {
+			c.fail(fmt.Errorf("sweep: coordinator: batch %d (%s[%d,%d)) exceeded %d retries",
+				bs.Seq, bs.Group, bs.Lo, bs.Hi, c.cfg.MaxRetries))
+			return
+		}
+		bs.state = batchPending
+		bs.token, bs.worker = 0, ""
+		c.queue = append([]*batchState{bs}, c.queue...) // re-deals jump the line
+	}
+}
+
+func (c *Coordinator) workerStats(name string) *WorkerStats {
+	ws, ok := c.workers[name]
+	if !ok {
+		ws = &WorkerStats{}
+		c.workers[name] = ws
+	}
+	return ws
+}
+
+// leaseRequest is the POST /lease body.
+type leaseRequest struct {
+	Worker      string `json:"worker"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// leaseResponse is the POST /lease reply. Exactly one of Batch, Done,
+// Failed, or WaitMS is meaningful: a batch to run, sweep complete, sweep
+// failed, or nothing to deal right now (poll again after WaitMS).
+type leaseResponse struct {
+	Batch  *Batch `json:"batch,omitempty"`
+	Token  int64  `json:"token,omitempty"`
+	Done   bool   `json:"done,omitempty"`
+	Failed string `json:"failed,omitempty"`
+	WaitMS int64  `json:"wait_ms,omitempty"`
+}
+
+// resultRequest is the POST /result body: the rows for a leased batch, or
+// the error that prevented them. Snapshot optionally carries the worker's
+// current opaque snapshot (plan-cache bytes for flashbench); the
+// coordinator keeps the latest per worker.
+type resultRequest struct {
+	Worker   string            `json:"worker"`
+	Seq      int               `json:"seq"`
+	Token    int64             `json:"token"`
+	Rows     []json.RawMessage `json:"rows,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	Snapshot []byte            `json:"snapshot,omitempty"`
+}
+
+// resultResponse acknowledges a result. Accepted is false for stale
+// results (the batch completed elsewhere after this worker's lease
+// expired); Done tells the worker the whole sweep is finished so it can
+// exit without another lease round trip.
+type resultResponse struct {
+	Accepted bool   `json:"accepted"`
+	Done     bool   `json:"done,omitempty"`
+	Failed   string `json:"failed,omitempty"`
+}
+
+// lease deals the next pending batch.
+func (c *Coordinator) lease(req leaseRequest) (leaseResponse, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.Fingerprint != c.cfg.Grid.Fingerprint {
+		return leaseResponse{Failed: fmt.Sprintf(
+			"fingerprint mismatch: worker %q runs %q, coordinator serves %q — align the worker's experiment flags with the coordinator's",
+			req.Worker, req.Fingerprint, c.cfg.Grid.Fingerprint)}, http.StatusConflict
+	}
+	c.reap(time.Now())
+	if c.failed != nil {
+		return leaseResponse{Failed: c.failed.Error()}, http.StatusGone
+	}
+	if c.completed == len(c.batches) {
+		return leaseResponse{Done: true}, http.StatusOK
+	}
+	if len(c.queue) == 0 {
+		return leaseResponse{WaitMS: c.cfg.IdleWait.Milliseconds()}, http.StatusOK
+	}
+	bs := c.queue[0]
+	c.queue = c.queue[1:]
+	c.nextToken++
+	bs.state = batchLeased
+	bs.token = c.nextToken
+	bs.worker = req.Worker
+	bs.expiry = time.Now().Add(c.cfg.LeaseTimeout)
+	c.leases[bs.token] = bs
+	c.workerStats(req.Worker).Leases++
+	b := bs.Batch
+	return leaseResponse{Batch: &b, Token: bs.token}, http.StatusOK
+}
+
+// result records a batch outcome. The first valid completion of a batch
+// wins; anything later is stale. A late-but-first result from an expired
+// lease is still accepted — the rows are deterministic, and accepting them
+// saves the re-dealt duplicate from having to finish.
+func (c *Coordinator) result(req resultRequest) (resultResponse, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reap(time.Now())
+	ws := c.workerStats(req.Worker)
+	if len(req.Snapshot) > 0 {
+		c.snapshots[req.Worker] = req.Snapshot
+	}
+	if req.Seq < 0 || req.Seq >= len(c.batches) {
+		return resultResponse{Failed: fmt.Sprintf("unknown batch seq %d", req.Seq)}, http.StatusBadRequest
+	}
+	bs := c.batches[req.Seq]
+
+	if bs.state == batchDone {
+		ws.Stale++
+		c.stale++
+		return c.ack(false), http.StatusOK
+	}
+
+	errMsg := req.Error
+	if errMsg == "" && len(req.Rows) != bs.Hi-bs.Lo {
+		errMsg = fmt.Sprintf("batch %d returned %d rows, want %d", bs.Seq, len(req.Rows), bs.Hi-bs.Lo)
+	}
+	if errMsg != "" {
+		ws.Errors++
+		// Only the active lease holder's failure re-deals the batch; a
+		// failure report from a long-expired lease changes nothing — the
+		// batch is already pending or leased elsewhere.
+		if bs.state == batchLeased && bs.token == req.Token {
+			delete(c.leases, bs.token)
+			c.retries++
+			bs.retries++
+			if bs.retries > c.cfg.MaxRetries {
+				c.fail(fmt.Errorf("sweep: coordinator: batch %d (%s[%d,%d)) failed %d times, last error: %s",
+					bs.Seq, bs.Group, bs.Lo, bs.Hi, bs.retries, errMsg))
+				return resultResponse{Failed: c.failed.Error()}, http.StatusGone
+			}
+			bs.state = batchPending
+			bs.token, bs.worker = 0, ""
+			c.queue = append([]*batchState{bs}, c.queue...)
+		}
+		return c.ack(false), http.StatusOK
+	}
+
+	if bs.state == batchLeased {
+		delete(c.leases, bs.token)
+	} else {
+		// The lease expired and the batch went back to the queue, but this
+		// original worker finished first after all: accept, and drop the
+		// queued duplicate so no one re-runs completed work.
+		for i, q := range c.queue {
+			if q == bs {
+				c.queue = append(c.queue[:i], c.queue[i+1:]...)
+				break
+			}
+		}
+	}
+	bs.state = batchDone
+	bs.rows = req.Rows
+	bs.token, bs.worker = 0, ""
+	c.completed++
+	ws.Completed++
+	ws.CellsDone += bs.Hi - bs.Lo
+	if c.completed == len(c.batches) {
+		c.doneOnce.Do(func() { close(c.done) })
+	}
+	return c.ack(true), http.StatusOK
+}
+
+// ack builds a result acknowledgment; callers hold c.mu.
+func (c *Coordinator) ack(accepted bool) resultResponse {
+	return resultResponse{Accepted: accepted, Done: c.completed == len(c.batches)}
+}
+
+// Stats snapshots the sweep accounting.
+func (c *Coordinator) Stats() CoordinatorStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.statsLocked()
+}
+
+// statsLocked builds the stats snapshot; callers hold c.mu.
+func (c *Coordinator) statsLocked() CoordinatorStats {
+	s := CoordinatorStats{
+		Fingerprint:      c.cfg.Grid.Fingerprint,
+		Groups:           len(c.cfg.Grid.Groups),
+		Cells:            c.cfg.Grid.Cells(),
+		Batches:          len(c.batches),
+		CompletedBatches: c.completed,
+		Steals:           c.steals,
+		Retries:          c.retries,
+		StaleResults:     c.stale,
+		Done:             c.completed == len(c.batches),
+		Workers:          make(map[string]WorkerStats, len(c.workers)),
+	}
+	if c.failed != nil {
+		s.Failed = c.failed.Error()
+	}
+	for name, ws := range c.workers {
+		s.Workers[name] = *ws
+	}
+	return s
+}
+
+// Wait blocks until every batch has completed (or the sweep failed), then
+// assembles each group's rows in cell order. The assembly re-checks that
+// the accepted batches tile each group's cell space exactly — the same
+// no-lost, no-duplicated-cells invariant the partial-file merge enforces.
+func (c *Coordinator) Wait(ctx context.Context) (*CoordinatorResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-c.done:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed != nil {
+		return nil, c.failed
+	}
+	res := &CoordinatorResult{
+		Rows:      map[string][]json.RawMessage{},
+		Snapshots: make(map[string][]byte, len(c.snapshots)),
+		Stats:     c.statsLocked(),
+	}
+	for _, g := range c.cfg.Grid.Groups {
+		res.Rows[g.ID] = make([]json.RawMessage, g.Cells)
+	}
+	for _, bs := range c.batches {
+		rows := res.Rows[bs.Group]
+		if bs.state != batchDone || len(bs.rows) != bs.Hi-bs.Lo {
+			return nil, fmt.Errorf("sweep: coordinator: batch %d (%s[%d,%d)) incomplete at assembly",
+				bs.Seq, bs.Group, bs.Lo, bs.Hi)
+		}
+		copy(rows[bs.Lo:bs.Hi], bs.rows)
+	}
+	for _, g := range c.cfg.Grid.Groups {
+		for i, row := range res.Rows[g.ID] {
+			if row == nil {
+				return nil, fmt.Errorf("sweep: coordinator: %s cell %d missing at assembly", g.ID, i)
+			}
+		}
+	}
+	for name, snap := range c.snapshots {
+		res.Snapshots[name] = snap
+	}
+	return res, nil
+}
+
+// Handler returns the coordinator's HTTP API:
+//
+//	GET  /grid    the Grid (fingerprint + groups), for worker self-checks
+//	POST /lease   {"worker":..,"fingerprint":..} → a batch, wait, done, or failed
+//	POST /result  {"worker":..,"seq":..,"token":..,"rows":[..]|"error":..,"snapshot":..}
+//	GET  /statsz  CoordinatorStats
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/grid", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.cfg.Grid)
+	})
+	mux.HandleFunc("/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req leaseRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		resp, code := c.lease(req)
+		writeJSON(w, code, resp)
+	})
+	mux.HandleFunc("/result", func(w http.ResponseWriter, r *http.Request) {
+		var req resultRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		resp, code := c.result(req)
+		writeJSON(w, code, resp)
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Stats())
+	})
+	return mux
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST only"})
+		return false
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,104 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Straggler benchmark: the same cost-skewed synthetic sweep executed two
+// ways. Static sharding pins each contiguous third to one worker, so the
+// shard holding the expensive cells bounds the wall clock while the other
+// workers idle; the coordinator over-partitions by cost and lets fast
+// workers pull the cheap tail, so the wall clock approaches total/workers.
+// Compare with:
+//
+//	go test ./internal/sweep -bench 'Sweep/' -benchtime 3x
+
+const (
+	benchWorkers  = 3
+	benchCellUnit = time.Millisecond
+)
+
+// benchCosts is the synthetic straggler grid: 36 cheap cells with three
+// 12x stragglers clustered at the front — the shape a model-ordered sweep
+// has when the big models enumerate first.
+func benchCosts() []float64 {
+	costs := make([]float64, 36)
+	for i := range costs {
+		costs[i] = 1
+	}
+	costs[0], costs[1], costs[2] = 12, 12, 12
+	return costs
+}
+
+// benchExec simulates running [lo, hi): it sleeps each cell's cost.
+func benchExec(costs []float64, lo, hi int) []json.RawMessage {
+	rows := make([]json.RawMessage, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		time.Sleep(time.Duration(costs[i] * float64(benchCellUnit)))
+		rows = append(rows, json.RawMessage(`{}`))
+	}
+	return rows
+}
+
+// BenchmarkCoordinatedSweep: cost-aware batches pulled by 3 workers.
+func BenchmarkCoordinatedSweep(b *testing.B) {
+	costs := benchCosts()
+	for i := 0; i < b.N; i++ {
+		c, err := NewCoordinator(CoordinatorConfig{
+			Grid:     Grid{Fingerprint: "bench", Groups: []Group{{ID: "g", Cells: len(costs), Costs: costs}}},
+			Workers:  benchWorkers,
+			IdleWait: 2 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := httptest.NewServer(c.Handler())
+		var wg sync.WaitGroup
+		for w := 0; w < benchWorkers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				_, err := RunWorker(context.Background(), WorkerConfig{
+					Coordinator: srv.URL,
+					Name:        []string{"w0", "w1", "w2"}[w],
+					Fingerprint: "bench",
+					Poll:        time.Millisecond,
+					Exec: func(_ context.Context, bt Batch) ([]json.RawMessage, error) {
+						return benchExec(costs, bt.Lo, bt.Hi), nil
+					},
+				})
+				if err != nil {
+					b.Error(err)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if _, err := c.Wait(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		srv.Close()
+	}
+}
+
+// BenchmarkStaticShardSweep: the same grid as three static contiguous
+// shards; the iteration takes as long as the slowest shard.
+func BenchmarkStaticShardSweep(b *testing.B) {
+	costs := benchCosts()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for w := 0; w < benchWorkers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lo, hi := (Shard{Index: w, Count: benchWorkers}).Span(len(costs))
+				benchExec(costs, lo, hi)
+			}(w)
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,422 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeRow is the deterministic row a test worker produces for one cell, so
+// assembled output can be checked cell by cell against expectations.
+func fakeRow(group string, cell int) json.RawMessage {
+	return json.RawMessage(fmt.Sprintf(`{"g":%q,"i":%d}`, group, cell))
+}
+
+// fakeExec produces the deterministic rows for any batch.
+func fakeExec(_ context.Context, b Batch) ([]json.RawMessage, error) {
+	rows := make([]json.RawMessage, 0, b.Hi-b.Lo)
+	for i := b.Lo; i < b.Hi; i++ {
+		rows = append(rows, fakeRow(b.Group, i))
+	}
+	return rows, nil
+}
+
+// checkRows verifies the assembled result covers every cell of every group
+// exactly once with the expected content — no lost, no doubly-merged cells.
+func checkRows(t *testing.T, grid Grid, res *CoordinatorResult) {
+	t.Helper()
+	if len(res.Rows) != len(grid.Groups) {
+		t.Fatalf("result covers %d groups, want %d", len(res.Rows), len(grid.Groups))
+	}
+	for _, g := range grid.Groups {
+		rows := res.Rows[g.ID]
+		if len(rows) != g.Cells {
+			t.Fatalf("group %s: %d rows, want %d", g.ID, len(rows), g.Cells)
+		}
+		for i, row := range rows {
+			if want := fakeRow(g.ID, i); string(row) != string(want) {
+				t.Errorf("group %s cell %d: row %s, want %s", g.ID, i, row, want)
+			}
+		}
+	}
+}
+
+func waitCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// runWorkers runs n RunWorker loops against the coordinator concurrently
+// and returns their per-worker results.
+func runWorkers(t *testing.T, url string, n int, cfg WorkerConfig) map[string]WorkerRunStats {
+	t.Helper()
+	var (
+		mu    sync.Mutex
+		stats = map[string]WorkerRunStats{}
+		wg    sync.WaitGroup
+	)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("w%d", i)
+		wc := cfg
+		wc.Coordinator = url
+		wc.Name = name
+		if wc.Poll <= 0 {
+			wc.Poll = 5 * time.Millisecond
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws, err := RunWorker(waitCtx(t), wc)
+			mu.Lock()
+			defer mu.Unlock()
+			stats[name] = ws
+			if err != nil {
+				t.Errorf("worker %s: %v", name, err)
+			}
+		}()
+	}
+	wg.Wait()
+	return stats
+}
+
+func TestCoordinatedSweepExactlyOnce(t *testing.T) {
+	grid := Grid{
+		Fingerprint: "fp-1",
+		Groups: []Group{
+			{ID: "a", Cells: 13, Costs: []float64{9, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}},
+			{ID: "b", Cells: 7},
+			{ID: "c", Cells: 1},
+		},
+	}
+	c, err := NewCoordinator(CoordinatorConfig{Grid: grid, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	workers := runWorkers(t, srv.URL, 3, WorkerConfig{
+		Fingerprint: "fp-1",
+		Exec:        fakeExec,
+		Snapshot:    func() ([]byte, error) { return []byte("snap"), nil },
+	})
+
+	res, err := c.Wait(waitCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRows(t, grid, res)
+
+	if res.Stats.CompletedBatches != res.Stats.Batches {
+		t.Errorf("completed %d of %d batches", res.Stats.CompletedBatches, res.Stats.Batches)
+	}
+	if res.Stats.Steals != 0 || res.Stats.Retries != 0 {
+		t.Errorf("healthy sweep recorded steals=%d retries=%d", res.Stats.Steals, res.Stats.Retries)
+	}
+	cells := 0
+	for name, ws := range workers {
+		cells += ws.Cells
+		if ws.Batches > 0 {
+			if _, ok := res.Snapshots[name]; !ok {
+				t.Errorf("no snapshot kept for completing worker %s", name)
+			}
+		}
+	}
+	if cells != grid.Cells() {
+		t.Errorf("workers report %d cells done, want %d", cells, grid.Cells())
+	}
+}
+
+// TestCoordinatedSweepSurvivesWorkerDeath injects a dead worker — it
+// leases batches and never reports back — plus a straggler-skewed cost
+// grid, and checks the live workers steal the abandoned batches and the
+// merged output is still exactly the full cell space.
+func TestCoordinatedSweepSurvivesWorkerDeath(t *testing.T) {
+	costs := make([]float64, 24)
+	for i := range costs {
+		costs[i] = 0.1
+	}
+	costs[3] = 10 // the straggler cell gets a batch of its own
+	grid := Grid{
+		Fingerprint: "fp-death",
+		Groups: []Group{
+			{ID: "a", Cells: 24, Costs: costs},
+			{ID: "b", Cells: 5},
+		},
+	}
+	c, err := NewCoordinator(CoordinatorConfig{
+		Grid:         grid,
+		Workers:      3,
+		LeaseTimeout: 40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	// The zombie takes the two most expensive batches and dies.
+	zombieLeases := 0
+	for i := 0; i < 2; i++ {
+		resp, code := c.lease(leaseRequest{Worker: "zombie", Fingerprint: "fp-death"})
+		if code != 200 || resp.Batch == nil {
+			t.Fatalf("zombie lease %d: code %d, resp %+v", i, code, resp)
+		}
+		zombieLeases++
+	}
+
+	runWorkers(t, srv.URL, 3, WorkerConfig{Fingerprint: "fp-death", Exec: fakeExec})
+
+	res, err := c.Wait(waitCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRows(t, grid, res)
+	if res.Stats.Steals < zombieLeases {
+		t.Errorf("steals = %d, want >= %d (the zombie's abandoned leases)", res.Stats.Steals, zombieLeases)
+	}
+	zs := res.Stats.Workers["zombie"]
+	if zs.StolenFrom != zombieLeases || zs.Completed != 0 {
+		t.Errorf("zombie stats = %+v, want %d stolen-from and 0 completed", zs, zombieLeases)
+	}
+}
+
+// TestLateResultFromExpiredLeaseWins: a slow worker whose lease expired
+// still gets its result accepted if it lands before the re-dealt
+// duplicate, and the duplicate is dropped from the queue — first
+// completion wins, nothing runs twice.
+func TestLateResultFromExpiredLeaseWins(t *testing.T) {
+	grid := Grid{Fingerprint: "fp-late", Groups: []Group{{ID: "a", Cells: 4}}}
+	c, err := NewCoordinator(CoordinatorConfig{
+		Grid:             grid,
+		Workers:          1,
+		BatchesPerWorker: 1,
+		LeaseTimeout:     time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease, code := c.lease(leaseRequest{Worker: "slow", Fingerprint: "fp-late"})
+	if code != 200 || lease.Batch == nil {
+		t.Fatalf("lease: code %d resp %+v", code, lease)
+	}
+	time.Sleep(5 * time.Millisecond) // let the lease expire
+
+	rows, _ := fakeExec(context.Background(), *lease.Batch)
+	ack, code := c.result(resultRequest{Worker: "slow", Seq: lease.Batch.Seq, Token: lease.Token, Rows: rows})
+	if code != 200 || !ack.Accepted {
+		t.Fatalf("late-but-first result not accepted: code %d ack %+v", code, ack)
+	}
+	if !ack.Done {
+		t.Error("single-batch sweep not done after its only result")
+	}
+	res, err := c.Wait(waitCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRows(t, grid, res)
+	if res.Stats.Steals != 1 {
+		t.Errorf("steals = %d, want 1 (the expired lease)", res.Stats.Steals)
+	}
+
+	// The re-dealt duplicate must be gone: the next lease reports done,
+	// not the already-completed batch.
+	next, code := c.lease(leaseRequest{Worker: "w2", Fingerprint: "fp-late"})
+	if code != 200 || !next.Done || next.Batch != nil {
+		t.Errorf("post-completion lease = %+v (code %d), want done", next, code)
+	}
+}
+
+// TestWorkerErrorRetriesElsewhere: a batch that fails on its first worker
+// is re-dealt and completes on a retry; the failure is accounted, the
+// output unharmed.
+func TestWorkerErrorRetriesElsewhere(t *testing.T) {
+	grid := Grid{Fingerprint: "fp-retry", Groups: []Group{{ID: "a", Cells: 9}}}
+	c, err := NewCoordinator(CoordinatorConfig{Grid: grid, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	var failed atomic.Bool
+	exec := func(ctx context.Context, b Batch) ([]json.RawMessage, error) {
+		if b.Lo == 0 && failed.CompareAndSwap(false, true) {
+			return nil, fmt.Errorf("injected failure")
+		}
+		return fakeExec(ctx, b)
+	}
+	workers := runWorkers(t, srv.URL, 2, WorkerConfig{Fingerprint: "fp-retry", Exec: exec})
+
+	res, err := c.Wait(waitCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRows(t, grid, res)
+	if res.Stats.Retries != 1 {
+		t.Errorf("retries = %d, want 1", res.Stats.Retries)
+	}
+	localErrors := 0
+	for _, ws := range workers {
+		localErrors += ws.Errors
+	}
+	if localErrors != 1 {
+		t.Errorf("workers report %d local errors, want 1", localErrors)
+	}
+}
+
+// TestMaxRetriesFailsLoudly: a deterministically-crashing batch must fail
+// the sweep after MaxRetries re-deals — both at Wait and at the workers —
+// instead of looping forever.
+func TestMaxRetriesFailsLoudly(t *testing.T) {
+	grid := Grid{Fingerprint: "fp-crash", Groups: []Group{{ID: "a", Cells: 3}}}
+	c, err := NewCoordinator(CoordinatorConfig{Grid: grid, Workers: 1, MaxRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	exec := func(context.Context, Batch) ([]json.RawMessage, error) {
+		return nil, fmt.Errorf("always crashes")
+	}
+	_, werr := RunWorker(waitCtx(t), WorkerConfig{
+		Coordinator: srv.URL, Name: "w0", Fingerprint: "fp-crash",
+		Exec: exec, Poll: time.Millisecond,
+	})
+	if werr == nil || !strings.Contains(werr.Error(), "always crashes") {
+		t.Errorf("worker error = %v, want the batch's crash surfaced", werr)
+	}
+	if _, err := c.Wait(waitCtx(t)); err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Errorf("Wait error = %v, want retry-exhaustion failure", err)
+	}
+}
+
+// TestFingerprintMismatchRefused: a worker whose result-affecting
+// configuration diverges from the coordinator's must be refused loudly at
+// lease time, before it can contribute a single row.
+func TestFingerprintMismatchRefused(t *testing.T) {
+	grid := Grid{Fingerprint: "fp-good", Groups: []Group{{ID: "a", Cells: 2}}}
+	c, err := NewCoordinator(CoordinatorConfig{Grid: grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	_, werr := RunWorker(waitCtx(t), WorkerConfig{
+		Coordinator: srv.URL, Name: "rogue", Fingerprint: "fp-other",
+		Exec: fakeExec, Poll: time.Millisecond,
+	})
+	if werr == nil || !strings.Contains(werr.Error(), "fingerprint mismatch") {
+		t.Errorf("mismatched worker error = %v, want fingerprint refusal", werr)
+	}
+	if got := c.Stats().CompletedBatches; got != 0 {
+		t.Errorf("rogue worker completed %d batches", got)
+	}
+}
+
+func TestBuildBatchesCostAware(t *testing.T) {
+	// One 100x cell among cheap ones: it must get a batch of its own, and
+	// that batch must be dealt first (LPT order).
+	costs := []float64{1, 1, 1, 100, 1, 1, 1, 1}
+	grid := Grid{Groups: []Group{{ID: "a", Cells: 8, Costs: costs}}}
+	c, err := NewCoordinator(CoordinatorConfig{Grid: grid, Workers: 4, BatchesPerWorker: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := c.queue[0]
+	if first.Lo > 3 || first.Hi != 4 {
+		t.Errorf("first-dealt batch is [%d,%d), want the straggler cell 3 at its end", first.Lo, first.Hi)
+	}
+	for _, bs := range c.batches {
+		if bs.Lo < 3 && bs.Hi > 4 {
+			t.Errorf("batch [%d,%d) buries the expensive cell mid-batch", bs.Lo, bs.Hi)
+		}
+	}
+	checkTiling(t, c.batches, "a", 8)
+}
+
+func TestBuildBatchesNeutralWithoutCosts(t *testing.T) {
+	// No estimates at all: batches must come out equal-sized (within one
+	// cell), not one giant batch or a zero-cost fast lane.
+	grid := Grid{Groups: []Group{{ID: "a", Cells: 20}}}
+	c, err := NewCoordinator(CoordinatorConfig{Grid: grid, Workers: 2, BatchesPerWorker: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.batches) != 4 {
+		t.Fatalf("%d batches, want 4", len(c.batches))
+	}
+	for _, bs := range c.batches {
+		if size := bs.Hi - bs.Lo; size != 5 {
+			t.Errorf("batch [%d,%d) has %d cells, want 5 (equal neutral split)", bs.Lo, bs.Hi, size)
+		}
+	}
+	checkTiling(t, c.batches, "a", 20)
+}
+
+func TestBuildBatchesUnknownCostIsMedianNotZero(t *testing.T) {
+	// Half the cells have known cost 4, half are unknown. If unknowns were
+	// priced 0 they would all coalesce into one batch with a known
+	// neighbor; priced at the median (4) they split like known cells.
+	costs := []float64{4, 0, 4, 0, 4, 0, 4, 0}
+	grid := Grid{Groups: []Group{{ID: "a", Cells: 8, Costs: costs}}}
+	c, err := NewCoordinator(CoordinatorConfig{Grid: grid, Workers: 4, BatchesPerWorker: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.batches) != 4 {
+		t.Fatalf("%d batches, want 4 (unknown cells priced neutrally)", len(c.batches))
+	}
+	checkTiling(t, c.batches, "a", 8)
+}
+
+// checkTiling asserts a group's batches tile [0, cells) exactly.
+func checkTiling(t *testing.T, batches []*batchState, group string, cells int) {
+	t.Helper()
+	next := 0
+	for _, bs := range batches {
+		if bs.Group != group {
+			continue
+		}
+		if bs.Lo != next {
+			t.Fatalf("batch [%d,%d) does not tile: want start %d", bs.Lo, bs.Hi, next)
+		}
+		next = bs.Hi
+	}
+	if next != cells {
+		t.Fatalf("batches end at %d, want %d", next, cells)
+	}
+}
+
+func TestNewCoordinatorValidatesGrid(t *testing.T) {
+	bad := []Grid{
+		{Groups: []Group{{ID: "", Cells: 1}}},
+		{Groups: []Group{{ID: "a", Cells: 1}, {ID: "a", Cells: 2}}},
+		{Groups: []Group{{ID: "a", Cells: -1}}},
+		{Groups: []Group{{ID: "a", Cells: 3, Costs: []float64{1}}}},
+	}
+	for i, g := range bad {
+		if _, err := NewCoordinator(CoordinatorConfig{Grid: g}); err == nil {
+			t.Errorf("grid %d accepted: %+v", i, g)
+		}
+	}
+	// An empty grid is legal and already complete.
+	c, err := NewCoordinator(CoordinatorConfig{Grid: Grid{Fingerprint: "fp"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Wait(waitCtx(t))
+	if err != nil || len(res.Rows) != 0 {
+		t.Errorf("empty grid Wait = %+v, %v", res, err)
+	}
+}

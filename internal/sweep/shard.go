@@ -20,20 +20,26 @@ type Shard struct {
 // Full is the trivial single-shard spec covering every cell.
 func Full() Shard { return Shard{Index: 0, Count: 1} }
 
-// ParseShard parses an "i/N" spec (e.g. "0/3").
+// ParseShard parses an "i/N" spec (e.g. "0/3"). Out-of-range specs fail
+// with the valid range spelled out — "5/3" names 0/3 through 2/3 — so an
+// operator mis-wiring a CI matrix sees the fix, not just the rejection.
 func ParseShard(s string) (Shard, error) {
 	idx, count, ok := strings.Cut(s, "/")
 	if !ok {
-		return Shard{}, fmt.Errorf("sweep: shard %q is not of the form i/N", s)
+		return Shard{}, fmt.Errorf("sweep: shard %q is not of the form i/N (e.g. 0/3)", s)
 	}
 	i, err1 := strconv.Atoi(strings.TrimSpace(idx))
 	n, err2 := strconv.Atoi(strings.TrimSpace(count))
 	if err1 != nil || err2 != nil {
-		return Shard{}, fmt.Errorf("sweep: shard %q is not of the form i/N", s)
+		return Shard{}, fmt.Errorf("sweep: shard %q is not of the form i/N (e.g. 0/3)", s)
 	}
 	sh := Shard{Index: i, Count: n}
-	if err := sh.Validate(); err != nil {
-		return Shard{}, err
+	if n < 1 {
+		return Shard{}, fmt.Errorf("sweep: shard %q: count %d is not a positive shard count", s, n)
+	}
+	if i < 0 || i >= n {
+		return Shard{}, fmt.Errorf("sweep: shard %q: index %d out of range for %d shards (valid: 0/%d through %d/%d)",
+			s, i, n, n, n-1, n)
 	}
 	return sh, nil
 }
@@ -44,13 +50,14 @@ func (s Shard) String() string { return fmt.Sprintf("%d/%d", s.Index, s.Count) }
 // IsFull reports whether the shard covers the whole cell set.
 func (s Shard) IsFull() bool { return s.Count == 1 && s.Index == 0 }
 
-// Validate rejects impossible specs.
+// Validate rejects impossible specs, naming the valid range.
 func (s Shard) Validate() error {
 	if s.Count < 1 {
 		return fmt.Errorf("sweep: shard count %d < 1", s.Count)
 	}
 	if s.Index < 0 || s.Index >= s.Count {
-		return fmt.Errorf("sweep: shard index %d outside [0,%d)", s.Index, s.Count)
+		return fmt.Errorf("sweep: shard index %d out of range for %d shards (valid indices: 0 through %d)",
+			s.Index, s.Count, s.Count-1)
 	}
 	return nil
 }

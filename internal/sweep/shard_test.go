@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -86,6 +87,41 @@ func TestParseShard(t *testing.T) {
 		if _, err := ParseShard(bad); err == nil {
 			t.Errorf("ParseShard(%q) did not fail", bad)
 		}
+	}
+}
+
+// TestParseShardErrorsNameValidRange: a mis-wired -shard flag must produce
+// an actionable message — the valid range for out-of-range indices, the
+// expected form for syntax errors — not a bare parse failure.
+func TestParseShardErrorsNameValidRange(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []string // substrings the error must contain
+	}{
+		{"5/3", []string{"5", "out of range", "0/3", "2/3"}},
+		{"3/3", []string{"3", "out of range", "0/3", "2/3"}},
+		{"-1/4", []string{"-1", "out of range", "0/4", "3/4"}},
+		{"0/0", []string{"0", "not a positive shard count"}},
+		{"1/-2", []string{"-2", "not a positive shard count"}},
+		{"oops", []string{"i/N", "0/3"}},
+		{"1:3", []string{"i/N"}},
+	}
+	for _, tc := range cases {
+		_, err := ParseShard(tc.spec)
+		if err == nil {
+			t.Errorf("ParseShard(%q) did not fail", tc.spec)
+			continue
+		}
+		for _, want := range tc.want {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("ParseShard(%q) error %q does not mention %q", tc.spec, err, want)
+			}
+		}
+	}
+	// Validate (the merge path's check) names the range too.
+	if err := (Shard{Index: 7, Count: 3}).Validate(); err == nil ||
+		!strings.Contains(err.Error(), "0 through 2") {
+		t.Errorf("Validate error %v does not name the valid range", err)
 	}
 }
 

@@ -1,10 +1,29 @@
-// Package sweep runs independent experiment cells on a bounded worker
-// pool. The evaluation sweeps (tables, figures, ablations) are embarrassingly
-// parallel — each device × model × config cell prepares and executes its own
-// simulated run — so the pool turns a serial sweep into one bounded by the
-// slowest cell. Results keep the input order regardless of completion order,
-// worker panics are captured as errors instead of crashing the process, and
-// the first failure cancels the remaining cells.
+// Package sweep distributes independent experiment cells — within a
+// process, across processes, and across machines. The evaluation sweeps
+// (tables, figures, ablations) are embarrassingly parallel: each
+// device × model × config cell prepares and executes its own simulated
+// run, so the only coordination any layer needs is "who runs which cells"
+// and "reassemble in cell order". Three layers provide that at increasing
+// scale:
+//
+//   - Map/Run: a bounded in-process worker pool. Results keep the input
+//     order regardless of completion order, worker panics are captured as
+//     errors instead of crashing the process, and the first failure
+//     cancels the remaining cells.
+//   - Shard: a deterministic static partitioner. Shard i/N owns a
+//     contiguous, balanced block of the cell space as a pure function of
+//     (i, N, len), so independent processes agree on the partition with no
+//     communication at all — the right tool for a fixed CI matrix.
+//   - Coordinator/RunWorker: a dynamic coordinator/worker split for
+//     cost-skewed grids, where static sharding leaves one shard
+//     straggling. Workers pull cost-sized batches over HTTP/JSON (work
+//     stealing by construction), expired or failed leases are re-dealt
+//     with retry accounting, and assembly enforces the same exact-tiling
+//     invariant as the static merge.
+//
+// All three produce rows in cell enumeration order, which is what makes
+// their outputs interchangeable — and byte-identical — however the work
+// was scheduled.
 package sweep
 
 import (

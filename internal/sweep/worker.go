@@ -1,0 +1,267 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// The worker side of a coordinated sweep: a pull loop against a
+// Coordinator's HTTP API. Workers are stateless from the coordinator's
+// point of view — they lease a batch, run it through the caller's Exec
+// callback, post the rows (plus an optional snapshot) back, and repeat
+// until the coordinator reports the sweep done. A worker that crashes
+// simply stops pulling; its outstanding lease expires and the batch is
+// re-dealt, so worker death needs no detection protocol beyond the lease
+// timeout.
+
+// WorkerConfig wires one worker to a coordinator.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (e.g. http://host:9000).
+	Coordinator string
+
+	// Name identifies this worker in leases and stats. Required.
+	Name string
+
+	// Fingerprint is the worker's digest of its result-affecting
+	// configuration; the coordinator refuses leases when it differs from
+	// the grid's. Leave empty to skip the check (trusted harnesses only).
+	Fingerprint string
+
+	// Exec runs one batch and returns exactly Hi-Lo rows in cell order.
+	// An error is reported to the coordinator, which re-deals the batch
+	// elsewhere; the worker keeps pulling.
+	Exec func(ctx context.Context, b Batch) ([]json.RawMessage, error)
+
+	// Snapshot, when non-nil, is called after every completed batch and
+	// its bytes attached to the result — for flashbench, the worker's
+	// current plan-cache snapshot. Posting the full snapshot every time is
+	// what makes worker death lossless: the coordinator always holds a
+	// snapshot covering every batch it has accepted from this worker.
+	Snapshot func() ([]byte, error)
+
+	// Poll is the idle retry interval when the coordinator has nothing to
+	// deal and the transient-error backoff unit (<= 0: 200ms).
+	Poll time.Duration
+
+	// Client is the HTTP client (nil: a client with a 5-minute timeout,
+	// comfortably above any single round trip — batches run locally, not
+	// inside the request).
+	Client *http.Client
+}
+
+// WorkerRunStats summarizes one worker's sweep from its own side.
+type WorkerRunStats struct {
+	Batches int // results accepted by the coordinator
+	Cells   int // cells in those results
+	Stale   int // results the coordinator had already received elsewhere
+	Errors  int // batch executions that failed locally
+}
+
+// transientRetries is how many consecutive failed HTTP round trips a
+// worker tolerates (with Poll backoff) before giving up — generous enough
+// to cover a coordinator that is still booting when the worker starts.
+const transientRetries = 50
+
+// RunWorker pulls and executes batches until the coordinator reports the
+// sweep done, and returns this worker's accounting. It fails fast on a
+// fingerprint mismatch or a failed sweep, and retries transient HTTP
+// errors with backoff so start-up ordering between coordinator and
+// workers does not matter.
+func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerRunStats, error) {
+	var stats WorkerRunStats
+	if cfg.Name == "" {
+		return stats, fmt.Errorf("sweep: worker: empty name")
+	}
+	if cfg.Exec == nil {
+		return stats, fmt.Errorf("sweep: worker %s: nil Exec", cfg.Name)
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 200 * time.Millisecond
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Minute}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	base := strings.TrimSuffix(cfg.Coordinator, "/")
+
+	transient := 0 // consecutive failed round trips; resets on success
+	for {
+		var lease leaseResponse
+		code, err := postJSON(ctx, cfg.Client, base+"/lease",
+			leaseRequest{Worker: cfg.Name, Fingerprint: cfg.Fingerprint}, &lease)
+		if err != nil {
+			transient++
+			if transient > transientRetries {
+				return stats, fmt.Errorf("sweep: worker %s: coordinator unreachable: %w", cfg.Name, err)
+			}
+			if err := sleepOrDone(ctx, cfg.Poll); err != nil {
+				return stats, err
+			}
+			continue
+		}
+		transient = 0
+		switch {
+		case lease.Failed != "":
+			return stats, fmt.Errorf("sweep: worker %s: coordinator: %s", cfg.Name, lease.Failed)
+		case code != http.StatusOK:
+			return stats, fmt.Errorf("sweep: worker %s: lease: HTTP %d", cfg.Name, code)
+		case lease.Done:
+			return stats, nil
+		case lease.Batch == nil:
+			wait := cfg.Poll
+			if lease.WaitMS > 0 {
+				wait = time.Duration(lease.WaitMS) * time.Millisecond
+			}
+			if err := sleepOrDone(ctx, wait); err != nil {
+				return stats, err
+			}
+			continue
+		}
+
+		res := resultRequest{Worker: cfg.Name, Seq: lease.Batch.Seq, Token: lease.Token}
+		rows, execErr := cfg.Exec(ctx, *lease.Batch)
+		if execErr != nil {
+			stats.Errors++
+			res.Error = execErr.Error()
+		} else {
+			res.Rows = rows
+			if cfg.Snapshot != nil {
+				snap, err := cfg.Snapshot()
+				if err != nil {
+					return stats, fmt.Errorf("sweep: worker %s: snapshot: %w", cfg.Name, err)
+				}
+				res.Snapshot = snap
+			}
+		}
+
+		ack, err := postResult(ctx, cfg, base, res)
+		if err != nil {
+			return stats, err
+		}
+		if ack.Failed != "" {
+			return stats, fmt.Errorf("sweep: worker %s: coordinator: %s", cfg.Name, ack.Failed)
+		}
+		if execErr == nil {
+			if ack.Accepted {
+				stats.Batches++
+				stats.Cells += lease.Batch.Hi - lease.Batch.Lo
+			} else {
+				stats.Stale++
+			}
+		}
+		if ack.Done {
+			return stats, nil
+		}
+	}
+}
+
+// postResult posts one result, retrying transient errors: dropping a
+// finished batch's rows over a connection blip would force a full re-run
+// of the batch elsewhere.
+func postResult(ctx context.Context, cfg WorkerConfig, base string, res resultRequest) (resultResponse, error) {
+	var ack resultResponse
+	for attempt := 0; ; attempt++ {
+		code, err := postJSON(ctx, cfg.Client, base+"/result", res, &ack)
+		if err == nil {
+			if code != http.StatusOK && ack.Failed == "" {
+				return ack, fmt.Errorf("sweep: worker %s: result: HTTP %d", cfg.Name, code)
+			}
+			return ack, nil
+		}
+		if attempt >= transientRetries {
+			return ack, fmt.Errorf("sweep: worker %s: result: %w", cfg.Name, err)
+		}
+		if err := sleepOrDone(ctx, cfg.Poll); err != nil {
+			return ack, err
+		}
+	}
+}
+
+// FetchGrid retrieves a coordinator's work description — what a worker
+// process consults to derive the experiment list (and check its own
+// configuration fingerprint) before pulling batches. Transient errors are
+// retried with the given backoff so worker start-up may precede the
+// coordinator's.
+func FetchGrid(ctx context.Context, client *http.Client, coordinator string, backoff time.Duration) (Grid, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if backoff <= 0 {
+		backoff = 200 * time.Millisecond
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	url := strings.TrimSuffix(coordinator, "/") + "/grid"
+	var lastErr error
+	for attempt := 0; attempt <= transientRetries; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return Grid{}, err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			var g Grid
+			err = json.NewDecoder(resp.Body).Decode(&g)
+			resp.Body.Close()
+			if err == nil && resp.StatusCode == http.StatusOK {
+				return g, nil
+			}
+			lastErr = fmt.Errorf("grid: HTTP %d: %v", resp.StatusCode, err)
+		} else {
+			lastErr = err
+		}
+		if err := sleepOrDone(ctx, backoff); err != nil {
+			return Grid{}, err
+		}
+	}
+	return Grid{}, fmt.Errorf("sweep: fetch grid from %s: %w", coordinator, lastErr)
+}
+
+// postJSON posts a JSON body and decodes the JSON reply, whatever the
+// status code — the coordinator's protocol carries its verdicts in the
+// body.
+func postJSON(ctx context.Context, client *http.Client, url string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return resp.StatusCode, fmt.Errorf("decode %s response: %w", url, err)
+	}
+	return resp.StatusCode, nil
+}
+
+// sleepOrDone waits d or until the context ends.
+func sleepOrDone(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
