@@ -34,8 +34,8 @@
 //	flashbench -worker http://127.0.0.1:9355   # × N, any machines
 //
 // Workers take the experiment list from the coordinator; every other
-// result-affecting flag (-models, -budget, -branches, -iters) must match
-// the coordinator's, which is enforced by a configuration fingerprint.
+// result-affecting flag (-models, -budget, -branches, -iters, -learn) must
+// match the coordinator's, which is enforced by a configuration fingerprint.
 //
 // Experiment ids: table1 table4 table6 table7 table8 table9 fig2 fig6 fig7
 // fig8 fig9 fig10 warmstart abl-chunk abl-window abl-fallback abl-cache
@@ -83,6 +83,7 @@ func runBench(args []string) error {
 	budget := fs.Duration("budget", 100*time.Millisecond, "per-window CP solve budget")
 	branches := fs.Int64("branches", 8000, "per-window CP branch budget")
 	opgParallel := fs.Int("opg-parallel", 0, "LC-OPG speculative window pipeline workers (0/1 = sequential); plans are byte-identical at any setting")
+	learn := fs.String("learn", "cdcl", "CP learning engine: cdcl, restart (legacy restart-scoped), or off; result-affecting, so it is part of the run fingerprint")
 	iters := fs.Int("iters", 10, "multi-model iterations for fig6")
 	jobs := fs.Int("jobs", 1, "experiments run concurrently; >1 multiplies with -workers and oversubscribes the CPU, which can starve wall-clock CP budgets and shift solver fallback rates")
 	workers := fs.Int("workers", 0, "sweep cells per experiment run concurrently (0 = GOMAXPROCS)")
@@ -102,6 +103,11 @@ func runBench(args []string) error {
 	}
 	if *coordAddr != "" && *workerURL != "" {
 		return fmt.Errorf("-coordinator and -worker are mutually exclusive")
+	}
+	switch *learn {
+	case "cdcl", "restart", "off":
+	default:
+		return fmt.Errorf("unknown -learn mode %q (want cdcl, restart, or off)", *learn)
 	}
 	if (*coordAddr != "" || *workerURL != "") && (*shardFlag != "" || *partialPath != "") {
 		return fmt.Errorf("coordinated mode replaces -shard/-partial: the coordinator partitions and merges by itself")
@@ -155,6 +161,7 @@ func runBench(args []string) error {
 	cfg.Iterations = *iters
 	cfg.Workers = *workers
 	cfg.OPGParallelism = *opgParallel
+	cfg.LearnMode = *learn
 	cfg.PlanCache = cache
 	if *modelsFlag != "" {
 		cfg.Models = strings.Split(*modelsFlag, ",")
@@ -170,7 +177,7 @@ func runBench(args []string) error {
 	}
 
 	if *coordAddr != "" {
-		fp := fingerprint(ids, *modelsFlag, *budget, *branches, *iters)
+		fp := fingerprint(ids, *modelsFlag, *budget, *branches, *iters, *learn)
 		return runCoordinator(r, ids, fp, coordinatorOpts{
 			addr:         *coordAddr,
 			seedCosts:    *seedCosts,
@@ -189,13 +196,14 @@ func runBench(args []string) error {
 			budget:      *budget,
 			branches:    *branches,
 			iters:       *iters,
+			learn:       *learn,
 		})
 	}
 
 	var runErr error
 	if *partialPath != "" {
 		// Shard mode: emit machine-readable rows for the merge step.
-		fp := fingerprint(ids, *modelsFlag, *budget, *branches, *iters)
+		fp := fingerprint(ids, *modelsFlag, *budget, *branches, *iters, *learn)
 		p, err := experiments.RunPartial(r, ids, sh, *jobs, fp)
 		if err == nil {
 			err = experiments.WritePartial(*partialPath, p)
@@ -244,10 +252,11 @@ func runBench(args []string) error {
 // by binaries with different solver generations. Concurrency knobs
 // (-jobs, -workers, -opg-parallel) and cache paths are excluded: they
 // change scheduling, not results (the speculative window pipeline commits
-// byte-identical plans at any worker count).
-func fingerprint(ids []string, models string, budget time.Duration, branches int64, iters int) string {
-	return fmt.Sprintf("solver=%s exp=%s models=%s budget=%s branches=%d iters=%d",
-		opg.SolverVersion, strings.Join(ids, ","), models, budget, branches, iters)
+// byte-identical plans at any worker count). -learn IS included: the
+// learning engine changes budget-bound search trajectories and hence plans.
+func fingerprint(ids []string, models string, budget time.Duration, branches int64, iters int, learn string) string {
+	return fmt.Sprintf("solver=%s exp=%s models=%s budget=%s branches=%d iters=%d learn=%s",
+		opg.SolverVersion, strings.Join(ids, ","), models, budget, branches, iters, learn)
 }
 
 // coordinatorOpts carries the -coordinator mode's flag values.
@@ -390,6 +399,7 @@ type workerOpts struct {
 	budget      time.Duration
 	branches    int64
 	iters       int
+	learn       string
 }
 
 // runWorkerMode pulls and executes cell batches from a coordinator. The
@@ -406,7 +416,7 @@ func runWorkerMode(r *experiments.Runner, cache *plancache.Cache, o workerOpts) 
 	for i, g := range grid.Groups {
 		ids[i] = g.ID
 	}
-	fp := fingerprint(ids, o.modelsFlag, o.budget, o.branches, o.iters)
+	fp := fingerprint(ids, o.modelsFlag, o.budget, o.branches, o.iters, o.learn)
 	name := o.name
 	if name == "" {
 		host, _ := os.Hostname()

@@ -284,15 +284,26 @@ type PlanSummary struct {
 	SolverTrailOps  int64 // CP trailed bound changes (backtracking volume)
 	SolverNogoods   int64 // learned CP nogoods (conflict-driven learning)
 	SolverRestarts  int64 // CP Luby restarts
-	FallbackGreedy  int
+
+	// CDCL analysis counters (zero under restart-only or disabled learning):
+	// conflicts analyzed by the 1-UIP engine, non-chronological backjumps,
+	// and literals removed by self-subsumption minimization.
+	SolverConflicts     int64
+	SolverBackjumps     int64
+	SolverMinimizedLits int64
+
+	FallbackGreedy int
 
 	// Speculative/Recommitted report the window pipeline's scheduling
 	// outcome (both zero on sequential solves): windows committed straight
 	// from validated speculation vs windows re-solved after a failed
 	// validation. They are diagnostics — unlike the solver counters above
-	// they may vary run to run.
+	// they may vary run to run. ImportedNogoods counts the clauses warm
+	// recommits installed from doomed speculative solves (zero unless
+	// Config.WarmRecommit) and is equally scheduling-dependent.
 	SpeculativeWindows int
 	RecommittedWindows int
+	ImportedNogoods    int64
 
 	// FromCache reports that this plan was served by the runtime's plan
 	// cache rather than solved; Cache snapshots that cache's counters at
@@ -316,10 +327,16 @@ func (m *Model) Plan() PlanSummary {
 		SolverTrailOps:  p.Stats.TrailOps,
 		SolverNogoods:   p.Stats.Nogoods,
 		SolverRestarts:  p.Stats.Restarts,
-		FallbackGreedy:  p.Stats.Fallbacks.Greedy,
+
+		SolverConflicts:     p.Stats.Conflicts,
+		SolverBackjumps:     p.Stats.Backjumps,
+		SolverMinimizedLits: p.Stats.MinimizedLits,
+
+		FallbackGreedy: p.Stats.Fallbacks.Greedy,
 
 		SpeculativeWindows: p.Stats.Speculative,
 		RecommittedWindows: p.Stats.Recommitted,
+		ImportedNogoods:    p.Stats.ImportedNogoods,
 
 		FromCache: m.prep.FromCache,
 	}

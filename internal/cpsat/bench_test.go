@@ -110,6 +110,32 @@ func BenchmarkImplicationChain(b *testing.B) {
 	benchSolve(b, func() *Model { return buildImplicationChain(64) }, Options{MaxBranches: 20000})
 }
 
+// buildContendedKnapsack is buildKnapsack without the capacity headroom:
+// layer capacities barely cover the joint demand, which is the boundary
+// window of a contended Llama2-70B solve — the shape where the search
+// conflicts constantly and CDCL's backjumping pays or doesn't.
+func buildContendedKnapsack(nw, nl, maxChunks int, seed int64) *Model {
+	m := buildKnapsack(nw, nl, maxChunks, seed)
+	// Retighten every capacity row to its bare cap (buildKnapsack scales
+	// them by 1+nw/3): the same rows exist, so this only shrinks hi.
+	for i := range m.linears {
+		l := &m.linears[i]
+		if l.lo < -1<<40 && len(l.vars) == nw { // capacity rows span all weights
+			l.hi = l.hi / int64(1+nw/3)
+		}
+	}
+	return m
+}
+
+// BenchmarkKnapsackContended70B is the contended boundary-window family
+// at Llama2-70B window width, budget-bound like the cold solves: the
+// branch budget is exhausted, so time measures per-branch cost under
+// constant conflict pressure (1-UIP analysis + backjumping included).
+func BenchmarkKnapsackContended70B(b *testing.B) {
+	benchSolve(b, func() *Model { return buildContendedKnapsack(24, 16, 24, 3) },
+		Options{Learn: true, MaxBranches: 4000})
+}
+
 func onesBench(n int) []int64 {
 	v := make([]int64, n)
 	for i := range v {

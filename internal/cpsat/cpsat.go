@@ -133,23 +133,54 @@ func (m *Model) Minimize(vars []Var, coefs []int64) {
 	m.hasObj = true
 }
 
+// Lit is a public bound literal: Var ≥ Bound when Ge, else Var ≤ Bound.
+// Imported and exported nogoods are conjunctions of literals whose joint
+// truth the solver has proven impossible.
+type Lit struct {
+	Var   Var
+	Ge    bool
+	Bound int64
+}
+
+// Nogood is one learned (or importable) clause: the conjunction of its
+// literals cannot hold in any solution of the model it was derived from.
+type Nogood struct {
+	Lits []Lit
+}
+
 // Options bounds the search.
 type Options struct {
 	TimeLimit   time.Duration // wall-clock budget; 0 = no limit
 	MaxBranches int64         // branch budget; 0 = no limit
 
-	// Learn enables conflict-driven nogood learning with Luby restarts and
-	// activity-based variable branching: every refuted decision path is
-	// recorded as a bound-literal nogood, installed at the next restart as a
-	// watched row, and propagated like any other constraint, so restarted
-	// runs never re-explore refuted subtrees. Off, the search behaves
-	// exactly like the plain event-driven engine.
+	// Learn enables conflict-driven clause learning. The default engine is
+	// full CDCL: every propagation records its reason on the trail, every
+	// conflict derives a first-UIP bound-literal nogood, minimizes it by
+	// self-subsumption against the reasons, installs it immediately as a
+	// watched row, and backjumps non-chronologically to its assertion
+	// level. Luby restarts and activity-based branching ride along, and a
+	// periodic nogood-database reduction keeps the learned set hot. Off,
+	// the search behaves exactly like the plain event-driven engine.
 	Learn bool
+
+	// RestartOnly selects the legacy restart-scoped learning engine
+	// (reduced nld-nogoods extracted from the aborted branch at each Luby
+	// restart, chronological backtracking in between) instead of full
+	// CDCL. Only meaningful with Learn; kept as an A/B reference.
+	RestartOnly bool
 
 	// RestartBase is the conflict budget of the first run; later runs scale
 	// it by the Luby sequence (1,1,2,1,1,2,4,…). 0 means the package
 	// default. Only meaningful with Learn.
 	RestartBase int64
+
+	// Import seeds the solve with externally learned nogoods, installed at
+	// the root alongside the model's own constraints. The caller must
+	// guarantee each nogood is implied by this model's hard constraints
+	// (e.g. it was exported by a solve of a uniformly looser model — see
+	// ImportCompatible); the solver trusts them. Nogoods refuted or
+	// entailed by the root domains are filtered, not errors.
+	Import []Nogood
 }
 
 // defaultRestartBase is the Luby unit: easy solves finish well under it and
@@ -160,8 +191,25 @@ const defaultRestartBase = 256
 // deep prunes almost nothing and bloats the watch lists.
 const maxNogoodLits = 48
 
-// maxNogoods bounds the learned store per solve (no clause-DB reduction).
+// maxNogoods bounds the learned store: the restart-only engine stops
+// learning past it, while the CDCL engine halves the watched store by
+// activity at the next restart once it overflows.
 const maxNogoods = 4096
+
+// initialDBMax is the CDCL engine's starting watched-clause budget; it
+// grows by half at every overflowing database reduction (up to maxNogoods).
+// Budget-bounded window solves learn ~1-2k clauses and want all of them
+// hot — aggressive early reduction measurably re-learns the same conflicts
+// — so the starting budget matches the restart-only engine's cap.
+const initialDBMax = maxNogoods
+
+// reasonOnlyLen is the CDCL watched-clause length cutoff: a learned nogood
+// wider than this almost never re-propagates but would bloat the watch
+// lists every solve long, so it is stored un-watched purely as the
+// assertion's reason. Impure reason-only clauses are dead weight once
+// their assertion unwinds and are dropped at the next database reduction;
+// pure ones are kept for export.
+const reasonOnlyLen = 4
 
 // Result is a solve outcome.
 type Result struct {
@@ -169,13 +217,24 @@ type Result struct {
 	Values    []int64
 	Objective int64
 
-	Branches     int64
-	Propagations int64 // propagator executions (queue pops)
-	Wakes        int64 // constraint activations scheduled by bound changes
-	TrailOps     int64 // bound changes pushed to (and undone from) the trail
-	Nogoods      int64 // learned nogoods installed (incl. root-unit ones)
-	Restarts     int64 // Luby restarts performed
-	Elapsed      time.Duration
+	Branches        int64
+	Propagations    int64 // propagator executions (queue pops)
+	Wakes           int64 // constraint activations scheduled by bound changes
+	TrailOps        int64 // bound changes pushed to (and undone from) the trail
+	Nogoods         int64 // learned nogoods installed (incl. root-unit ones)
+	Restarts        int64 // Luby restarts performed
+	Conflicts       int64 // conflicts hit (wipeouts, violated rows, re-entered nogoods)
+	Backjumps       int64 // non-chronological backjumps (skipping over ≥1 intact level)
+	MinimizedLits   int64 // literals removed from learned nogoods by self-subsumption
+	ImportedNogoods int64 // Options.Import nogoods actually installed (post-filtering)
+	Elapsed         time.Duration
+
+	// Learned is the surviving set of exported nogoods: clauses derived
+	// before the first incumbent (hence implied by the hard constraints
+	// alone, never by the solve-local objective bound) that were still in
+	// the database when the solve ended. Imported nogoods are not
+	// re-exported. Only the CDCL engine fills it.
+	Learned []Nogood
 
 	// TimedOut reports that the wall clock expired mid-search. A solve cut
 	// short only by MaxBranches leaves it false: branch budgets are
@@ -199,13 +258,28 @@ type watch struct {
 	coef int64
 }
 
-// trailEntry records a variable's bounds before a tightening, so
-// backtracking restores them (and the incremental row sums) by replaying
-// the deltas in reverse.
+// trailEntry records one single-side bound tightening: which side of which
+// variable, the bound it replaced, the propagation reason (a constraint id,
+// or reasonDecision/reasonAssert), the decision level, and a link to the
+// variable's previous tightening of the same side. Backtracking restores
+// bounds (and the incremental row sums) by replaying entries in reverse;
+// conflict analysis walks the per-variable chains to find, for any entailed
+// bound literal, the entry that first established it.
 type trailEntry struct {
-	v            int32
-	oldLo, oldHi int64
+	v      int32
+	ge     bool  // true: lower-bound tightening, false: upper-bound
+	useLo  bool  // linear-row reasons: tightening used the row's lo (vs hi) bound
+	old    int64 // bound value before this entry
+	prev   int32 // previous same-side entry for v (-1 at chain end)
+	reason int32 // constraint id, reasonDecision, or reasonAssert
+	level  int32 // decision level the tightening happened at
 }
+
+// Reason codes for trail entries that were not forced by a constraint.
+const (
+	reasonDecision int32 = -1 // a branch decision
+	reasonAssert   int32 = -2 // root-level enforcement (unit nogood, import)
+)
 
 // lit is a bound literal: x ≥ bound when ge, else x ≤ bound. Every branch
 // decision is one literal (the other half of the assigned interval is
@@ -288,6 +362,59 @@ type searcher struct {
 	learned    int64
 	restarts   int64
 
+	// CDCL state (Options.Learn without RestartOnly). Every trail entry
+	// carries its reason and level; loHead/hiHead are the per-variable
+	// chains of same-side tightenings that conflict analysis walks to find
+	// the entry establishing an entailed literal (and the bounds that held
+	// at any earlier trail position, without shadow copies). curReason and
+	// level stamp entries as they are pushed; levelStart marks each
+	// decision level's first trail index so backjumping is a truncation.
+	cdcl       bool
+	loHead     []int32 // var → newest ≥-side trail entry (-1 if none)
+	hiHead     []int32 // var → newest ≤-side trail entry
+	curReason  int32
+	curUseLo   bool // direction stamp for entries pushed by propLinear (see trailEntry.useLo)
+	level      int32
+	levelStart []int32 // levelStart[l] = trail length when level l began; [0]=0
+
+	// Conflict site: conflV ≥ 0 means a domain wipeout on that var (the
+	// wiping entry is already trailed); otherwise conflC is the violated
+	// constraint id. Valid only between a failed drain and analysis.
+	conflV int32
+	conflC int32
+
+	// Analysis scratch, reused across conflicts: seen marks trail
+	// positions in the current conflict set, litAt holds the bound value
+	// each marked entry established (the literal's bound), outPos collects
+	// marked positions below the conflict level.
+	seen    []bool
+	litAt   []int64
+	outPos  []int32
+	markBuf []int32
+	anteBuf []anteRef
+
+	// Learned-clause metadata: per-nogood activity (bumped when a clause
+	// appears in an analysis, decayed MiniSat-style) drives database
+	// reduction; ngPure marks clauses whose derivation never touched the
+	// objective row (directly, through a tainted nogood reason, or through
+	// a tainted root) — implied by the hard constraints alone, so valid in
+	// any ImportCompatible-tighter model; importedCnt is the count of
+	// Options.Import clauses occupying the low ids (never reduced, never
+	// re-exported). rootTainted flips once any objective-dependent fact
+	// lands at level 0, after which no new derivation can claim purity
+	// (level-0 entries are treated as free facts by conflict analysis).
+	ngActivity  []float64
+	ngInc       float64
+	ngPure      []bool
+	importedCnt int
+	rootTainted bool
+	dbMax       int   // current watched-clause budget; grows geometrically per reduction up to maxNogoods
+	unitExports []lit // pure root-unit assertions (single-literal nogoods)
+
+	backjumps int64
+	minimized int64
+	imported  int64
+
 	deadline    time.Time
 	hasLimit    bool
 	branches    int64
@@ -313,8 +440,12 @@ func (m *Model) Solve(opts Options) Result {
 	switch {
 	case s.rootInfeasible:
 		complete = true
+	case !s.installImports(opts.Import):
+		complete = true // an imported nogood refutes the root domains outright
 	case !s.propagateRoot():
 		complete = !s.timedOut // root wipeout is proven unless the clock cut the fixpoint short
+	case s.cdcl:
+		complete = s.solveCDCL()
 	default:
 		for {
 			if s.search() {
@@ -360,14 +491,19 @@ func (m *Model) Solve(opts Options) Result {
 	}
 
 	res := Result{
-		Branches:     s.branches,
-		Propagations: s.props,
-		Wakes:        s.wakes,
-		TrailOps:     s.trailOps,
-		Nogoods:      s.learned,
-		Restarts:     s.restarts,
-		Elapsed:      time.Since(start),
-		TimedOut:     s.timeExpired,
+		Branches:        s.branches,
+		Propagations:    s.props,
+		Wakes:           s.wakes,
+		TrailOps:        s.trailOps,
+		Nogoods:         s.learned,
+		Restarts:        s.restarts,
+		Conflicts:       s.conflicts,
+		Backjumps:       s.backjumps,
+		MinimizedLits:   s.minimized,
+		ImportedNogoods: s.imported,
+		Elapsed:         time.Since(start),
+		TimedOut:        s.timeExpired,
+		Learned:         s.exportNogoods(),
 	}
 	switch {
 	case s.hasBest && (complete || !m.hasObj):
@@ -397,6 +533,15 @@ func newSearcher(m *Model, opts Options) *searcher {
 		objIdx:    -1,
 		maxBranch: opts.MaxBranches,
 		learn:     opts.Learn,
+		cdcl:      opts.Learn && !opts.RestartOnly,
+		curReason: reasonAssert,
+		conflV:    -1,
+		conflC:    -1,
+	}
+	s.loHead = make([]int32, nv)
+	s.hiHead = make([]int32, nv)
+	for v := 0; v < nv; v++ {
+		s.loHead[v], s.hiHead[v] = -1, -1
 	}
 	if s.learn {
 		s.activity = make([]float64, nv)
@@ -407,6 +552,11 @@ func newSearcher(m *Model, opts Options) *searcher {
 		}
 		s.restartAt = s.rstBase
 		s.rstPenalty = 1
+	}
+	if s.cdcl {
+		s.levelStart = append(s.levelStart, 0)
+		s.ngInc = 1
+		s.dbMax = initialDBMax
 	}
 
 	// Root reduction: rows with identical terms collapse to one row with
@@ -702,8 +852,15 @@ func (s *searcher) propNogood(k int) bool {
 	}
 	switch {
 	case f0 < 0:
+		s.conflV = -1
+		s.conflC = int32(len(s.lins)+len(s.m.implies)) + int32(k)
 		return false
 	case f1 < 0:
+		if s.cdcl && s.level == 0 && !s.ngPure[k] {
+			// An objective-tainted clause is asserting a root fact: later
+			// derivations treating the root as free lose their purity.
+			s.rootTainted = true
+		}
 		return s.negateLit(ng[f0])
 	default:
 		w := s.ngW[k]
@@ -757,7 +914,11 @@ func (s *searcher) setLo(v int, nl int64) bool {
 	if nl <= ol {
 		return true
 	}
-	s.trail = append(s.trail, trailEntry{v: int32(v), oldLo: ol, oldHi: s.hi[v]})
+	s.trail = append(s.trail, trailEntry{
+		v: int32(v), ge: true, useLo: s.curUseLo, old: ol,
+		prev: s.loHead[v], reason: s.curReason, level: s.level,
+	})
+	s.loHead[v] = int32(len(s.trail) - 1)
 	s.trailOps++
 	s.lo[v] = nl
 	d := nl - ol
@@ -776,7 +937,11 @@ func (s *searcher) setLo(v int, nl int64) bool {
 	if s.ngWatchLo != nil {
 		s.wakeNogoods(v, true)
 	}
-	return nl <= s.hi[v]
+	if nl > s.hi[v] {
+		s.conflV, s.conflC = int32(v), -1
+		return false
+	}
+	return true
 }
 
 // setHi is setLo's mirror for upper bounds.
@@ -785,7 +950,11 @@ func (s *searcher) setHi(v int, nh int64) bool {
 	if nh >= oh {
 		return true
 	}
-	s.trail = append(s.trail, trailEntry{v: int32(v), oldLo: s.lo[v], oldHi: oh})
+	s.trail = append(s.trail, trailEntry{
+		v: int32(v), ge: false, useLo: s.curUseLo, old: oh,
+		prev: s.hiHead[v], reason: s.curReason, level: s.level,
+	})
+	s.hiHead[v] = int32(len(s.trail) - 1)
 	s.trailOps++
 	s.hi[v] = nh
 	d := nh - oh
@@ -804,7 +973,11 @@ func (s *searcher) setHi(v int, nh int64) bool {
 	if s.ngWatchHi != nil {
 		s.wakeNogoods(v, false)
 	}
-	return s.lo[v] <= nh
+	if s.lo[v] > nh {
+		s.conflV, s.conflC = int32(v), -1
+		return false
+	}
+	return true
 }
 
 // ngWatch is one entry of a per-variable nogood watch list: the watching
@@ -855,25 +1028,30 @@ func (s *searcher) undoTo(mark int) {
 	for i := len(s.trail) - 1; i >= mark; i-- {
 		e := &s.trail[i]
 		v := int(e.v)
-		if d := e.oldLo - s.lo[v]; d != 0 {
-			for _, w := range s.watchLin[v] {
-				if w.coef > 0 {
-					s.linLo[w.c] += w.coef * d
-				} else {
-					s.linHi[w.c] += w.coef * d
+		if e.ge {
+			if d := e.old - s.lo[v]; d != 0 {
+				for _, w := range s.watchLin[v] {
+					if w.coef > 0 {
+						s.linLo[w.c] += w.coef * d
+					} else {
+						s.linHi[w.c] += w.coef * d
+					}
 				}
+				s.lo[v] = e.old
 			}
-			s.lo[v] = e.oldLo
-		}
-		if d := e.oldHi - s.hi[v]; d != 0 {
-			for _, w := range s.watchLin[v] {
-				if w.coef > 0 {
-					s.linHi[w.c] += w.coef * d
-				} else {
-					s.linLo[w.c] += w.coef * d
+			s.loHead[v] = e.prev
+		} else {
+			if d := e.old - s.hi[v]; d != 0 {
+				for _, w := range s.watchLin[v] {
+					if w.coef > 0 {
+						s.linHi[w.c] += w.coef * d
+					} else {
+						s.linLo[w.c] += w.coef * d
+					}
 				}
+				s.hi[v] = e.old
 			}
-			s.hi[v] = e.oldHi
+			s.hiHead[v] = e.prev
 		}
 	}
 	s.trail = s.trail[:mark]
@@ -907,6 +1085,7 @@ func (s *searcher) drain() bool {
 			c := int(s.queue[s.qhead])
 			s.qhead++
 			s.inQueue[c] = false
+			s.curReason = int32(c)
 			ok := true
 			switch {
 			case c < nLin:
@@ -927,6 +1106,7 @@ func (s *searcher) drain() bool {
 			return true
 		}
 		s.objPending = false
+		s.curReason = int32(s.objIdx)
 		if !s.propLinear(s.objIdx) {
 			s.clearQueue()
 			return false
@@ -944,6 +1124,7 @@ func (s *searcher) propLinear(ci int) bool {
 	hiBound := c.hi
 	exprLo, exprHi := s.linLo[ci], s.linHi[ci]
 	if exprLo > hiBound || exprHi < c.lo {
+		s.conflV, s.conflC = -1, int32(ci)
 		return false
 	}
 	if exprLo >= c.lo && exprHi <= hiBound {
@@ -969,6 +1150,7 @@ func (s *searcher) propLinear(ci int) bool {
 		tightened := false
 		if termHi > ubTerm {
 			// k·v ≤ ubTerm bites: caps v from above for k > 0, below for k < 0.
+			s.curUseLo = false // derived from c.hi against the rest's lower bounds
 			ok := false
 			if k > 0 {
 				ok = s.setHi(int(v), floorDiv(ubTerm, k))
@@ -982,6 +1164,7 @@ func (s *searcher) propLinear(ci int) bool {
 		}
 		if termLo < lbTerm {
 			// k·v ≥ lbTerm bites: caps v from below for k > 0, above for k < 0.
+			s.curUseLo = true // derived from c.lo against the rest's upper bounds
 			ok := false
 			if k > 0 {
 				ok = s.setLo(int(v), ceilDiv(lbTerm, k))
@@ -996,6 +1179,7 @@ func (s *searcher) propLinear(ci int) bool {
 		if tightened {
 			exprLo, exprHi = s.linLo[ci], s.linHi[ci]
 			if exprLo > c.hi || exprHi < c.lo {
+				s.conflV, s.conflC = -1, int32(ci)
 				return false
 			}
 		}

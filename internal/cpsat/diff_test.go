@@ -98,9 +98,10 @@ func TestDifferentialAgainstReference(t *testing.T) {
 	if testing.Short() {
 		seeds = 200
 	}
-	// Both engine configurations must agree with the naive fixpoint
-	// reference: the plain event-driven search, and the conflict-driven
-	// configuration with nogood learning and an aggressively small Luby
+	// Every engine configuration must agree with the naive fixpoint
+	// reference: the plain event-driven search, the full CDCL engine
+	// (1-UIP analysis, backjumping, immediate clause install), and the
+	// legacy restart-scoped learner — all with an aggressively small Luby
 	// unit so restarts, installs, and learned-row propagation all fire on
 	// models this size.
 	engines := []struct {
@@ -108,7 +109,8 @@ func TestDifferentialAgainstReference(t *testing.T) {
 		opts Options
 	}{
 		{"plain", Options{}},
-		{"learn", Options{Learn: true, RestartBase: 4}},
+		{"cdcl", Options{Learn: true, RestartBase: 4}},
+		{"restart", Options{Learn: true, RestartOnly: true, RestartBase: 4}},
 	}
 	for seed := int64(0); seed < int64(seeds); seed++ {
 		rng := rand.New(rand.NewSource(seed))
@@ -190,13 +192,19 @@ func TestDifferentialOPGShapedModels(t *testing.T) {
 		m.Minimize(objVars, objCoefs)
 
 		want := refSolve(m, Options{})
-		for _, opts := range []Options{{}, {Learn: true, RestartBase: 4}} {
+		for _, opts := range []Options{
+			{},
+			{Learn: true, RestartBase: 4},
+			{Learn: true, RestartOnly: true, RestartBase: 4},
+		} {
 			got := m.Solve(opts)
 			if got.Status != want.Status {
-				t.Fatalf("seed %d (learn=%t): status %v vs reference %v", seed, opts.Learn, got.Status, want.Status)
+				t.Fatalf("seed %d (learn=%t restartOnly=%t): status %v vs reference %v",
+					seed, opts.Learn, opts.RestartOnly, got.Status, want.Status)
 			}
 			if got.Status == Optimal && got.Objective != want.Objective {
-				t.Fatalf("seed %d (learn=%t): objective %d vs reference %d", seed, opts.Learn, got.Objective, want.Objective)
+				t.Fatalf("seed %d (learn=%t restartOnly=%t): objective %d vs reference %d",
+					seed, opts.Learn, opts.RestartOnly, got.Objective, want.Objective)
 			}
 		}
 	}

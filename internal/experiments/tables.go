@@ -83,11 +83,19 @@ type Table4Row struct {
 	Branches int64
 	Wakes    int64
 	Trail    int64
-	Nogoods  int64   // learned CP nogoods across window solves
-	Restarts int64   // CP Luby restarts across window solves
-	Spec     int     // windows committed from accepted speculation
-	Recommit int     // windows re-solved after failed speculation
-	Overlap  float64 // streamed weight fraction of the resulting plan
+	Nogoods  int64 // learned CP nogoods across window solves
+	Restarts int64 // CP Luby restarts across window solves
+
+	// CDCL analysis counters (zero under restart-only or disabled learning).
+	Conflicts int64 // conflicts analyzed by the 1-UIP engine
+	Backjumps int64 // non-chronological backjumps (≥1 intact level skipped)
+	MinLits   int64 // literals removed by self-subsumption minimization
+
+	Spec     int   // windows committed from accepted speculation
+	Recommit int   // windows re-solved after failed speculation
+	Imported int64 // nogoods installed from doomed speculations (WarmRecommit)
+
+	Overlap float64 // streamed weight fraction of the resulting plan
 }
 
 // table4Cells enumerates the Table 4 model set.
@@ -103,20 +111,24 @@ func (r *Runner) table4Cell(spec models.Spec) (Table4Row, error) {
 	plan := opg.Solve(g, caps, opg.AdaptMPeak(cfg, g))
 	st := plan.Stats
 	return Table4Row{
-		Model:    spec.Abbr,
-		ProcessS: st.ProcessTime.Seconds(),
-		BuildS:   st.BuildTime.Seconds(),
-		SolveS:   st.SolveTime.Seconds(),
-		Status:   st.Status,
-		Windows:  st.Windows,
-		Branches: st.Branches,
-		Wakes:    st.Wakes,
-		Trail:    st.TrailOps,
-		Nogoods:  st.Nogoods,
-		Restarts: st.Restarts,
-		Spec:     st.Speculative,
-		Recommit: st.Recommitted,
-		Overlap:  plan.OverlapFraction(),
+		Model:     spec.Abbr,
+		ProcessS:  st.ProcessTime.Seconds(),
+		BuildS:    st.BuildTime.Seconds(),
+		SolveS:    st.SolveTime.Seconds(),
+		Status:    st.Status,
+		Windows:   st.Windows,
+		Branches:  st.Branches,
+		Wakes:     st.Wakes,
+		Trail:     st.TrailOps,
+		Nogoods:   st.Nogoods,
+		Restarts:  st.Restarts,
+		Conflicts: st.Conflicts,
+		Backjumps: st.Backjumps,
+		MinLits:   st.MinimizedLits,
+		Spec:      st.Speculative,
+		Recommit:  st.Recommitted,
+		Imported:  st.ImportedNogoods,
+		Overlap:   plan.OverlapFraction(),
 	}, nil
 }
 
@@ -133,18 +145,22 @@ func (r *Runner) Table4() []Table4Row {
 	return rows
 }
 
-// RenderTable4 formats Table 4 rows. The Spec/Recommit columns are the
-// speculative pipeline's scheduling diagnostics: deliberately absent from
-// the table (they vary run to run, and sharded CI diffs rendered output
+// RenderTable4 formats Table 4 rows. The Spec/Recommit/Imported columns are
+// the speculative pipeline's scheduling diagnostics: deliberately absent
+// from the table (they vary run to run, and sharded CI diffs rendered output
 // byte-for-byte), they are still carried on the row for programmatic use.
+// Conflicts/Backjumps/MinLits ARE rendered: like Branches, they cover only
+// committed solves and so match a sequential run exactly.
 func RenderTable4(rows []Table4Row) string {
-	t := metrics.NewTable("Model", "Process(s)", "Build(s)", "Solve(s)", "Status", "Windows", "Branches", "Wakes(k)", "Trail(k)", "Nogoods", "Restarts", "Overlap")
+	t := metrics.NewTable("Model", "Process(s)", "Build(s)", "Solve(s)", "Status", "Windows", "Branches", "Wakes(k)", "Trail(k)", "Nogoods", "Restarts", "Conflicts", "Backjumps", "MinLits", "Overlap")
 	for _, r := range rows {
 		t.Row(r.Model, fmt.Sprintf("%.3f", r.ProcessS), fmt.Sprintf("%.3f", r.BuildS),
 			fmt.Sprintf("%.2f", r.SolveS), r.Status.String(),
 			fmt.Sprintf("%d", r.Windows), fmt.Sprintf("%d", r.Branches),
 			fmt.Sprintf("%d", r.Wakes/1000), fmt.Sprintf("%d", r.Trail/1000),
 			fmt.Sprintf("%d", r.Nogoods), fmt.Sprintf("%d", r.Restarts),
+			fmt.Sprintf("%d", r.Conflicts), fmt.Sprintf("%d", r.Backjumps),
+			fmt.Sprintf("%d", r.MinLits),
 			fmt.Sprintf("%.0f%%", r.Overlap*100))
 	}
 	return "Table 4: LC-OPG solver execution-time breakdown\n" + t.String()

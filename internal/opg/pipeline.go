@@ -108,12 +108,18 @@ func (s *solver) pipelineWorker(wins []window, ps *pipeState) {
 			}
 			// Failed speculation: re-solve on the true state. No other
 			// worker can commit (the frontier is ours), so the live arrays
-			// are stable outside the lock.
+			// are stable outside the lock. Under WarmRecommit the doomed
+			// result's rung records seed the re-solve (imported nogoods,
+			// infeasible-rung skips) — see window.go.
+			var warm *windowResult
+			if s.cfg.WarmRecommit {
+				warm = ps.done[f]
+			}
 			ps.done[f] = nil
 			s.stats.Recommitted++
 			ps.rejectStreak++
 			ps.mu.Unlock()
-			res = solveWindow(&s.cfg, wins[f], s.capRemaining, s.inflight, false)
+			res = solveWindow(&s.cfg, wins[f], s.capRemaining, s.inflight, false, warm)
 			ps.mu.Lock()
 			ps.done[f], ps.direct[f] = res, true
 			ps.cond.Broadcast()
@@ -124,7 +130,7 @@ func (s *solver) pipelineWorker(wins []window, ps *pipeState) {
 			// advance only through the frontier).
 			ps.claimed[f] = true
 			ps.mu.Unlock()
-			res := solveWindow(&s.cfg, wins[f], s.capRemaining, s.inflight, false)
+			res := solveWindow(&s.cfg, wins[f], s.capRemaining, s.inflight, false, nil)
 			ps.mu.Lock()
 			ps.done[f], ps.direct[f] = res, true
 			ps.cond.Broadcast()
@@ -151,7 +157,7 @@ func (s *solver) pipelineWorker(wins []window, ps *pipeState) {
 			snapCap := append([]int(nil), s.capRemaining...)
 			snapIn := append([]int64(nil), s.inflight...)
 			ps.mu.Unlock()
-			res := solveWindow(&s.cfg, wins[k], snapCap, snapIn, true)
+			res := solveWindow(&s.cfg, wins[k], snapCap, snapIn, true, nil)
 			ps.mu.Lock()
 			ps.done[k] = res
 			ps.cond.Broadcast()

@@ -12,6 +12,15 @@ package opg
 // Config.Parallelism deliberately does NOT need a bump of its own: the
 // speculative pipeline commits byte-identical plans at any worker count.
 //
+// lc-opg-5: true CDCL in cpsat — a reason-recorded trail, first-UIP
+// conflict analysis with self-subsumption minimization, non-chronological
+// backjumping, and immediate clause installation with activity-managed
+// database reduction. Search trajectories differ from lc-opg-4 on every
+// budget-bound window, so incumbents (and thus plans) can change.
+// Config.LearnMode is additionally salted into plan keys (core.PlanKey)
+// because it selects between this engine, the legacy restart-scoped one,
+// and no learning at all.
+//
 // lc-opg-4: conflict-driven cpsat (nld-nogood learning, Luby restarts,
 // activity branching) plus the canonical clamped window-model build
 // (C2/C3 limits clamped at their row ceilings) that the speculative
@@ -22,4 +31,4 @@ package opg
 // lc-opg-3: event-driven cpsat engine (watchlists, trail backtracking,
 // most-constrained branching) plus the window-model root reduction
 // (forced-variable fixing, duplicate C2 row merging).
-const SolverVersion = "lc-opg-4"
+const SolverVersion = "lc-opg-5"

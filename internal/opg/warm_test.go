@@ -1,0 +1,74 @@
+package opg
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+// Tests for the learning-engine selector and the opt-in warm-recommit
+// path: every LearnMode must yield a valid plan, and warm recommits —
+// which re-seed failed speculations with nogoods learned by the doomed
+// solves — must preserve plan validity even though they may legitimately
+// diverge from the sequential plan.
+
+func TestLearnModesProduceValidPlans(t *testing.T) {
+	for _, mode := range []string{"", "cdcl", "restart", "off"} {
+		g := toyGraph(40, 8*units.MB)
+		caps := flatCapacity(4 * units.MB)
+		cfg := deterministicConfig()
+		cfg.LearnMode = mode
+		p := Solve(g, caps, cfg)
+		if err := p.Validate(g, caps, cfg); err != nil {
+			t.Fatalf("LearnMode=%q: invalid plan: %v", mode, err)
+		}
+		// Conflicts counts dead-ends and so ticks in every engine; the
+		// learning outputs are what must stay zero without Learn.
+		if mode == "off" && (p.Stats.Nogoods != 0 || p.Stats.Restarts != 0 ||
+			p.Stats.Backjumps != 0 || p.Stats.MinimizedLits != 0) {
+			t.Fatalf("LearnMode=off still learned: %+v", p.Stats)
+		}
+		if mode == "restart" && (p.Stats.Backjumps != 0 || p.Stats.MinimizedLits != 0) {
+			t.Fatalf("LearnMode=restart reported CDCL-only counters: %+v", p.Stats)
+		}
+	}
+}
+
+func TestLearnModeUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown LearnMode did not panic")
+		}
+	}()
+	cfg := Config{LearnMode: "dpll"}
+	cfg.learnOptions()
+}
+
+// TestWarmRecommitProducesValidPlans runs the speculative pipeline with
+// warm recommits on a contended toy chain many times; every committed
+// plan must satisfy C0-C3 regardless of which speculations happened to
+// fail and what their doomed solves had learned.
+func TestWarmRecommitProducesValidPlans(t *testing.T) {
+	iters := 10
+	if testing.Short() {
+		iters = 3
+	}
+	g := toyGraph(40, 8*units.MB)
+	caps := flatCapacity(4 * units.MB)
+	cfg := deterministicConfig()
+	cfg.Window = 8 // many windows so speculation (and failed speculation) fires
+	cfg.Parallelism = 4
+	cfg.WarmRecommit = true
+	var recommits, imported int64
+	for i := 0; i < iters; i++ {
+		p := Solve(g, caps, cfg)
+		if err := p.Validate(g, caps, cfg); err != nil {
+			t.Fatalf("iter %d: warm-recommit plan invalid: %v", i, err)
+		}
+		recommits += int64(p.Stats.Recommitted)
+		imported += p.Stats.ImportedNogoods
+	}
+	// Scheduling-dependent, so informational: whether any recommit found a
+	// compatible warm rung varies run to run.
+	t.Logf("%d recommits, %d imported nogoods across %d runs", recommits, imported, iters)
+}

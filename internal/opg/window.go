@@ -208,8 +208,25 @@ func (v *winView) addInflight(l, node graph.NodeID, n int) {
 type windowStats struct {
 	buildTime, solveTime                         time.Duration
 	branches, wakes, trailOps, nogoods, restarts int64
+	conflicts, backjumps, minimizedLits          int64
+	importedNogoods                              int64
 	fallbacks                                    FallbackStats
 	degraded                                     bool // plan not proven optimal
+}
+
+// rungRecord captures one CP rung of a speculative solve for warm recommits:
+// the model it was built against, the pure (objective-free) nogoods the solve
+// exported, and whether the rung was proven infeasible. A later re-solve of
+// the same window on the true state replays the same ladder; when its rung
+// model is uniformly at-least-as-tight (cpsat.ImportCompatible — speculative
+// snapshots are uniformly looser, since capacity only shrinks and in-flight
+// only grows between claim and commit), the exported nogoods are still valid
+// cuts, and a proven-infeasible rung is still infeasible without solving.
+type rungRecord struct {
+	relax      float64
+	model      *cpsat.Model
+	nogoods    []cpsat.Nogood
+	infeasible bool
 }
 
 // windowResult is a window solve's complete effect: plan entries, state
@@ -221,6 +238,11 @@ type windowResult struct {
 	inAdd   []int64
 	stats   windowStats
 	trace   []readRec
+
+	// rungs is the per-rung export record, populated only on speculative
+	// solves under Config.WarmRecommit (sequential and direct solves never
+	// feed a recommit, so recording there would be dead weight).
+	rungs []rungRecord
 
 	// wallClocked marks a solve some CP rung of which hit its wall-clock
 	// budget: the result is timing-dependent, so the pipeline never commits
@@ -274,6 +296,14 @@ type winSolver struct {
 	win window
 	res *windowResult
 
+	// warm is the doomed speculative result this solve replaces (recommit
+	// path only): its rung records seed matching CP rungs with imported
+	// nogoods or skip rungs it proved infeasible. recordExports marks the
+	// converse role — a speculative solve that should capture rung records
+	// for a potential recommit.
+	warm          *windowResult
+	recordExports bool
+
 	// bearing memoizes per-layer capacity-bearing status over [off, end):
 	// 0 unprobed, 1 bearing, 2 empty. The ladder's CP rungs never mutate
 	// capacity, so each layer is probed (and traced) at most once per
@@ -302,11 +332,17 @@ func (ws *winSolver) bearingAt(l int) bool {
 }
 
 // solveWindow runs one window's ladder and returns its complete effect.
-func solveWindow(cfg *Config, win window, baseCap []int, baseIn []int64, traced bool) *windowResult {
+// warm, non-nil only on a WarmRecommit re-solve, is the failed speculative
+// result whose rung records seed this solve.
+func solveWindow(cfg *Config, win window, baseCap []int, baseIn []int64, traced bool, warm *windowResult) *windowResult {
 	v := newWinView(cfg, win, baseCap, baseIn, traced)
 	ws := &winSolver{
 		cfg: cfg, v: v, win: win,
-		res: &windowResult{off: win.off},
+		res:  &windowResult{off: win.off},
+		warm: warm,
+		// Speculative solves are the only traced ones; they are the only
+		// results a recommit can be warmed from.
+		recordExports: traced && cfg.WarmRecommit,
 	}
 	ws.bearing = make([]uint8, win.end-win.off)
 	ws.solveBatch(win.batch)
@@ -595,8 +631,29 @@ func (ws *winSolver) tryCP(batch []weightItem, cands [][]graph.NodeID, relax flo
 	}
 
 	m.Minimize(objVars, objCoefs)
+
+	// Warm recommit: match this rung against the doomed speculative solve's
+	// records. A record applies when it ran at the same relaxation and this
+	// model is uniformly at-least-as-tight as its model — then a rung the
+	// speculation proved infeasible is infeasible here too (skip the solve
+	// outright), and its exported objective-free nogoods are valid cuts.
+	var imports []cpsat.Nogood
+	if ws.warm != nil {
+		for i := range ws.warm.rungs {
+			rr := &ws.warm.rungs[i]
+			if rr.relax == relax && cpsat.ImportCompatible(rr.model, m) {
+				if rr.infeasible {
+					ws.res.stats.buildTime += time.Since(tBuild)
+					return false, true
+				}
+				imports = rr.nogoods
+				break
+			}
+		}
+	}
 	ws.res.stats.buildTime += time.Since(tBuild)
 
+	learn, restartOnly := cfg.learnOptions()
 	tSolve := time.Now()
 	res := m.Solve(cpsat.Options{
 		TimeLimit:   cfg.SolveTimeout,
@@ -604,7 +661,9 @@ func (ws *winSolver) tryCP(batch []weightItem, cands [][]graph.NodeID, relax flo
 		// Conflict-driven learning with the package-default Luby unit:
 		// zero-yield restart damping in cpsat keeps it free on windows
 		// whose shape learning cannot help.
-		Learn: true,
+		Learn:       learn,
+		RestartOnly: restartOnly,
+		Import:      imports,
 	})
 	ws.res.stats.solveTime += time.Since(tSolve)
 	ws.res.stats.branches += res.Branches
@@ -612,8 +671,20 @@ func (ws *winSolver) tryCP(batch []weightItem, cands [][]graph.NodeID, relax flo
 	ws.res.stats.trailOps += res.TrailOps
 	ws.res.stats.nogoods += res.Nogoods
 	ws.res.stats.restarts += res.Restarts
+	ws.res.stats.conflicts += res.Conflicts
+	ws.res.stats.backjumps += res.Backjumps
+	ws.res.stats.minimizedLits += res.MinimizedLits
+	ws.res.stats.importedNogoods += res.ImportedNogoods
 	if res.TimedOut {
 		ws.res.wallClocked = true
+	}
+	if ws.recordExports {
+		ws.res.rungs = append(ws.res.rungs, rungRecord{
+			relax:      relax,
+			model:      m,
+			nogoods:    res.Learned,
+			infeasible: res.Status == cpsat.Infeasible,
+		})
 	}
 
 	if res.Status != cpsat.Optimal && res.Status != cpsat.Feasible {
