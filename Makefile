@@ -10,7 +10,7 @@ GO ?= go
 SWEEP_FLAGS ?= -exp table1,table6,table7,table8,fig8,warmstart,abl-cache \
 	-models ViT,ResNet,GPTN-S -budget 5s -branches 1500
 
-.PHONY: build test test-short bench bench-solver bench-server bench-gate lint vet fmt fmt-check staticcheck shard-check coord-check clean
+.PHONY: build test test-short bench bench-solver bench-server bench-gate lint vet fmt fmt-check staticcheck shard-check coord-check chaos-check chaos-soak clean
 
 build:
 	$(GO) build ./...
@@ -132,6 +132,24 @@ coord-check:
 	grep -q ' / 0 misses' warm.log && diff full.txt warm.txt && \
 	cat coord-stats.json && \
 	echo "coord-check: coordinated output byte-identical; warm start had zero re-solves"
+
+# The seeded fault-injection soak (CI quick job): coordinator + workers +
+# plan server under an injected fault schedule — flaky worker HTTP,
+# coordinator 500s and a mid-sweep coordinator crash/restart from the lease
+# journal, failing/slow/panicking solves, short-written and corrupted
+# snapshots — asserting no lost cells, output byte-identical to a fault-free
+# run, every served plan byte-identical to a direct solve, Retry-After on
+# every retryable response, and corrupt snapshots quarantined rather than
+# fatal. Deterministic: CHAOS_SEED replays the identical fault schedule.
+CHAOS_SEED ?= 1
+chaos-check:
+	$(GO) run ./cmd/flashbench -chaos -chaos-seed $(CHAOS_SEED)
+
+# The nightly-sized soak: a larger grid and request budget, with the
+# machine-readable report written for archiving.
+chaos-soak:
+	$(GO) run ./cmd/flashbench -chaos -chaos-seed $(CHAOS_SEED) \
+		-chaos-cells 120 -chaos-requests 250 -chaos-report chaos-report.json
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

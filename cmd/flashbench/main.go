@@ -55,6 +55,8 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/backoff"
+	"repro/internal/chaos"
 	"repro/internal/experiments"
 	"repro/internal/opg"
 	"repro/internal/plancache"
@@ -97,9 +99,18 @@ func runBench(args []string) error {
 	coordWorkers := fs.Int("coordinator-workers", 3, "expected worker count — a batch-sizing hint, not a limit")
 	leaseTimeout := fs.Duration("lease-timeout", 2*time.Minute, "how long a worker may hold a batch before the coordinator re-deals it")
 	statsOut := fs.String("stats-out", "", "write the coordinator's final per-worker batch/steal/retry stats (JSON) here")
+	journalPath := fs.String("journal", "", "coordinator lease journal: accepted results are appended here, and a restarted coordinator resumes the sweep from it instead of starting over")
+	chaosFlag := fs.Bool("chaos", false, "run the fault-injection soak (coordinator + workers + plan server under a seeded fault schedule) instead of experiments; exits non-zero on any invariant violation")
+	chaosSeed := fs.Int64("chaos-seed", 1, "chaos fault-schedule seed; the same seed replays the same per-site fault sequence")
+	chaosCells := fs.Int("chaos-cells", 0, "chaos sweep cells per group (0 = small CI-sized soak)")
+	chaosRequests := fs.Int("chaos-requests", 0, "chaos serving-leg request count (0 = small CI-sized soak)")
+	chaosReport := fs.String("chaos-report", "", "write the chaos run's machine-readable report (JSON) here")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *chaosFlag {
+		return runChaos(*chaosSeed, *chaosCells, *chaosRequests, *chaosReport)
 	}
 	if *coordAddr != "" && *workerURL != "" {
 		return fmt.Errorf("-coordinator and -worker are mutually exclusive")
@@ -185,6 +196,7 @@ func runBench(args []string) error {
 			leaseTimeout: *leaseTimeout,
 			statsOut:     *statsOut,
 			cachePath:    *cachePath,
+			journal:      *journalPath,
 		})
 	}
 	if *workerURL != "" {
@@ -267,6 +279,7 @@ type coordinatorOpts struct {
 	leaseTimeout time.Duration
 	statsOut     string
 	cachePath    string
+	journal      string
 }
 
 // runCoordinator serves the experiment matrix as a coordinated sweep:
@@ -294,9 +307,15 @@ func runCoordinator(r *experiments.Runner, ids []string, fp string, o coordinato
 		Grid:         grid,
 		Workers:      o.workers,
 		LeaseTimeout: o.leaseTimeout,
+		Journal:      o.journal,
 	})
 	if err != nil {
 		return err
+	}
+	defer coord.Close()
+	if resumed := coord.Stats().ResumedBatches; resumed > 0 {
+		fmt.Fprintf(os.Stderr, "flashbench: coordinator: resumed %d completed batches from journal %s\n",
+			resumed, o.journal)
 	}
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
@@ -331,8 +350,23 @@ func runCoordinator(r *experiments.Runner, ids []string, fp string, o coordinato
 		}
 	}
 	if o.cachePath != "" {
-		if err := mergeWorkerSnapshots(o.cachePath, res.Snapshots); err != nil {
-			return err
+		// The merge is the last durable act of a sweep that may have taken
+		// hours; a transient write failure (filesystem pressure, injected
+		// fault) should not discard it. Deterministic failures — a conflict
+		// or corrupt worker snapshot — just exhaust the retries quickly.
+		retry := backoff.Policy{}
+		var mergeErr error
+		for attempt := 0; attempt < 3; attempt++ {
+			if mergeErr = mergeWorkerSnapshots(o.cachePath, res.Snapshots); mergeErr == nil {
+				break
+			}
+			fmt.Fprintf(os.Stderr, "flashbench: coordinator: snapshot merge attempt %d: %v\n", attempt+1, mergeErr)
+			if err := retry.Sleep(context.Background(), attempt); err != nil {
+				break
+			}
+		}
+		if mergeErr != nil {
+			return mergeErr
 		}
 	}
 	s := res.Stats
@@ -341,6 +375,46 @@ func runCoordinator(r *experiments.Runner, ids []string, fp string, o coordinato
 	// Trailing workers may still be polling for their done signal; give
 	// them a beat to hear it before the listener dies with the process.
 	time.Sleep(time.Second)
+	return nil
+}
+
+// runChaos executes the fault-injection soak and reports its verdict: exit
+// zero only when every invariant held. Scale comes from -chaos-cells and
+// -chaos-requests (zero selects the small CI-sized run); -chaos-seed picks
+// the fault schedule, and a failing seed reruns the identical schedule.
+func runChaos(seed int64, cells, requests int, reportPath string) error {
+	dir, err := os.MkdirTemp("", "flashbench-chaos-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	rep, err := chaos.Run(chaos.Config{
+		Seed:     seed,
+		Cells:    cells,
+		Requests: requests,
+		Dir:      dir,
+		Log:      os.Stderr,
+	})
+	if rep != nil && reportPath != "" {
+		data, jerr := json.MarshalIndent(rep, "", "  ")
+		if jerr == nil {
+			jerr = os.WriteFile(reportPath, append(data, '\n'), 0o644)
+		}
+		if jerr != nil {
+			fmt.Fprintf(os.Stderr, "flashbench: chaos report: %v\n", jerr)
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("chaos harness: %w", err)
+	}
+	if n := len(rep.Violations); n > 0 {
+		for _, v := range rep.Violations {
+			fmt.Fprintf(os.Stderr, "flashbench: chaos: INVARIANT VIOLATED: %s\n", v)
+		}
+		return fmt.Errorf("chaos: %d invariant violation(s) under seed %d — rerun with -chaos-seed %d to replay the identical fault schedule", n, seed, seed)
+	}
+	fmt.Fprintf(os.Stderr, "flashbench: chaos: seed %d clean — %d faults fired, %d/%d requests served (%d degraded), %d batches resumed from journal\n",
+		seed, len(rep.Events), rep.ServedOK, rep.Requests, rep.Degraded, rep.Sweep.ResumedBatches)
 	return nil
 }
 
@@ -408,7 +482,7 @@ type workerOpts struct {
 // result-affecting divergence is refused at the first lease.
 func runWorkerMode(r *experiments.Runner, cache *plancache.Cache, o workerOpts) error {
 	ctx := context.Background()
-	grid, err := sweep.FetchGrid(ctx, nil, o.coordinator, 0)
+	grid, err := sweep.FetchGrid(ctx, nil, o.coordinator, backoff.Policy{})
 	if err != nil {
 		return err
 	}

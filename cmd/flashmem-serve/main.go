@@ -80,6 +80,10 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "flashmem-serve: warm cache: %d plans loaded from %d files (%d stale or undecodable dropped, %d evicted)\n",
 			stats.Loaded, stats.Files, stats.Dropped, stats.Evicted)
+		if stats.BadFiles > 0 {
+			fmt.Fprintf(os.Stderr, "flashmem-serve: WARNING: %d corrupt snapshot file(s) quarantined to .bad; booting colder than expected\n",
+				stats.BadFiles)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "flashmem-serve: solver %s, %d warm plans, listening on %s\n",
 		opg.SolverVersion, s.WarmPlans(), *addr)
@@ -110,7 +114,7 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "flashmem-serve: saved %d plans to %s\n", s.Cache().Len(), *savePath)
 	}
 	st := s.Stats()
-	fmt.Fprintf(os.Stderr, "flashmem-serve: served %d requests: %d warm, %d cached, %d solved, %d collapsed, %d rejected, %d timed out\n",
-		st.Requests, st.WarmHits, st.Hits, st.Solves, st.Collapsed, st.Rejected, st.TimedOut)
+	fmt.Fprintf(os.Stderr, "flashmem-serve: served %d requests: %d warm, %d cached, %d solved, %d collapsed, %d degraded, %d rejected, %d timed out\n",
+		st.Requests, st.WarmHits, st.Hits, st.Solves, st.Collapsed, st.Degraded, st.Rejected, st.TimedOut)
 	return nil
 }

@@ -1,0 +1,119 @@
+// Package backoff is the repo's one retry-delay policy: capped exponential
+// growth with jitter, every sleep cancellable by context. The sweep
+// worker's coordinator round trips (lease, result, grid fetch) and the
+// flashbench coordinator's snapshot merge all share it, replacing the
+// fixed-interval retries they each hand-rolled — fixed intervals
+// synchronize retry storms exactly when a recovering coordinator can least
+// afford them.
+//
+// Jitter is drawn deterministically from a seed so chaos runs and tests
+// reproduce their exact sleep schedules; a zero seed draws from the global
+// math/rand source, which is what production callers want.
+package backoff
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Policy shapes a retry-delay sequence. The zero value is usable: 100ms
+// base, 5s cap, factor 2, half-width jitter, non-deterministic seed.
+type Policy struct {
+	// Base is the delay before the first retry (<= 0: 100ms).
+	Base time.Duration
+	// Max caps the grown delay, pre-jitter (<= 0: 5s).
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier (< 1: 2).
+	Factor float64
+	// Jitter is the fraction of each delay that is randomized: the slept
+	// delay is uniform in [d·(1−Jitter), d]. Negative disables jitter;
+	// zero selects the 0.5 default. Values above 1 clamp to 1.
+	Jitter float64
+	// Seed fixes the jitter stream for reproducible schedules; 0 draws
+	// from the global math/rand source instead.
+	Seed int64
+}
+
+func (p Policy) norm() Policy {
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 5 * time.Second
+	}
+	if p.Factor < 1 {
+		p.Factor = 2
+	}
+	switch {
+	case p.Jitter < 0:
+		p.Jitter = 0
+	case p.Jitter == 0:
+		p.Jitter = 0.5
+	case p.Jitter > 1:
+		p.Jitter = 1
+	}
+	return p
+}
+
+// mix is the splitmix64 finalizer, the deterministic jitter hash.
+func mix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Delay returns the delay before retry number attempt (0-based): Base
+// grown by Factor^attempt, capped at Max, jittered downward. The growth is
+// computed multiplicatively with an overflow guard, so huge attempt counts
+// saturate at Max instead of wrapping.
+func (p Policy) Delay(attempt int) time.Duration {
+	p = p.norm()
+	d := p.Base
+	for i := 0; i < attempt && d < p.Max; i++ {
+		next := time.Duration(float64(d) * p.Factor)
+		if next <= d { // overflow or factor rounding down
+			next = p.Max
+		}
+		d = next
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	if p.Jitter > 0 && d > 0 {
+		span := time.Duration(p.Jitter * float64(d))
+		if span > 0 {
+			var r uint64
+			if p.Seed != 0 {
+				r = mix(uint64(p.Seed)*0x9e3779b97f4a7c15 + uint64(attempt))
+			} else {
+				r = rand.Uint64()
+			}
+			d -= time.Duration(r % uint64(span+1))
+		}
+	}
+	return d
+}
+
+// Sleep blocks for Delay(attempt) or until ctx ends, returning ctx's error
+// in that case — the one retry-sleep primitive, so no retry loop can ever
+// outlive its caller's cancellation.
+func (p Policy) Sleep(ctx context.Context, attempt int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t := time.NewTimer(p.Delay(attempt))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,88 @@
+package backoff
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDelayGrowsAndCaps: jitter-free delays grow geometrically then
+// saturate at Max.
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 2 * time.Second, Factor: 2, Jitter: -1}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second,
+		2 * time.Second,
+	}
+	for i, w := range want {
+		if got := p.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if got := p.Delay(1 << 20); got != 2*time.Second {
+		t.Errorf("huge attempt: Delay = %v, want cap", got)
+	}
+}
+
+// TestJitterStaysInWindow: jittered delays land in [d·(1−J), d], and a
+// fixed seed reproduces the exact schedule.
+func TestJitterStaysInWindow(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: time.Second, Jitter: 0.5, Seed: 17}
+	q := Policy{Base: 100 * time.Millisecond, Max: time.Second, Jitter: 0.5, Seed: 17}
+	bare := Policy{Base: 100 * time.Millisecond, Max: time.Second, Jitter: -1}
+	for i := 0; i < 8; i++ {
+		full := bare.Delay(i)
+		d := p.Delay(i)
+		if d > full || d < full/2 {
+			t.Errorf("Delay(%d) = %v outside [%v, %v]", i, d, full/2, full)
+		}
+		if d2 := q.Delay(i); d2 != d {
+			t.Errorf("same seed, Delay(%d) = %v then %v", i, d, d2)
+		}
+	}
+}
+
+// TestZeroValueUsable: the zero Policy has sane defaults.
+func TestZeroValueUsable(t *testing.T) {
+	var p Policy
+	d0 := p.Delay(0)
+	if d0 <= 0 || d0 > 100*time.Millisecond {
+		t.Errorf("zero-value Delay(0) = %v, want (0, 100ms]", d0)
+	}
+	if d := p.Delay(100); d > 5*time.Second {
+		t.Errorf("zero-value Delay(100) = %v exceeds the default cap", d)
+	}
+}
+
+// TestSleepHonorsCancelledContext: cancellation mid-sleep returns promptly
+// with the context error — the satellite contract for every retry loop
+// built on this package.
+func TestSleepHonorsCancelledContext(t *testing.T) {
+	p := Policy{Base: 10 * time.Second, Max: 10 * time.Second, Jitter: -1}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Sleep(ctx, 0) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Sleep returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep ignored cancellation")
+	}
+	// An already-cancelled context never sleeps at all.
+	t0 := time.Now()
+	if err := p.Sleep(ctx, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Sleep returned %v", err)
+	}
+	if time.Since(t0) > time.Second {
+		t.Fatal("pre-cancelled Sleep blocked")
+	}
+}

@@ -1,0 +1,305 @@
+// Package faultinject is a deterministic, seed-driven fault injector for
+// the serving and sweep layers. Components expose named injection sites —
+// "server.solve", "sweep.worker.http", "plancache.save" — and an optional
+// *Injector decides, per call, whether that site misbehaves: an error
+// return, added latency, a short write, payload corruption (bit flips or
+// truncation), or an induced panic.
+//
+// Determinism is the point. Every decision at a site is a pure function of
+// (seed, site, per-site call index, rule index), so a chaos run with a
+// fixed seed fires the same fault sequence at every site on every run —
+// regardless of how goroutines interleave *across* sites. (Concurrent
+// calls to the same site race for call indices, so which concurrent caller
+// absorbs a given fault can vary; the per-site decision sequence cannot.)
+//
+// A nil *Injector is valid everywhere and injects nothing, so production
+// paths pay one nil check per site. Fired faults are recorded and
+// available via Counts/Events for chaos reports.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind names a fault class.
+type Kind string
+
+const (
+	// KindError makes Err return a synthetic error.
+	KindError Kind = "error"
+	// KindLatency makes Delay sleep (a slow disk or network).
+	KindLatency Kind = "latency"
+	// KindShortWrite makes Truncate cut a payload short (a write that
+	// reported success for fewer bytes, or a crash mid-write).
+	KindShortWrite Kind = "short-write"
+	// KindCorrupt makes Corrupt flip a bit in — or truncate — a payload.
+	KindCorrupt Kind = "corrupt"
+	// KindPanic makes MaybePanic panic with a *Panic value.
+	KindPanic Kind = "panic"
+)
+
+// Rule arms one fault kind at matching sites.
+type Rule struct {
+	// Site is the injection-site name this rule arms, exact, or a prefix
+	// match when it ends in "*" ("sweep.*" arms every sweep site).
+	Site string
+	// Kind is the fault class.
+	Kind Kind
+	// Rate is the per-call fire probability in [0, 1].
+	Rate float64
+	// Max caps how many times this rule fires (0 = unlimited). A rule with
+	// Max=3, Rate=1 fails a site's first three calls then goes quiet — the
+	// shape retry/backoff tests want.
+	Max int
+	// After exempts the site's first After calls from this rule, so a
+	// harness can let a system reach a healthy steady state before the
+	// faults start — warm a cache, land a first batch — without giving up
+	// determinism.
+	After int
+	// Latency is the added delay for KindLatency rules; the injected
+	// amount is drawn deterministically from [Latency/2, Latency].
+	Latency time.Duration
+}
+
+// Event records one fired fault.
+type Event struct {
+	Site string `json:"site"`
+	Kind Kind   `json:"kind"`
+	Call int    `json:"call"` // per-site call index (0-based) that fired
+}
+
+// Panic is the value MaybePanic panics with, so recovery layers can tell
+// an injected panic from a genuine solver bug in test assertions.
+type Panic struct{ Site string }
+
+func (p *Panic) Error() string { return fmt.Sprintf("faultinject: induced panic at %s", p.Site) }
+
+// Injector decides fault firings. The zero value injects nothing; build a
+// live one with New. All methods are safe for concurrent use and safe on a
+// nil receiver.
+type Injector struct {
+	seed  int64
+	rules []Rule
+
+	mu     sync.Mutex
+	calls  map[string]int // per (site, kind) call index
+	fired  []int          // per rule, times fired
+	events []Event
+}
+
+// New builds an injector whose decisions derive from seed.
+func New(seed int64, rules ...Rule) *Injector {
+	return &Injector{
+		seed:  seed,
+		rules: rules,
+		calls: make(map[string]int),
+		fired: make([]int, len(rules)),
+	}
+}
+
+// mix is the splitmix64 finalizer — the deterministic hash behind every
+// fire decision.
+func mix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// hash folds (seed, site, call, rule, salt) into a uniform uint64.
+func (in *Injector) hash(site string, call, rule int, salt uint64) uint64 {
+	h := uint64(in.seed)*0x9e3779b97f4a7c15 + 0x6a09e667f3bcc909
+	for _, b := range []byte(site) {
+		h = mix(h ^ uint64(b))
+	}
+	h = mix(h ^ uint64(call))
+	h = mix(h ^ uint64(rule)<<32)
+	return mix(h ^ salt)
+}
+
+// unit maps a hash to [0, 1).
+func unit(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
+
+func ruleMatches(pattern, site string) bool {
+	if n := len(pattern); n > 0 && pattern[n-1] == '*' {
+		return len(site) >= n-1 && site[:n-1] == pattern[:n-1]
+	}
+	return pattern == site
+}
+
+// decide advances the site's per-kind call counter and reports whether any
+// rule of the given kind fires, returning that rule and the call index.
+func (in *Injector) decide(site string, kind Kind) (Rule, int, bool) {
+	if in == nil {
+		return Rule{}, 0, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	ck := site + "\x00" + string(kind)
+	call := in.calls[ck]
+	in.calls[ck] = call + 1
+	for i, r := range in.rules {
+		if r.Kind != kind || !ruleMatches(r.Site, site) {
+			continue
+		}
+		if call < r.After {
+			continue
+		}
+		if r.Max > 0 && in.fired[i] >= r.Max {
+			continue
+		}
+		if unit(in.hash(site, call, i, 0)) >= r.Rate {
+			continue
+		}
+		in.fired[i]++
+		in.events = append(in.events, Event{Site: site, Kind: kind, Call: call})
+		return r, call, true
+	}
+	return Rule{}, 0, false
+}
+
+// Err returns an injected error for the site, or nil.
+func (in *Injector) Err(site string) error {
+	if _, call, ok := in.decide(site, KindError); ok {
+		return fmt.Errorf("faultinject: injected error at %s (call %d)", site, call)
+	}
+	return nil
+}
+
+// Delay sleeps an injected latency for the site, honoring ctx: a cancelled
+// context cuts the sleep short and its error is returned. Without a firing
+// rule it returns immediately.
+func (in *Injector) Delay(ctx context.Context, site string) error {
+	r, call, ok := in.decide(site, KindLatency)
+	if !ok {
+		return nil
+	}
+	lat := r.Latency
+	if lat <= 0 {
+		lat = 10 * time.Millisecond
+	}
+	// Deterministic draw from [lat/2, lat].
+	d := lat/2 + time.Duration(in.hash(site, call, 0, 1)%uint64(lat/2+1))
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// MaybePanic panics with a *Panic when a KindPanic rule fires.
+func (in *Injector) MaybePanic(site string) {
+	if _, _, ok := in.decide(site, KindPanic); ok {
+		panic(&Panic{Site: site})
+	}
+}
+
+// Corrupt returns a damaged copy of data when a KindCorrupt rule fires —
+// a single flipped bit or a truncation, chosen deterministically — and
+// data itself (no copy) otherwise. The boolean reports whether corruption
+// happened. Empty payloads pass through.
+func (in *Injector) Corrupt(site string, data []byte) ([]byte, bool) {
+	_, call, ok := in.decide(site, KindCorrupt)
+	if !ok || len(data) == 0 {
+		return data, false
+	}
+	h := in.hash(site, call, 0, 2)
+	if h&1 == 0 { // bit flip
+		out := append([]byte(nil), data...)
+		pos := int(h % uint64(len(out)))
+		out[pos] ^= 1 << ((h >> 8) % 8)
+		return out, true
+	}
+	// Truncation: keep a deterministic fraction in [0%, 90%).
+	keep := int(h % uint64(len(data)) * 9 / 10)
+	return append([]byte(nil), data[:keep]...), true
+}
+
+// Truncate returns a short prefix of data when a KindShortWrite rule
+// fires — what lands on disk when a write is cut off — and data itself
+// otherwise.
+func (in *Injector) Truncate(site string, data []byte) ([]byte, bool) {
+	_, call, ok := in.decide(site, KindShortWrite)
+	if !ok || len(data) == 0 {
+		return data, false
+	}
+	keep := int(in.hash(site, call, 0, 3) % uint64(len(data)))
+	return data[:keep], true
+}
+
+// Counts returns fired-fault totals keyed "site kind", for chaos reports.
+func (in *Injector) Counts() map[string]int {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]int)
+	for _, e := range in.events {
+		out[e.Site+" "+string(e.Kind)]++
+	}
+	return out
+}
+
+// Events returns the fired faults ordered by site, then kind, then call
+// index — a stable order, so two runs with the same seed and the same
+// per-site call counts produce identical event lists even when goroutine
+// interleaving differed.
+func (in *Injector) Events() []Event {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	evs := append([]Event(nil), in.events...)
+	in.mu.Unlock()
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Site != evs[j].Site {
+			return evs[i].Site < evs[j].Site
+		}
+		if evs[i].Kind != evs[j].Kind {
+			return evs[i].Kind < evs[j].Kind
+		}
+		return evs[i].Call < evs[j].Call
+	})
+	return evs
+}
+
+// Transport wraps an http.RoundTripper with error and latency injection at
+// the given site — the hook a chaos harness hands to sweep workers so the
+// coordinator protocol sees flaky, slow networks without any server-side
+// cooperation. A nil base uses http.DefaultTransport.
+func Transport(in *Injector, site string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &faultTransport{in: in, site: site, base: base}
+}
+
+type faultTransport struct {
+	in   *Injector
+	site string
+	base http.RoundTripper
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if err := t.in.Delay(req.Context(), t.site); err != nil {
+		return nil, err
+	}
+	if err := t.in.Err(t.site); err != nil {
+		return nil, err
+	}
+	return t.base.RoundTrip(req)
+}

@@ -1,0 +1,214 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// drive fires n Err/Corrupt/Truncate/MaybePanic calls at each of the given
+// sites and returns the decision trace.
+func drive(in *Injector, sites []string, n int) []string {
+	var trace []string
+	for i := 0; i < n; i++ {
+		for _, site := range sites {
+			if err := in.Err(site); err != nil {
+				trace = append(trace, site+":error")
+			}
+			if _, ok := in.Corrupt(site, []byte("payload-bytes")); ok {
+				trace = append(trace, site+":corrupt")
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						trace = append(trace, site+":panic")
+					}
+				}()
+				in.MaybePanic(site)
+			}()
+		}
+	}
+	return trace
+}
+
+// TestSameSeedSameFaultSequence is the determinism contract: with an equal
+// seed and an equal per-site call sequence, every decision — and therefore
+// the whole fault schedule — is identical run to run.
+func TestSameSeedSameFaultSequence(t *testing.T) {
+	rules := []Rule{
+		{Site: "a", Kind: KindError, Rate: 0.3},
+		{Site: "b", Kind: KindCorrupt, Rate: 0.5},
+		{Site: "*", Kind: KindPanic, Rate: 0.1, Max: 3},
+	}
+	sites := []string{"a", "b", "c"}
+	t1 := drive(New(42, rules...), sites, 200)
+	t2 := drive(New(42, rules...), sites, 200)
+	if len(t1) == 0 {
+		t.Fatal("no faults fired at rate 0.3/0.5 over 200 calls; hash is broken")
+	}
+	if !reflect.DeepEqual(t1, t2) {
+		t.Fatalf("same seed, different fault sequences:\n%v\n%v", t1, t2)
+	}
+	t3 := drive(New(43, rules...), sites, 200)
+	if reflect.DeepEqual(t1, t3) {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+	// The sorted event lists of the two same-seed runs agree too.
+	e1 := New(42, rules...)
+	e2 := New(42, rules...)
+	drive(e1, sites, 200)
+	drive(e2, sites, 200)
+	if !reflect.DeepEqual(e1.Events(), e2.Events()) {
+		t.Fatal("same seed, different event logs")
+	}
+}
+
+// TestNilInjectorIsInert: every method is a no-op on nil.
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Err("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Delay(context.Background(), "x"); err != nil {
+		t.Fatal(err)
+	}
+	in.MaybePanic("x")
+	data := []byte("abc")
+	if out, ok := in.Corrupt("x", data); ok || &out[0] != &data[0] {
+		t.Fatal("nil injector corrupted data")
+	}
+	if out, ok := in.Truncate("x", data); ok || len(out) != 3 {
+		t.Fatal("nil injector truncated data")
+	}
+	if in.Counts() != nil || in.Events() != nil {
+		t.Fatal("nil injector reported events")
+	}
+}
+
+// TestMaxCapsFiring: a Max-limited rate-1 rule fails exactly the first Max
+// calls — the shape backoff tests arm.
+func TestMaxCapsFiring(t *testing.T) {
+	in := New(7, Rule{Site: "s", Kind: KindError, Rate: 1, Max: 3})
+	fails := 0
+	for i := 0; i < 10; i++ {
+		if in.Err("s") != nil {
+			fails++
+			if i >= 3 {
+				t.Fatalf("call %d failed after Max=3 exhausted", i)
+			}
+		}
+	}
+	if fails != 3 {
+		t.Fatalf("fired %d times, want exactly 3", fails)
+	}
+	if got := in.Counts()["s error"]; got != 3 {
+		t.Fatalf("Counts = %d, want 3", got)
+	}
+}
+
+// TestCorruptChangesBytes: a fired corruption must actually change or
+// shorten the payload, and must not touch the caller's slice.
+func TestCorruptChangesBytes(t *testing.T) {
+	in := New(1, Rule{Site: "c", Kind: KindCorrupt, Rate: 1})
+	orig := []byte("the quick brown fox jumps over the lazy dog")
+	keep := append([]byte(nil), orig...)
+	for i := 0; i < 20; i++ {
+		out, ok := in.Corrupt("c", orig)
+		if !ok {
+			t.Fatalf("call %d: rate-1 corruption did not fire", i)
+		}
+		if string(out) == string(orig) {
+			t.Fatalf("call %d: corruption left payload identical", i)
+		}
+		if string(orig) != string(keep) {
+			t.Fatal("corruption modified the caller's slice")
+		}
+	}
+}
+
+// TestTruncateShortens: short writes keep a strict prefix.
+func TestTruncateShortens(t *testing.T) {
+	in := New(3, Rule{Site: "w", Kind: KindShortWrite, Rate: 1})
+	data := []byte("0123456789abcdef")
+	out, ok := in.Truncate("w", data)
+	if !ok || len(out) >= len(data) {
+		t.Fatalf("truncate: ok=%v len=%d, want a shorter prefix", ok, len(out))
+	}
+	if string(out) != string(data[:len(out)]) {
+		t.Fatal("truncate returned a non-prefix")
+	}
+}
+
+// TestDelayHonorsContext: a cancelled context cuts the injected sleep
+// short with the context's error.
+func TestDelayHonorsContext(t *testing.T) {
+	in := New(5, Rule{Site: "d", Kind: KindLatency, Rate: 1, Latency: 10 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- in.Delay(ctx, "d") }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Delay returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Delay ignored the cancelled context")
+	}
+}
+
+// TestPanicValue: MaybePanic panics with a *Panic naming the site.
+func TestPanicValue(t *testing.T) {
+	in := New(9, Rule{Site: "p", Kind: KindPanic, Rate: 1})
+	defer func() {
+		p, ok := recover().(*Panic)
+		if !ok || p.Site != "p" {
+			t.Fatalf("recovered %v, want *Panic{Site: p}", p)
+		}
+	}()
+	in.MaybePanic("p")
+	t.Fatal("MaybePanic did not panic at rate 1")
+}
+
+// TestTransport: the RoundTripper wrapper injects connection errors and
+// passes traffic through when no rule fires.
+func TestTransport(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	in := New(11, Rule{Site: "net", Kind: KindError, Rate: 1, Max: 2})
+	client := &http.Client{Transport: Transport(in, "net", nil)}
+	var errs, oks int
+	for i := 0; i < 5; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			errs++
+			continue
+		}
+		resp.Body.Close()
+		oks++
+	}
+	if errs != 2 || oks != 3 {
+		t.Fatalf("errs=%d oks=%d, want 2 injected failures then passthrough", errs, oks)
+	}
+}
+
+// TestPrefixRule: a trailing-* site pattern arms every site underneath.
+func TestPrefixRule(t *testing.T) {
+	in := New(13, Rule{Site: "sweep.*", Kind: KindError, Rate: 1, Max: 2})
+	if in.Err("sweep.worker.http") == nil {
+		t.Fatal("prefix rule did not match sweep.worker.http")
+	}
+	if in.Err("server.solve") != nil {
+		t.Fatal("prefix rule leaked to server.solve")
+	}
+	if in.Err("sweep.coord.lease") == nil {
+		t.Fatal("prefix rule did not match sweep.coord.lease")
+	}
+}

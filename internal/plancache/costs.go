@@ -30,9 +30,10 @@ type costEntry struct {
 // the mean, because the cold solve is what a sweep cell actually pays).
 //
 // Unusable inputs degrade to absent estimates rather than errors or —
-// worse — zero costs: missing files are skipped (the first coordinated
-// sweep has no snapshot yet); version-1/2 snapshots predate the cost
-// field and contribute nothing; v3 entries without a recorded cost
+// worse — zero costs: missing and corrupt files are skipped (the first
+// coordinated sweep has no snapshot yet, and a damaged one seeds nothing);
+// version-1/2 snapshots predate the cost field and contribute nothing;
+// v3/v4 entries without a recorded cost
 // (written by a v1/v2-seeded merge) are skipped, so a model never gets a
 // zero-cost fast lane just because its history is cost-less. Unlike the
 // plan loaders, entries from other solver generations ARE used: a
@@ -49,19 +50,27 @@ func ModelCosts(paths ...string) (map[string]time.Duration, error) {
 		if err != nil {
 			return nil, fmt.Errorf("plancache: costs: %w", err)
 		}
-		var raw rawSnapshot
+		var raw snapshot
 		if err := json.Unmarshal(data, &raw); err != nil {
-			return nil, fmt.Errorf("plancache: costs: decode %s: %w", path, err)
+			continue // a corrupt snapshot just contributes no estimates
 		}
 		switch raw.Version {
 		case 1, 2:
 			continue // no cost field in these layouts
-		case FormatVersion:
+		case 3, FormatVersion:
+			// Both carry cost_ns. The v4 checksum is deliberately not
+			// verified here: a bit flip at worst skews a scheduling
+			// estimate, and the strict boot-path loader is where
+			// integrity is enforced.
 		default:
 			return nil, fmt.Errorf("plancache: costs: %s has format version %d, want <= %d",
 				path, raw.Version, FormatVersion)
 		}
-		for _, msg := range raw.Entries {
+		var msgs []json.RawMessage
+		if err := json.Unmarshal(raw.Entries, &msgs); err != nil {
+			continue // damaged payload: no estimates from this file
+		}
+		for _, msg := range msgs {
 			var en costEntry
 			if err := json.Unmarshal(msg, &en); err != nil {
 				continue // a damaged entry just contributes no estimate

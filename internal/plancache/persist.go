@@ -3,11 +3,14 @@ package plancache
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/opg"
 	"repro/internal/tensor"
@@ -15,13 +18,29 @@ import (
 )
 
 // FormatVersion tags the on-disk snapshot layout. Version 2 added the
-// solver-version field; version 3 records each entry's solve cost so a
-// reloaded cache keeps cost-aware eviction priorities. Version-1 and -2
-// files still decode without error, but their entries are all dropped
-// (with a count): they predate the current solver generation's key salt,
-// so none of them could ever hit. Unknown versions are rejected rather
-// than guessed at.
-const FormatVersion = 3
+// solver-version field; version 3 recorded each entry's solve cost so a
+// reloaded cache keeps cost-aware eviction priorities; version 4 adds a
+// CRC-32C checksum over the entries payload so bit flips and truncation
+// are detected instead of trusted. Version-1 and -2 files still decode
+// without error, but their entries are all dropped (with a count): they
+// predate the current solver generation's key salt, so none of them could
+// ever hit. Version-3 files — the same entry layout, minus the checksum —
+// still load. Unknown versions are rejected rather than guessed at.
+const FormatVersion = 4
+
+// errCorrupt classifies snapshot damage — truncation, bit flips, non-JSON
+// content, checksum mismatches, unrebuildable graphs. Boot-path loaders
+// quarantine such files and degrade to a cold start; the merge path, where
+// a damaged shard snapshot means lost sweep work, still fails hard.
+var errCorrupt = errors.New("corrupt snapshot")
+
+// crc32c is the Castagnoli table shared by writers and verifiers.
+var crc32c = crc32.MakeTable(crc32.Castagnoli)
+
+// checksum renders the v4 integrity field for an entries payload.
+func checksum(payload []byte) string {
+	return fmt.Sprintf("crc32c:%08x", crc32.Checksum(payload, crc32c))
+}
 
 // persistedNode flattens one graph node; IDs are implicit in order, which
 // matches how graph.Graph.Add assigns them on rebuild.
@@ -49,23 +68,19 @@ type persistedEntry struct {
 	Cost  time.Duration  `json:"cost_ns,omitempty"`
 }
 
-// snapshot is the whole file, entries ordered least → most recently used
-// so sequential re-insertion on Load reproduces the LRU order. Solver
-// records the LC-OPG generation that produced the plans: entries from
-// another generation could never hit (their keys embed a different salt),
-// so loaders skip them wholesale.
+// snapshot is the whole file: the version header, the solver generation,
+// the checksum of the raw entries payload, and the entries themselves
+// ordered least → most recently used so sequential re-insertion on Load
+// reproduces the LRU order. Solver records the LC-OPG generation that
+// produced the plans: entries from another generation could never hit
+// (their keys embed a different salt), so loaders skip them wholesale.
+// Entries is kept as raw bytes on both paths so the checksum covers the
+// exact bytes on disk, not a re-marshaling of them.
 type snapshot struct {
-	Version int              `json:"version"`
-	Solver  string           `json:"solver,omitempty"`
-	Entries []persistedEntry `json:"entries"`
-}
-
-// rawSnapshot defers entry decoding so a damaged entry in an old snapshot
-// can be skipped instead of poisoning the whole file.
-type rawSnapshot struct {
-	Version int               `json:"version"`
-	Solver  string            `json:"solver"`
-	Entries []json.RawMessage `json:"entries"`
+	Version  int             `json:"version"`
+	Solver   string          `json:"solver,omitempty"`
+	Checksum string          `json:"checksum,omitempty"`
+	Entries  json.RawMessage `json:"entries"`
 }
 
 // LoadStats summarizes one or more snapshot loads.
@@ -75,6 +90,8 @@ type LoadStats struct {
 	Dropped int // undecodable or stale-solver entries skipped
 	Evicted int // LRU evictions forced during the load: the snapshot
 	// exceeded the cache bound, so a warm start cannot be complete
+	BadFiles int // corrupt files quarantined to .bad; their entries are
+	// unknowable and excluded from Dropped
 }
 
 // add accumulates another file's stats.
@@ -83,6 +100,7 @@ func (s *LoadStats) add(o LoadStats) {
 	s.Loaded += o.Loaded
 	s.Dropped += o.Dropped
 	s.Evicted += o.Evicted
+	s.BadFiles += o.BadFiles
 }
 
 // Snapshot encodes the cache contents as a FormatVersion snapshot in
@@ -92,10 +110,10 @@ func (s *LoadStats) add(o LoadStats) {
 // included — stats describe one process lifetime.
 func (c *Cache) Snapshot() ([]byte, error) {
 	c.mu.Lock()
-	snap := snapshot{Version: FormatVersion, Solver: opg.SolverVersion}
+	var entries []persistedEntry
 	for el := c.order.Back(); el != nil; el = el.Prev() {
 		en := el.Value.(*entry)
-		snap.Entries = append(snap.Entries, persistedEntry{
+		entries = append(entries, persistedEntry{
 			Key:   en.key,
 			Graph: flattenGraph(en.prep.Graph),
 			Plan:  en.prep.Plan,
@@ -103,20 +121,59 @@ func (c *Cache) Snapshot() ([]byte, error) {
 		})
 	}
 	c.mu.Unlock()
+	return encodeSnapshot(entries)
+}
 
-	data, err := json.Marshal(snap)
+// encodeSnapshot renders entries as a FormatVersion file with the checksum
+// computed over the exact entries bytes being written.
+func encodeSnapshot(entries []persistedEntry) ([]byte, error) {
+	payload, err := json.Marshal(entries)
+	if err != nil {
+		return nil, fmt.Errorf("plancache: encode: %w", err)
+	}
+	data, err := json.Marshal(snapshot{
+		Version:  FormatVersion,
+		Solver:   opg.SolverVersion,
+		Checksum: checksum(payload),
+		Entries:  payload,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("plancache: encode: %w", err)
 	}
 	return data, nil
 }
 
-// Save writes the cache contents as a JSON snapshot file.
+// SetFaultInjector arms persistence fault injection on this cache: Save
+// consults sites "plancache.save" (error, short write, corruption) and
+// loads consult "plancache.load" (error). Nil disarms. Chaos harnesses
+// only; production caches never call this.
+func (c *Cache) SetFaultInjector(in *faultinject.Injector) {
+	c.mu.Lock()
+	c.inj = in
+	c.mu.Unlock()
+}
+
+func (c *Cache) injector() *faultinject.Injector {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inj
+}
+
+// Save writes the cache contents as a JSON snapshot file. The write lands
+// in a temp file renamed into place, so a crash mid-write leaves the old
+// snapshot intact — and an injected short write or corruption produces
+// exactly the damaged-file shapes the checksum quarantine exists to catch.
 func (c *Cache) Save(path string) error {
 	data, err := c.Snapshot()
 	if err != nil {
 		return err
 	}
+	inj := c.injector()
+	if err := inj.Err("plancache.save"); err != nil {
+		return fmt.Errorf("plancache: write: %w", err)
+	}
+	data, _ = inj.Truncate("plancache.save", data)
+	data, _ = inj.Corrupt("plancache.save", data)
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return fmt.Errorf("plancache: write: %w", err)
@@ -126,9 +183,11 @@ func (c *Cache) Save(path string) error {
 
 // Load merges a saved snapshot into the cache. Loaded entries do not count
 // as stores. A missing file is not an error — cold start is the normal
-// first-run case. Current-version snapshots decode strictly; old-format
-// or stale-solver snapshots degrade to a cold start rather than an error.
-// Use LoadAll to observe the dropped count.
+// first-run case. Old-format, stale-solver, and corrupt snapshots all
+// degrade to a cold start rather than an error; corrupt files are
+// additionally quarantined to path+".bad" so the evidence survives the
+// boot that survived it. Use LoadAll to observe the dropped and
+// quarantined counts.
 func (c *Cache) Load(path string) error {
 	_, err := c.loadFile(path)
 	return err
@@ -137,7 +196,11 @@ func (c *Cache) Load(path string) error {
 // LoadAll merges any number of snapshot files — typically the shard-local
 // snapshots of a distributed sweep — into the cache in argument order, so
 // on duplicate keys the last file wins. It reports how many entries were
-// loaded and how many were dropped by best-effort or stale-solver decoding.
+// loaded, how many were dropped by best-effort or stale-solver decoding,
+// and how many whole files were quarantined as corrupt. Corruption —
+// truncation, bit flips, non-JSON bytes, checksum mismatches — and even
+// unreadable files never fail the load: a fleet server must boot cold
+// rather than not at all.
 func (c *Cache) LoadAll(paths ...string) (LoadStats, error) {
 	var stats LoadStats
 	for _, path := range paths {
@@ -150,24 +213,39 @@ func (c *Cache) LoadAll(paths ...string) (LoadStats, error) {
 	return stats, nil
 }
 
-// loadFile reads, decodes, and inserts one snapshot.
+// loadFile reads, decodes, and inserts one snapshot. Corrupt files are
+// quarantined and reported in stats, and unreadable files (I/O errors,
+// permissions) are counted bad and skipped — a fleet server boots cold
+// rather than not at all — so only unknown future format versions fail the
+// call. The merge path reads files itself and stays strict.
 func (c *Cache) loadFile(path string) (LoadStats, error) {
+	if err := c.injector().Err("plancache.load"); err != nil {
+		return LoadStats{Files: 1, BadFiles: 1}, nil
+	}
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return LoadStats{}, nil
 	}
 	if err != nil {
-		return LoadStats{}, fmt.Errorf("plancache: read: %w", err)
+		// Nothing readable to quarantine; the file stays put and the boot
+		// proceeds cold. LoadStats.BadFiles carries the evidence.
+		return LoadStats{Files: 1, BadFiles: 1}, nil
 	}
 	entries, stats, err := decodeSnapshot(path, data)
 	if err != nil {
+		if errors.Is(err, errCorrupt) {
+			return quarantine(path, stats), nil
+		}
 		return stats, err
 	}
 	preps := make([]*core.Prepared, len(entries))
 	for i, en := range entries {
 		g, err := rebuildGraph(en.Graph)
 		if err != nil {
-			return stats, fmt.Errorf("plancache: entry %q: %w", en.Key, err)
+			// The file parsed but its content cannot be reconstructed —
+			// corruption that happens to stay inside JSON string/number
+			// literals. Same remedy: quarantine, boot cold.
+			return quarantine(path, stats), nil
 		}
 		preps[i] = &core.Prepared{Graph: g, Plan: en.Plan}
 	}
@@ -185,35 +263,48 @@ func (c *Cache) loadFile(path string) (LoadStats, error) {
 	return stats, nil
 }
 
-// decodeSnapshot parses and version-checks one snapshot file, returning
-// the surviving entries in their on-disk (least → most recently used)
-// order. Entries that cannot be used — a version-1 file, or a file
-// written by a different solver generation — are counted in Dropped
-// rather than failing the load. Decode and graph-rebuild errors of
-// current-version entries still fail hard: a freshly written file should
-// never be corrupt.
+// quarantine renames a corrupt snapshot to path+".bad" — out of the boot
+// path, but preserved for forensics — and returns the file's stats with
+// the bad-file count set and any optimistic per-entry numbers cleared. A
+// failed rename (read-only filesystem, say) leaves the file in place; the
+// next boot will quarantine it again, which is annoying but safe.
+func quarantine(path string, stats LoadStats) LoadStats {
+	stats.Loaded = 0
+	stats.Dropped = 0
+	stats.BadFiles++
+	_ = os.Rename(path, path+".bad")
+	return stats
+}
+
+// decodeSnapshot parses, checksums, and version-checks one snapshot file,
+// returning the surviving entries in their on-disk (least → most recently
+// used) order. Three outcomes:
+//
+//   - usable entries (possibly zero of them, with Dropped counts, for
+//     old-format or stale-solver files — those are legitimate, just cold);
+//   - an error wrapping errCorrupt for damaged bytes: non-JSON content,
+//     a v4 checksum mismatch, or entries that fail strict decoding.
+//     Boot-path callers quarantine; the merge path fails hard;
+//   - any other error for unknown future versions.
 func decodeSnapshot(path string, data []byte) ([]persistedEntry, LoadStats, error) {
-	var raw rawSnapshot
+	var raw snapshot
 	if err := json.Unmarshal(data, &raw); err != nil {
-		return nil, LoadStats{Files: 1}, fmt.Errorf("plancache: decode %s: %w", path, err)
+		return nil, LoadStats{Files: 1}, fmt.Errorf("plancache: decode %s: %w: %v", path, errCorrupt, err)
 	}
 	switch raw.Version {
 	case FormatVersion:
-		if raw.Solver != opg.SolverVersion {
-			// The keys in this file embed another solver generation's salt
-			// and can never hit; loading them would only pollute the LRU.
-			return nil, LoadStats{Files: 1, Dropped: len(raw.Entries)}, nil
+		// The checksum covers the exact raw entries bytes as written, so
+		// any in-payload damage — even damage that is still valid JSON —
+		// is caught here before anything is trusted.
+		if got := checksum(raw.Entries); got != raw.Checksum {
+			return nil, LoadStats{Files: 1}, fmt.Errorf("plancache: %s: %w: entries checksum %s, header says %s",
+				path, errCorrupt, got, raw.Checksum)
 		}
-		entries := make([]persistedEntry, len(raw.Entries))
-		for i, msg := range raw.Entries {
-			if err := json.Unmarshal(msg, &entries[i]); err != nil {
-				return nil, LoadStats{Files: 1}, fmt.Errorf("plancache: %s entry %d: %w", path, i, err)
-			}
-			if entries[i].Plan == nil {
-				return nil, LoadStats{Files: 1}, fmt.Errorf("plancache: %s entry %q has no plan", path, entries[i].Key)
-			}
-		}
-		return entries, LoadStats{Files: 1, Loaded: len(entries)}, nil
+		return decodeEntries(path, raw)
+	case 3:
+		// Same entry layout as v4, written before checksums existed;
+		// strict decoding is the only integrity check available.
+		return decodeEntries(path, raw)
 	case 1, 2:
 		// Version-1 snapshots predate the solver-version salt in
 		// core.PlanKey, and version-2 files were necessarily written by a
@@ -222,10 +313,38 @@ func decodeSnapshot(path string, data []byte) ([]persistedEntry, LoadStats, erro
 		// entry dropped with a count, never a hard error — so an old
 		// warm-start file (even a damaged one) degrades to a cold start
 		// instead of failing the run.
-		return nil, LoadStats{Files: 1, Dropped: len(raw.Entries)}, nil
+		var msgs []json.RawMessage
+		_ = json.Unmarshal(raw.Entries, &msgs) // best effort, count what decodes
+		return nil, LoadStats{Files: 1, Dropped: len(msgs)}, nil
 	default:
 		return nil, LoadStats{Files: 1}, fmt.Errorf("plancache: %s has format version %d, want %d", path, raw.Version, FormatVersion)
 	}
+}
+
+// decodeEntries strictly decodes a v3/v4 file's entries after the header
+// checks passed. Solver-generation mismatches drop every entry (their keys
+// embed another salt and could never hit); per-entry decode failures are
+// corruption.
+func decodeEntries(path string, raw snapshot) ([]persistedEntry, LoadStats, error) {
+	var msgs []json.RawMessage
+	if err := json.Unmarshal(raw.Entries, &msgs); err != nil {
+		return nil, LoadStats{Files: 1}, fmt.Errorf("plancache: %s entries: %w: %v", path, errCorrupt, err)
+	}
+	if raw.Solver != opg.SolverVersion {
+		// The keys in this file embed another solver generation's salt
+		// and can never hit; loading them would only pollute the LRU.
+		return nil, LoadStats{Files: 1, Dropped: len(msgs)}, nil
+	}
+	entries := make([]persistedEntry, len(msgs))
+	for i, msg := range msgs {
+		if err := json.Unmarshal(msg, &entries[i]); err != nil {
+			return nil, LoadStats{Files: 1}, fmt.Errorf("plancache: %s entry %d: %w: %v", path, i, errCorrupt, err)
+		}
+		if entries[i].Plan == nil {
+			return nil, LoadStats{Files: 1}, fmt.Errorf("plancache: %s entry %q has no plan: %w", path, entries[i].Key, errCorrupt)
+		}
+	}
+	return entries, LoadStats{Files: 1, Loaded: len(entries)}, nil
 }
 
 // MergeStats summarizes a snapshot merge.
@@ -243,8 +362,9 @@ type MergeStats struct {
 // so diverging plans mean a corrupt or mislabeled snapshot, not a benign
 // race. The conflict error names both snapshot files so the offending
 // shard can be re-run without bisecting the input list. Unlike Load, a
-// missing input file is an error: a lost shard snapshot must not silently
-// produce a colder merged cache.
+// missing input file is an error, and so is a corrupt one: a lost or
+// damaged shard snapshot must not silently produce a colder merged cache —
+// the shard should be re-run instead.
 func MergeSnapshotFiles(out string, paths ...string) (MergeStats, error) {
 	var stats MergeStats
 	if len(paths) == 0 {
@@ -288,14 +408,14 @@ func MergeSnapshotFiles(out string, paths ...string) (MergeStats, error) {
 			stats.Replaced++
 		}
 	}
-	snap := snapshot{Version: FormatVersion, Solver: opg.SolverVersion}
+	var entries []persistedEntry
 	for _, key := range order {
-		snap.Entries = append(snap.Entries, merged[key])
+		entries = append(entries, merged[key])
 	}
-	stats.Entries = len(snap.Entries)
-	data, err := json.Marshal(snap)
+	stats.Entries = len(entries)
+	data, err := encodeSnapshot(entries)
 	if err != nil {
-		return stats, fmt.Errorf("plancache: merge encode: %w", err)
+		return stats, fmt.Errorf("plancache: merge: %w", err)
 	}
 	tmp := out + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {

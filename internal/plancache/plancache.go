@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 )
 
 // DefaultMaxEntries bounds the cache when New is given a non-positive
@@ -40,6 +41,7 @@ type Cache struct {
 	order   *list.List // front = most recently used
 	entries map[string]*list.Element
 	stats   Stats
+	inj     *faultinject.Injector // optional persistence fault injection
 }
 
 type entry struct {

@@ -240,25 +240,56 @@ func TestLoadRejectsVersionMismatch(t *testing.T) {
 	}
 }
 
-func TestLoadRejectsEntryWithoutPlan(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "plans.json")
-	data := fmt.Sprintf(`{"version":%d,"solver":%q,"entries":[{"key":"k","graph":{"name":"g","dtype":0,"nodes":[]},"plan":null}]}`,
-		FormatVersion, opg.SolverVersion)
+// writeV4 hand-crafts a checksum-valid FormatVersion snapshot from raw
+// entries JSON, bypassing Save, so tests can build stale-solver and
+// damaged-entry payloads whose checksums still verify.
+func writeV4(t *testing.T, path, solver, entriesJSON string) {
+	t.Helper()
+	data := fmt.Sprintf(`{"version":%d,"solver":%q,"checksum":%q,"entries":%s}`,
+		FormatVersion, solver, checksum([]byte(entriesJSON)), entriesJSON)
 	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := New(0).Load(path); err == nil {
-		t.Fatal("nil-plan entry not rejected")
+}
+
+// A nil-plan entry in a checksum-valid snapshot is in-payload damage the
+// CRC cannot see; strict decoding must catch it, and the boot path must
+// quarantine the file and start cold rather than reject the boot.
+func TestLoadQuarantinesEntryWithoutPlan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.json")
+	writeV4(t, path, opg.SolverVersion,
+		`[{"key":"k","graph":{"name":"g","dtype":0,"nodes":[]},"plan":null}]`)
+	c := New(0)
+	stats, err := c.LoadAll(path)
+	if err != nil {
+		t.Fatalf("corrupt snapshot must degrade, not error: %v", err)
+	}
+	if c.Len() != 0 {
+		t.Errorf("corrupt snapshot loaded %d entries", c.Len())
+	}
+	if stats.BadFiles != 1 || stats.Loaded != 0 || stats.Dropped != 0 {
+		t.Errorf("stats = %+v, want 1 bad file, nothing loaded or dropped", stats)
+	}
+	if _, err := os.Stat(path + ".bad"); err != nil {
+		t.Errorf("quarantine file missing: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt snapshot left in the boot path")
+	}
+
+	// The merge path has no cold-start fallback — the same file fails hard.
+	bad := filepath.Join(t.TempDir(), "merge-src.json")
+	writeV4(t, bad, opg.SolverVersion,
+		`[{"key":"k","graph":{"name":"g","dtype":0,"nodes":[]},"plan":null}]`)
+	if _, err := MergeSnapshotFiles(filepath.Join(t.TempDir(), "out.json"), bad); err == nil {
+		t.Error("merge accepted a nil-plan entry")
 	}
 }
 
 func TestLoadSkipsStaleSolverSnapshot(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "plans.json")
-	data := fmt.Sprintf(`{"version":%d,"solver":"lc-opg-0","entries":[{"key":"k","graph":{"name":"g","dtype":0,"nodes":[]},"plan":{"chunk_size":1}}]}`,
-		FormatVersion)
-	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
-		t.Fatal(err)
-	}
+	writeV4(t, path, "lc-opg-0",
+		`[{"key":"k","graph":{"name":"g","dtype":0,"nodes":[]},"plan":{"chunk_size":1}}]`)
 	c := New(0)
 	stats, err := c.LoadAll(path)
 	if err != nil {
@@ -270,6 +301,131 @@ func TestLoadSkipsStaleSolverSnapshot(t *testing.T) {
 	if stats.Dropped != 1 || stats.Loaded != 0 {
 		t.Errorf("stats = %+v, want 1 dropped / 0 loaded", stats)
 	}
+}
+
+// saveAsV3 rewrites a cache snapshot into the version-3 layout — same
+// entry shape as v4, no checksum — to exercise the pre-checksum load path
+// without keeping stale fixture files around.
+func saveAsV3(t *testing.T, c *Cache, path string) {
+	t.Helper()
+	data, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	snap["version"] = 3
+	delete(snap, "checksum")
+	out, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// seedCache solves one model into a fresh cache so persistence tests have
+// a real entry to snapshot.
+func seedCache(t *testing.T) *Cache {
+	t.Helper()
+	c := New(0)
+	opts := testOptions()
+	opts.Cache = c
+	e := core.NewEngine(opts)
+	if _, err := e.Prepare(models.MustByAbbr("ResNet").Build()); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestVersion3SnapshotStillLoads: a fresh v3 file was written by the
+// current solver generation; dropping it just because it predates the
+// checksum would cold-start fleets for no reason.
+func TestVersion3SnapshotStillLoads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v3.json")
+	saveAsV3(t, seedCache(t), path)
+	c := New(0)
+	stats, err := c.LoadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 || stats.Loaded != 1 || stats.BadFiles != 0 {
+		t.Errorf("v3 load: len=%d stats=%+v, want 1 loaded", c.Len(), stats)
+	}
+}
+
+// TestTruncatedV3SnapshotDegradesToColdStart: the satellite contract — a
+// truncated pre-checksum snapshot handed to LoadAll quarantines and boots
+// cold with a counted bad file, never an error.
+func TestTruncatedV3SnapshotDegradesToColdStart(t *testing.T) {
+	dir := t.TempDir()
+	whole := filepath.Join(dir, "whole.json")
+	saveAsV3(t, seedCache(t), whole)
+	raw, err := os.ReadFile(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "plans.json")
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := New(0)
+	stats, err := c.LoadAll(path)
+	if err != nil {
+		t.Fatalf("truncated snapshot must degrade to cold start, not error: %v", err)
+	}
+	if c.Len() != 0 {
+		t.Errorf("truncated snapshot loaded %d entries", c.Len())
+	}
+	if stats.BadFiles != 1 || stats.Loaded != 0 {
+		t.Errorf("stats = %+v, want 1 bad file / 0 loaded", stats)
+	}
+	if _, err := os.Stat(path + ".bad"); err != nil {
+		t.Errorf("quarantine file missing: %v", err)
+	}
+}
+
+// TestBitFlipQuarantinedByChecksum: single-byte damage inside the entries
+// payload of a real Save file — valid JSON or not — fails the v4 checksum
+// and quarantines.
+func TestBitFlipQuarantinedByChecksum(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.json")
+	c := seedCache(t)
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit inside the entries payload, past the header fields.
+	idx := bytesIndex(raw, []byte(`"entries":`)) + len(`"entries":`) + 40
+	raw[idx] ^= 0x20
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(0)
+	stats, err := fresh.LoadAll(path)
+	if err != nil {
+		t.Fatalf("bit-flipped snapshot must degrade, not error: %v", err)
+	}
+	if fresh.Len() != 0 || stats.BadFiles != 1 {
+		t.Errorf("bit flip: len=%d stats=%+v, want quarantine + cold start", fresh.Len(), stats)
+	}
+
+	// The merge path treats the same file as a hard error: a damaged shard
+	// snapshot means lost sweep work, not a colder cache.
+	if _, err := MergeSnapshotFiles(filepath.Join(t.TempDir(), "out.json"), path+".bad"); err == nil {
+		t.Error("merge accepted a checksum-mismatched snapshot")
+	}
+}
+
+// bytesIndex is strings.Index for byte slices without an extra import.
+func bytesIndex(haystack, needle []byte) int {
+	return strings.Index(string(haystack), string(needle))
 }
 
 // saveAsV1 rewrites a cache snapshot into the version-1 layout (no solver
@@ -452,6 +608,13 @@ func TestMergeSnapshotFiles(t *testing.T) {
 	}
 	en := snap["entries"].([]any)[0].(map[string]any)
 	en["plan"].(map[string]any)["ChunkSize"] = float64(12345)
+	// Re-seal the checksum over the mutated entries so the conflict (not the
+	// corruption) path is what fires.
+	entJSON, err := json.Marshal(snap["entries"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap["checksum"] = checksum(entJSON)
 	mut, err := json.Marshal(snap)
 	if err != nil {
 		t.Fatal(err)

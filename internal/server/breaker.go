@@ -1,0 +1,88 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is the solve-path circuit breaker. A run of consecutive solve
+// failures — solver errors or recovered panics — opens it; while open, new
+// solve leaders are refused immediately (served degraded when a
+// last-known-good plan exists, 503 + Retry-After otherwise) instead of
+// queueing onto a solver that is demonstrably sick. After a cooldown one
+// probe solve is let through: success closes the breaker, failure re-opens
+// it for another cooldown.
+//
+// The breaker gates only solve admission. Cache hits, collapsed followers,
+// and in-flight solves are unaffected — they add no solver load.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that open the breaker
+	cooldown  time.Duration // open → half-open delay
+	fails     int           // consecutive failures seen while closed
+	open      bool
+	openedAt  time.Time
+	probing   bool // a half-open probe solve is in flight
+}
+
+// allow reports whether a new solve may be admitted right now. When it
+// grants the first admission after a cooldown, that solve is the probe:
+// its outcome decides whether the breaker closes or re-opens.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.probing || time.Since(b.openedAt) < b.cooldown {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// success records a completed solve (or a benign cache-race hit) and
+// closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.fails = 0
+	b.open = false
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// failure records a failed solve; at the threshold — or on a failed
+// half-open probe — the breaker (re-)opens for a full cooldown.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	b.fails++
+	if b.probing || b.fails >= b.threshold {
+		b.open = true
+		b.openedAt = time.Now()
+		b.fails = 0
+	}
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// cancelProbe releases a granted admission that never reached the solver
+// (the queue was full) without judging the solver for it.
+func (b *breaker) cancelProbe() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// snapshot reports the breaker state for /statsz.
+func (b *breaker) snapshot() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case !b.open:
+		return "closed"
+	case b.probing || time.Since(b.openedAt) >= b.cooldown:
+		return "half-open"
+	default:
+		return "open"
+	}
+}

@@ -24,6 +24,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -35,6 +36,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/models"
 	"repro/internal/opg"
@@ -68,6 +70,21 @@ type Config struct {
 	// completely).
 	CacheEntries int
 
+	// BreakerThreshold is how many consecutive solve failures (errors or
+	// recovered panics) open the circuit breaker (<= 0: 5). While open,
+	// new solves are refused for BreakerCooldown — served degraded when a
+	// last-known-good plan exists, 503 + Retry-After otherwise — then one
+	// probe solve decides whether to close or re-open.
+	BreakerThreshold int
+
+	// BreakerCooldown is how long the breaker stays open before probing
+	// (<= 0: 5s).
+	BreakerCooldown time.Duration
+
+	// Injector, when non-nil, arms fault injection on the solve path
+	// (site "server.solve": error, latency, panic). Chaos harnesses only.
+	Injector *faultinject.Injector
+
 	// Solver is the base solver configuration; per-request overrides apply
 	// on top of it. A zero ChunkSize selects opg.DefaultConfig() wholesale,
 	// so partial configs must start from opg.DefaultConfig().
@@ -81,6 +98,8 @@ type Config struct {
 type Server struct {
 	cfg       Config
 	cache     *plancache.Cache
+	stale     *plancache.Cache // last-known-good plans for degraded serving
+	brk       breaker
 	sf        group
 	queue     chan *job
 	done      chan struct{}
@@ -112,8 +131,22 @@ type job struct {
 }
 
 var (
-	errOverloaded = errors.New("solve queue full")
-	errShutdown   = errors.New("server shutting down")
+	errOverloaded  = errors.New("solve queue full")
+	errShutdown    = errors.New("server shutting down")
+	errCircuitOpen = errors.New("circuit breaker open")
+)
+
+// Machine-readable error codes carried in every non-200 JSON body, so
+// clients branch on a stable field instead of parsing prose.
+const (
+	codeBadRequest       = "bad_request"
+	codeMethodNotAllowed = "method_not_allowed"
+	codeQueueFull        = "queue_full"
+	codeSolveTimeout     = "solve_timeout"
+	codeShuttingDown     = "shutting_down"
+	codeSolveFailed      = "solve_failed"
+	codeCircuitOpen      = "circuit_open"
+	codeInternal         = "internal"
 )
 
 // New builds a server and starts its solve workers. Call Close to stop
@@ -134,12 +167,23 @@ func New(cfg Config) *Server {
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 8192
 	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
 	if cfg.Solver.ChunkSize <= 0 {
 		cfg.Solver = opg.DefaultConfig()
 	}
 	s := &Server{
 		cfg:   cfg,
 		cache: plancache.New(cfg.CacheEntries),
+		// The last-known-good store is twice the hot cache: a plan evicted
+		// from the hot store under pressure is exactly the plan degraded
+		// serving wants to still have when its re-solve fails.
+		stale: plancache.New(2 * cfg.CacheEntries),
+		brk:   breaker{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown},
 		queue: make(chan *job, cfg.QueueDepth),
 		done:  make(chan struct{}),
 		start: time.Now(),
@@ -229,7 +273,7 @@ func (s *Server) worker() {
 				}
 			}
 			t0 := time.Now()
-			prep, err := j.eng.Prepare(j.g)
+			prep, err := s.solve(j)
 			if err == nil && !prep.FromCache {
 				s.solveHist.observe(time.Since(t0))
 				// This process solved it, so the plan is no longer the
@@ -239,10 +283,36 @@ func (s *Server) worker() {
 				delete(s.warm, j.key)
 				s.warmMu.Unlock()
 			}
+			if err == nil {
+				s.brk.success()
+			} else {
+				s.brk.failure()
+			}
 			s.ctr.inFlight.Add(-1)
 			s.sf.complete(j.key, j.c, prep, err)
 		}
 	}
+}
+
+// solve runs one admitted job with panic containment: a panicking solver —
+// real or injected — must cost exactly one request its result, not the
+// worker goroutine (which would quietly shrink the pool until the server
+// deadlocks with a full queue and nobody draining it).
+func (s *Server) solve(j *job) (prep *core.Prepared, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.ctr.panics.Add(1)
+			prep, err = nil, fmt.Errorf("solver panic: %v", r)
+		}
+	}()
+	if inj := s.cfg.Injector; inj != nil {
+		if err := inj.Err("server.solve"); err != nil {
+			return nil, err
+		}
+		_ = inj.Delay(context.Background(), "server.solve")
+		inj.MaybePanic("server.solve")
+	}
+	return j.eng.Prepare(j.g)
 }
 
 // PlanRequest is the POST /plan body. Device and Model address the
@@ -332,7 +402,9 @@ type PlanResponse struct {
 
 	// Source reports how the plan was produced: "warm" (fleet snapshot),
 	// "cached" (solved earlier in this process), "solved" (this request's
-	// solve), or "collapsed" (rode another request's in-flight solve).
+	// solve), "collapsed" (rode another request's in-flight solve), or
+	// "degraded" (last-known-good plan served because the solve path is
+	// saturated, broken, or too slow right now).
 	Source    string  `json:"source"`
 	FromCache bool    `json:"from_cache"`
 	WaitMS    float64 `json:"wait_ms"`
@@ -341,37 +413,39 @@ type PlanResponse struct {
 	Plan    json.RawMessage `json:"plan"`
 }
 
-// errorResponse is every non-200 body.
+// errorResponse is every non-200 body: prose for humans, a stable code
+// for clients.
 type errorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	s.ctr.requests.Add(1)
 	if r.Method != http.MethodPost {
-		s.fail(w, t0, http.StatusMethodNotAllowed, false, "POST only")
+		s.fail(w, t0, http.StatusMethodNotAllowed, false, codeMethodNotAllowed, "POST only")
 		return
 	}
 	var req PlanRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&req); err != nil {
-		s.fail(w, t0, http.StatusBadRequest, false, fmt.Sprintf("bad request body: %v", err))
+		s.fail(w, t0, http.StatusBadRequest, false, codeBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
 	dev, ok := device.ByName(req.Device)
 	if !ok {
-		s.fail(w, t0, http.StatusBadRequest, false, fmt.Sprintf("unknown device %q", req.Device))
+		s.fail(w, t0, http.StatusBadRequest, false, codeBadRequest, fmt.Sprintf("unknown device %q", req.Device))
 		return
 	}
 	spec, ok := models.ByAbbr(req.Model)
 	if !ok {
-		s.fail(w, t0, http.StatusBadRequest, false, fmt.Sprintf("unknown model %q", req.Model))
+		s.fail(w, t0, http.StatusBadRequest, false, codeBadRequest, fmt.Sprintf("unknown model %q", req.Model))
 		return
 	}
 	cfg, err := req.Config.apply(s.cfg.Solver)
 	if err != nil {
-		s.fail(w, t0, http.StatusBadRequest, false, fmt.Sprintf("bad config: %v", err))
+		s.fail(w, t0, http.StatusBadRequest, false, codeBadRequest, fmt.Sprintf("bad config: %v", err))
 		return
 	}
 
@@ -379,7 +453,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	eng := s.engineFor(dev, cfg)
 	key, cacheable := eng.PlanKey(g)
 	if !cacheable { // unreachable with analytic capacities; fail loudly if it ever isn't
-		s.fail(w, t0, http.StatusInternalServerError, false, "plan key not computable")
+		s.fail(w, t0, http.StatusInternalServerError, false, codeInternal, "plan key not computable")
 		return
 	}
 
@@ -390,16 +464,24 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Miss: collapse onto an in-flight solve or lead a new one through
-	// admission control.
+	// admission control. The circuit breaker gates only the leader — a
+	// follower adds no solver load, and an open breaker must not strand
+	// requests that can ride an already-running solve.
 	c, leader := s.sf.join(key)
 	if leader {
-		select {
-		case s.queue <- &job{key: key, eng: eng, g: g, c: c}:
-		default:
-			// Queue full. Failing the call also releases any followers
-			// that joined between join and here — they are equally part of
-			// the overload.
-			s.sf.complete(key, c, nil, errOverloaded)
+		if !s.brk.allow() {
+			// Failing the call also releases any followers that joined
+			// between join and here — same as the overload path below.
+			s.sf.complete(key, c, nil, errCircuitOpen)
+		} else {
+			select {
+			case s.queue <- &job{key: key, eng: eng, g: g, c: c}:
+			default:
+				// Queue full. A granted breaker probe that never reached
+				// the solver says nothing about the solver's health.
+				s.brk.cancelProbe()
+				s.sf.complete(key, c, nil, errOverloaded)
+			}
 		}
 	}
 
@@ -411,8 +493,15 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		s.ctr.waiting.Add(-1)
 	case <-timer.C:
 		s.ctr.waiting.Add(-1)
+		// Stale-while-revalidate: the solve continues in the background
+		// and will refresh the cache; a last-known-good plan for the key
+		// is byte-identical to what that solve will produce (the solver is
+		// deterministic), so serving it beats making the client wait again.
+		if s.serveDegraded(w, t0, &req, key) {
+			return
+		}
 		s.ctr.timedOut.Add(1)
-		s.retryFail(w, t0, http.StatusGatewayTimeout,
+		s.retryFail(w, t0, http.StatusGatewayTimeout, codeSolveTimeout,
 			"solve exceeded the per-request timeout; it continues in the background and will be served from cache on retry")
 		return
 	case <-r.Context().Done():
@@ -436,14 +525,41 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		}
 		s.serve(w, t0, &req, key, src, c.prep)
 	case errors.Is(c.err, errOverloaded):
+		if s.serveDegraded(w, t0, &req, key) {
+			return
+		}
 		s.ctr.rejected.Add(1)
-		s.retryFail(w, t0, http.StatusTooManyRequests, "solve queue full")
+		s.retryFail(w, t0, http.StatusTooManyRequests, codeQueueFull, "solve queue full")
+	case errors.Is(c.err, errCircuitOpen):
+		if s.serveDegraded(w, t0, &req, key) {
+			return
+		}
+		s.ctr.breakerRejects.Add(1)
+		s.retryFail(w, t0, http.StatusServiceUnavailable, codeCircuitOpen,
+			"circuit breaker open: recent solves failed; retry after the cooldown")
 	case errors.Is(c.err, errShutdown):
-		s.fail(w, t0, http.StatusServiceUnavailable, true, "server shutting down")
+		s.fail(w, t0, http.StatusServiceUnavailable, true, codeShuttingDown, "server shutting down")
 	default:
+		if s.serveDegraded(w, t0, &req, key) {
+			return
+		}
 		s.ctr.solveErrors.Add(1)
-		s.fail(w, t0, http.StatusInternalServerError, false, fmt.Sprintf("solve failed: %v", c.err))
+		s.fail(w, t0, http.StatusInternalServerError, false, codeSolveFailed, fmt.Sprintf("solve failed: %v", c.err))
 	}
+}
+
+// serveDegraded answers with the last-known-good plan for the key, labeled
+// "degraded", when one exists — the stale-while-revalidate fallback for
+// queue saturation, an open breaker, a failed or panicked solve, and a
+// timed-out wait. Plans are deterministic per key, so a stale plan is not
+// approximately right, it is *the* plan; only its provenance differs.
+func (s *Server) serveDegraded(w http.ResponseWriter, t0 time.Time, req *PlanRequest, key string) bool {
+	prep, ok := s.stale.Get(key)
+	if !ok {
+		return false
+	}
+	s.serve(w, t0, req, key, "degraded", prep)
+	return true
 }
 
 // sourceForHit labels a cache hit warm or cached.
@@ -468,10 +584,18 @@ func (s *Server) serve(w http.ResponseWriter, t0 time.Time, req *PlanRequest, ke
 		s.ctr.solves.Add(1)
 	case "collapsed":
 		s.ctr.collapsed.Add(1)
+	case "degraded":
+		s.ctr.degraded.Add(1)
+	}
+	if source != "degraded" {
+		// Every healthy serve refreshes the last-known-good store. It is
+		// bounded separately from the hot cache, so an eviction there does
+		// not take the degraded fallback with it.
+		s.stale.Put(key, prep)
 	}
 	var buf bytes.Buffer
 	if err := prep.Plan.Encode(&buf); err != nil {
-		s.fail(w, t0, http.StatusInternalServerError, false, fmt.Sprintf("encode plan: %v", err))
+		s.fail(w, t0, http.StatusInternalServerError, false, codeInternal, fmt.Sprintf("encode plan: %v", err))
 		return
 	}
 	resp := PlanResponse{
@@ -500,8 +624,8 @@ func (s *Server) serve(w http.ResponseWriter, t0 time.Time, req *PlanRequest, ke
 }
 
 // fail writes an error response; retryable failures get a Retry-After.
-func (s *Server) fail(w http.ResponseWriter, t0 time.Time, code int, retryable bool, msg string) {
-	if code == http.StatusBadRequest || code == http.StatusMethodNotAllowed {
+func (s *Server) fail(w http.ResponseWriter, t0 time.Time, status int, retryable bool, ecode, msg string) {
+	if status == http.StatusBadRequest || status == http.StatusMethodNotAllowed {
 		s.ctr.badRequests.Add(1)
 	}
 	s.serveHist.observe(time.Since(t0))
@@ -509,13 +633,15 @@ func (s *Server) fail(w http.ResponseWriter, t0 time.Time, code int, retryable b
 	if retryable {
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 	}
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(errorResponse{Error: msg})
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: msg, Code: ecode})
 }
 
-// retryFail is fail with a Retry-After — the admission-control verdicts.
-func (s *Server) retryFail(w http.ResponseWriter, t0 time.Time, code int, msg string) {
-	s.fail(w, t0, code, true, msg)
+// retryFail is fail with a Retry-After — the verdicts (429 queue full,
+// 504 solve timeout, 503 breaker open or shutdown) where the client's
+// correct next move is the same request again, later.
+func (s *Server) retryFail(w http.ResponseWriter, t0 time.Time, status int, ecode, msg string) {
+	s.fail(w, t0, status, true, ecode, msg)
 }
 
 // HealthResponse is the GET /healthz body.
@@ -545,20 +671,24 @@ type StatsSnapshot struct {
 	SolverVersion string  `json:"solver_version"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 
-	Requests    int64 `json:"requests"`
-	WarmHits    int64 `json:"warm_hits"`
-	Hits        int64 `json:"hits"`
-	Collapsed   int64 `json:"collapsed"`
-	Solves      int64 `json:"solves"`
-	SolveErrors int64 `json:"solve_errors"`
-	Rejected    int64 `json:"rejected"`
-	TimedOut    int64 `json:"timed_out"`
-	BadRequests int64 `json:"bad_requests"`
+	Requests       int64 `json:"requests"`
+	WarmHits       int64 `json:"warm_hits"`
+	Hits           int64 `json:"hits"`
+	Collapsed      int64 `json:"collapsed"`
+	Solves         int64 `json:"solves"`
+	Degraded       int64 `json:"degraded"`
+	SolveErrors    int64 `json:"solve_errors"`
+	SolverPanics   int64 `json:"solver_panics"`
+	Rejected       int64 `json:"rejected"`
+	BreakerRejects int64 `json:"breaker_rejects"`
+	TimedOut       int64 `json:"timed_out"`
+	BadRequests    int64 `json:"bad_requests"`
 
-	QueueDepth int64 `json:"queue_depth"` // admitted, waiting for a worker
-	InFlight   int64 `json:"in_flight"`   // executing on a worker
-	Waiting    int64 `json:"waiting"`     // requests parked on a solve
-	WarmPlans  int   `json:"warm_plans"`
+	Breaker    string `json:"breaker"`     // closed | open | half-open
+	QueueDepth int64  `json:"queue_depth"` // admitted, waiting for a worker
+	InFlight   int64  `json:"in_flight"`   // executing on a worker
+	Waiting    int64  `json:"waiting"`     // requests parked on a solve
+	WarmPlans  int    `json:"warm_plans"`
 
 	Cache plancache.Stats `json:"cache"`
 
@@ -576,10 +706,14 @@ func (s *Server) Stats() StatsSnapshot {
 		Hits:           s.ctr.hits.Load(),
 		Collapsed:      s.ctr.collapsed.Load(),
 		Solves:         s.ctr.solves.Load(),
+		Degraded:       s.ctr.degraded.Load(),
 		SolveErrors:    s.ctr.solveErrors.Load(),
+		SolverPanics:   s.ctr.panics.Load(),
 		Rejected:       s.ctr.rejected.Load(),
+		BreakerRejects: s.ctr.breakerRejects.Load(),
 		TimedOut:       s.ctr.timedOut.Load(),
 		BadRequests:    s.ctr.badRequests.Load(),
+		Breaker:        s.brk.snapshot(),
 		QueueDepth:     int64(len(s.queue)),
 		InFlight:       s.ctr.inFlight.Load(),
 		Waiting:        s.ctr.waiting.Load(),

@@ -107,20 +107,24 @@ func quantileMS(counts []int64, total int64, q float64) float64 {
 }
 
 // counters is the server's request-accounting block. Every successful
-// /plan response is exactly one of WarmHits, Hits, Collapsed, or Solves;
-// failures are exactly one of Rejected, TimedOut, SolveErrors, or
-// BadRequests — so the columns always sum back to Requests.
+// /plan response is exactly one of WarmHits, Hits, Collapsed, Solves, or
+// Degraded; failures are exactly one of Rejected, BreakerRejects,
+// TimedOut, SolveErrors, or BadRequests — so the columns always sum back
+// to Requests.
 type counters struct {
-	requests    atomic.Int64
-	warmHits    atomic.Int64 // served from snapshot-loaded entries
-	hits        atomic.Int64 // served from entries solved earlier in-process
-	collapsed   atomic.Int64 // singleflight followers riding a leader's solve
-	solves      atomic.Int64 // requests whose solve actually ran the solver
-	solveErrors atomic.Int64
-	rejected    atomic.Int64 // 429: solve queue full
-	timedOut    atomic.Int64 // 504: solve outlasted the per-request timeout
-	badRequests atomic.Int64
+	requests       atomic.Int64
+	warmHits       atomic.Int64 // served from snapshot-loaded entries
+	hits           atomic.Int64 // served from entries solved earlier in-process
+	collapsed      atomic.Int64 // singleflight followers riding a leader's solve
+	solves         atomic.Int64 // requests whose solve actually ran the solver
+	degraded       atomic.Int64 // last-known-good plans served around a sick solve path
+	solveErrors    atomic.Int64
+	rejected       atomic.Int64 // 429: solve queue full
+	breakerRejects atomic.Int64 // 503: circuit breaker open, no stale plan to fall back on
+	timedOut       atomic.Int64 // 504: solve outlasted the per-request timeout
+	badRequests    atomic.Int64
 
+	panics   atomic.Int64 // solver panics contained by the worker pool
 	inFlight atomic.Int64 // solves currently executing on workers
 	waiting  atomic.Int64 // requests parked on an in-flight solve
 }

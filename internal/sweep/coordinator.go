@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/faultinject"
 )
 
 // The coordinator side of a coordinated sweep: one process owns the cell
@@ -98,6 +100,19 @@ type CoordinatorConfig struct {
 	// Real sweeps solve for seconds per batch, so the default costs
 	// nothing; in-process harnesses with millisecond batches set it lower.
 	IdleWait time.Duration
+
+	// Journal, when set, is the path of the coordinator's lease journal:
+	// every accepted result is appended there, and a new coordinator over
+	// the same grid replays it at construction — a crashed coordinator
+	// restarted against its journal resumes the sweep with no lost and no
+	// double-counted cells. Empty disables journaling.
+	Journal string
+
+	// Injector optionally injects faults into the coordinator protocol at
+	// sites "sweep.coord.lease" and "sweep.coord.result": a fired error
+	// rule makes the handler answer HTTP 500 before touching the ledger,
+	// which workers treat as transient and retry. Nil injects nothing.
+	Injector *faultinject.Injector
 }
 
 const (
@@ -135,8 +150,10 @@ type CoordinatorStats struct {
 	Cells            int                    `json:"cells"`
 	Batches          int                    `json:"batches"`
 	CompletedBatches int                    `json:"completed_batches"`
-	Steals           int                    `json:"steals"`  // expired leases re-dealt
-	Retries          int                    `json:"retries"` // error-triggered re-deals
+	ResumedBatches   int                    `json:"resumed_batches,omitempty"` // completions replayed from the journal at boot
+	JournalErrors    int                    `json:"journal_errors,omitempty"`  // failed journal appends (durability degraded, sweep unharmed)
+	Steals           int                    `json:"steals"`                    // expired leases re-dealt
+	Retries          int                    `json:"retries"`                   // error-triggered re-deals
 	StaleResults     int                    `json:"stale_results"`
 	Done             bool                   `json:"done"`
 	Failed           string                 `json:"failed,omitempty"`
@@ -161,6 +178,8 @@ type CoordinatorResult struct {
 type Coordinator struct {
 	cfg CoordinatorConfig
 
+	jnl *journal // nil without CoordinatorConfig.Journal
+
 	mu        sync.Mutex
 	batches   []*batchState // indexed by Seq
 	queue     []*batchState // pending batches, dealt from the front
@@ -173,6 +192,8 @@ type Coordinator struct {
 	steals    int
 	retries   int
 	stale     int
+	resumed   int // batches replayed done from the journal
+	jnlErrs   int // journal appends that failed
 
 	done     chan struct{}
 	doneOnce sync.Once
@@ -235,10 +256,77 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	copy(c.queue, c.batches)
 	// Deal order: descending estimated cost, Seq as the stable tie-break.
 	sort.SliceStable(c.queue, func(i, j int) bool { return c.queue[i].Cost > c.queue[j].Cost })
-	if len(c.batches) == 0 {
-		c.doneOnce.Do(func() { close(c.done) }) // an empty grid is already complete
+	if cfg.Journal != "" {
+		if err := c.replayJournal(cfg.Journal); err != nil {
+			return nil, err
+		}
+	}
+	if len(c.batches) == 0 || c.completed == len(c.batches) {
+		c.doneOnce.Do(func() { close(c.done) }) // nothing left to deal
 	}
 	return c, nil
+}
+
+// replayJournal opens the lease journal and marks every batch it records as
+// already done. Duplicate sequence numbers count once (the double-count
+// guard); records whose rows fail their CRC, decode badly, or do not match
+// the batch's cell count are skipped, which re-deals those batches — a
+// duplicate solve, never a wrong result.
+func (c *Coordinator) replayJournal(path string) error {
+	jnl, recs, err := openJournal(path, journalHeader{
+		Journal:     journalFormat,
+		Fingerprint: c.cfg.Grid.Fingerprint,
+		Layout:      layoutDigest(c.batches),
+		Batches:     len(c.batches),
+	})
+	if err != nil {
+		return err
+	}
+	c.jnl = jnl
+	for _, rec := range recs {
+		if rec.Seq < 0 || rec.Seq >= len(c.batches) {
+			continue
+		}
+		bs := c.batches[rec.Seq]
+		if bs.state == batchDone {
+			continue
+		}
+		var rows []json.RawMessage
+		if json.Unmarshal(rec.Rows, &rows) != nil || len(rows) != bs.Hi-bs.Lo {
+			continue
+		}
+		bs.state = batchDone
+		bs.rows = rows
+		c.completed++
+		c.resumed++
+		ws := c.workerStats(rec.Worker)
+		ws.Completed++
+		ws.CellsDone += bs.Hi - bs.Lo
+	}
+	if c.resumed > 0 {
+		live := c.queue[:0]
+		for _, bs := range c.queue {
+			if bs.state != batchDone {
+				live = append(live, bs)
+			}
+		}
+		c.queue = live
+	}
+	return nil
+}
+
+// Close releases the coordinator's journal file. It does not wait for the
+// sweep; call it when the coordinator is being torn down (a no-op without a
+// journal).
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.jnl == nil {
+		return nil
+	}
+	err := c.jnl.close()
+	c.jnl = nil
+	return err
 }
 
 // buildBatches cuts each group into contiguous cost-balanced ranges.
@@ -379,6 +467,12 @@ type resultResponse struct {
 
 // lease deals the next pending batch.
 func (c *Coordinator) lease(req leaseRequest) (leaseResponse, int) {
+	// An injected fault answers 500 with no verdict before the ledger is
+	// touched; workers treat that as a transient coordinator wobble and
+	// retry under backoff.
+	if c.cfg.Injector.Err("sweep.coord.lease") != nil {
+		return leaseResponse{}, http.StatusInternalServerError
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if req.Fingerprint != c.cfg.Grid.Fingerprint {
@@ -414,6 +508,12 @@ func (c *Coordinator) lease(req leaseRequest) (leaseResponse, int) {
 // lease is still accepted — the rows are deterministic, and accepting them
 // saves the re-dealt duplicate from having to finish.
 func (c *Coordinator) result(req resultRequest) (resultResponse, int) {
+	// Injected before any state changes, so a worker retrying the 500 posts
+	// an identical, still-unprocessed result — the idempotency result posts
+	// already promise.
+	if c.cfg.Injector.Err("sweep.coord.result") != nil {
+		return resultResponse{}, http.StatusInternalServerError
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.reap(time.Now())
@@ -470,6 +570,15 @@ func (c *Coordinator) result(req resultRequest) (resultResponse, int) {
 			}
 		}
 	}
+	// Journal the acceptance before the ledger flips to done and the ack
+	// goes out, so any result a worker saw accepted is durable. A failed
+	// append degrades durability, not the sweep — counted, and the result
+	// still accepted; on a later resume the batch is merely re-dealt.
+	if c.jnl != nil {
+		if err := c.jnl.append(bs.Seq, req.Worker, req.Rows); err != nil {
+			c.jnlErrs++
+		}
+	}
 	bs.state = batchDone
 	bs.rows = req.Rows
 	bs.token, bs.worker = 0, ""
@@ -502,6 +611,8 @@ func (c *Coordinator) statsLocked() CoordinatorStats {
 		Cells:            c.cfg.Grid.Cells(),
 		Batches:          len(c.batches),
 		CompletedBatches: c.completed,
+		ResumedBatches:   c.resumed,
+		JournalErrors:    c.jnlErrs,
 		Steals:           c.steals,
 		Retries:          c.retries,
 		StaleResults:     c.stale,

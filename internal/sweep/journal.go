@@ -1,0 +1,195 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// The coordinator's lease journal: an append-only JSON-lines file recording
+// every accepted batch result, so a coordinator that crashes mid-sweep can
+// be restarted against the same journal and resume — already-accepted
+// batches replay as done (no lost cells) and their sequence numbers are
+// deduplicated (no double-counted cells). The journal holds rows, not
+// snapshots: rows are the correctness-bearing output the byte-identical
+// merge invariant covers, while worker plan-cache snapshots are re-attached
+// to every post-restart result anyway.
+//
+// Durability model: records are written through the OS page cache without
+// fsync. A coordinator *process* crash (the failure the chaos harness
+// induces) loses nothing; a whole-machine power cut may lose the tail,
+// which costs re-running the affected batches — a duplicate solve, never a
+// wrong result, because the first completion wins and rows are
+// deterministic. A torn trailing line from a crash mid-append is detected
+// by its CRC (or by failing to parse) and discarded on replay.
+
+// journalFormat tags the header line so a future format change fails loudly
+// instead of silently replaying records it misreads.
+const journalFormat = "sweep-journal-v1"
+
+// journalHeader is the file's first line. Fingerprint and Layout bind the
+// journal to one exact sweep: replaying rows into a coordinator whose grid
+// or batch boundaries differ would scatter cells into the wrong ranges, so
+// a mismatch is an error, not a silent fresh start.
+type journalHeader struct {
+	Journal     string `json:"journal"`
+	Fingerprint string `json:"fingerprint"`
+	Layout      string `json:"layout"`
+	Batches     int    `json:"batches"`
+}
+
+// journalRecord is one accepted batch result. CRC covers the exact Rows
+// bytes, so a bit flip or torn write in the rows payload quarantines the
+// record instead of resurrecting damaged cells.
+type journalRecord struct {
+	Seq    int             `json:"seq"`
+	Worker string          `json:"worker"`
+	Rows   json.RawMessage `json:"rows"`
+	CRC    string          `json:"crc"`
+}
+
+var journalCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+func journalCRC(data []byte) string {
+	return fmt.Sprintf("crc32c:%08x", crc32.Checksum(data, journalCRCTable))
+}
+
+// layoutDigest fingerprints the batch layout — every (seq, group, lo, hi)
+// boundary. Batch boundaries depend on cost estimates and sizing knobs, so
+// two coordinators over the same grid can still cut different batches; rows
+// journaled under one layout must never replay into another.
+func layoutDigest(batches []*batchState) string {
+	var buf bytes.Buffer
+	for _, bs := range batches {
+		fmt.Fprintf(&buf, "%d:%s:%d:%d;", bs.Seq, bs.Group, bs.Lo, bs.Hi)
+	}
+	return journalCRC(buf.Bytes())
+}
+
+// journal is the open journal file. Appends are serialized by mu —
+// independent of the coordinator's own lock, so a slow disk write never
+// extends the protocol critical section beyond the one result being
+// recorded.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openJournal opens (or creates) the journal at path and replays any
+// records already in it. A new file gets the header written immediately; an
+// existing file must open with a matching header. The replayed records are
+// returned in file order — duplicates and range checks are the caller's
+// business, since only the coordinator knows the ledger. A torn or
+// corrupt tail is truncated away so subsequent appends extend a clean file.
+func openJournal(path string, hdr journalHeader) (*journal, []journalRecord, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return createJournal(path, hdr)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("sweep: journal %s: %w", path, err)
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		// Created but never written (crash before the header landed):
+		// indistinguishable from new, so start it fresh.
+		return createJournal(path, hdr)
+	}
+
+	rd := bufio.NewReader(bytes.NewReader(data))
+	line, err := rd.ReadBytes('\n')
+	if err != nil {
+		return nil, nil, fmt.Errorf("sweep: journal %s: unterminated header", path)
+	}
+	var got journalHeader
+	if err := json.Unmarshal(line, &got); err != nil || got.Journal != journalFormat {
+		return nil, nil, fmt.Errorf("sweep: journal %s: not a %s file", path, journalFormat)
+	}
+	if got.Fingerprint != hdr.Fingerprint || got.Layout != hdr.Layout || got.Batches != hdr.Batches {
+		return nil, nil, fmt.Errorf(
+			"sweep: journal %s belongs to a different sweep (fingerprint %q layout %s, this sweep %q layout %s) — remove it or point -journal elsewhere",
+			path, got.Fingerprint, got.Layout, hdr.Fingerprint, hdr.Layout)
+	}
+
+	var recs []journalRecord
+	good := len(line) // byte offset of the end of the last intact line
+	for {
+		line, err = rd.ReadBytes('\n')
+		if err == io.EOF && len(line) == 0 {
+			break
+		}
+		var rec journalRecord
+		if err != nil || // torn tail: no trailing newline
+			json.Unmarshal(line, &rec) != nil ||
+			rec.CRC != journalCRC(rec.Rows) {
+			// The damaged line and everything after it is unusable; cut it
+			// off so the resumed coordinator appends onto intact records.
+			break
+		}
+		recs = append(recs, rec)
+		good += len(line)
+	}
+	if good < len(data) {
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return nil, nil, fmt.Errorf("sweep: journal %s: drop torn tail: %w", path, err)
+		}
+	}
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sweep: journal %s: %w", path, err)
+	}
+	return &journal{f: f}, recs, nil
+}
+
+// createJournal starts a fresh journal with just the header line.
+func createJournal(path string, hdr journalHeader) (*journal, []journalRecord, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sweep: journal %s: %w", path, err)
+	}
+	line, err := json.Marshal(hdr)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("sweep: journal header: %w", err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("sweep: journal %s: %w", path, err)
+	}
+	return &journal{f: f}, nil, nil
+}
+
+// append records one accepted result as a single whole-line write, so
+// records never interleave mid-line.
+func (j *journal) append(seq int, worker string, rows []json.RawMessage) error {
+	rowsJSON, err := json.Marshal(rows)
+	if err != nil {
+		return fmt.Errorf("sweep: journal: encode rows for batch %d: %w", seq, err)
+	}
+	line, err := json.Marshal(journalRecord{
+		Seq:    seq,
+		Worker: worker,
+		Rows:   rowsJSON,
+		CRC:    journalCRC(rowsJSON),
+	})
+	if err != nil {
+		return fmt.Errorf("sweep: journal: encode record for batch %d: %w", seq, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("sweep: journal: append batch %d: %w", seq, err)
+	}
+	return nil
+}
+
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

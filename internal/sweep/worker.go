@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"repro/internal/backoff"
 )
 
 // The worker side of a coordinated sweep: a pull loop against a
@@ -46,8 +48,16 @@ type WorkerConfig struct {
 	Snapshot func() ([]byte, error)
 
 	// Poll is the idle retry interval when the coordinator has nothing to
-	// deal and the transient-error backoff unit (<= 0: 200ms).
+	// deal right now (<= 0: 200ms). Transient *errors* are not paced by
+	// Poll — they back off under Retry.
 	Poll time.Duration
+
+	// Retry shapes the delay between transient coordinator failures —
+	// connection errors, 5xx responses, undecodable replies. The zero
+	// value is the package default: 100ms base doubling to a 5s cap with
+	// jitter, so a fleet of workers restarting against a recovering
+	// coordinator does not arrive in lockstep.
+	Retry backoff.Policy
 
 	// Client is the HTTP client (nil: a client with a 5-minute timeout,
 	// comfortably above any single round trip — batches run locally, not
@@ -97,12 +107,19 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerRunStats, error) {
 		var lease leaseResponse
 		code, err := postJSON(ctx, cfg.Client, base+"/lease",
 			leaseRequest{Worker: cfg.Name, Fingerprint: cfg.Fingerprint}, &lease)
+		// Connection errors, undecodable replies, and 5xx responses are all
+		// transient: the coordinator may still be booting, restarting after
+		// a crash (its journal restores the sweep), or briefly fronted by a
+		// failing proxy. Only the protocol's own verdicts are fatal.
+		if err == nil && code >= 500 && lease.Failed == "" {
+			err = fmt.Errorf("lease: HTTP %d", code)
+		}
 		if err != nil {
 			transient++
 			if transient > transientRetries {
 				return stats, fmt.Errorf("sweep: worker %s: coordinator unreachable: %w", cfg.Name, err)
 			}
-			if err := sleepOrDone(ctx, cfg.Poll); err != nil {
+			if err := cfg.Retry.Sleep(ctx, transient-1); err != nil {
 				return stats, err
 			}
 			continue
@@ -163,13 +180,19 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerRunStats, error) {
 	}
 }
 
-// postResult posts one result, retrying transient errors: dropping a
-// finished batch's rows over a connection blip would force a full re-run
-// of the batch elsewhere.
+// postResult posts one result, retrying transient errors — connection
+// blips, 5xx responses, garbled replies — under the worker's backoff
+// policy: dropping a finished batch's rows over a blip would force a full
+// re-run of the batch elsewhere. Result posts are idempotent on the
+// coordinator (duplicate sequence numbers are acknowledged as stale), so
+// retrying a post whose first attempt actually landed is safe.
 func postResult(ctx context.Context, cfg WorkerConfig, base string, res resultRequest) (resultResponse, error) {
 	var ack resultResponse
 	for attempt := 0; ; attempt++ {
 		code, err := postJSON(ctx, cfg.Client, base+"/result", res, &ack)
+		if err == nil && code >= 500 && ack.Failed == "" {
+			err = fmt.Errorf("HTTP %d", code)
+		}
 		if err == nil {
 			if code != http.StatusOK && ack.Failed == "" {
 				return ack, fmt.Errorf("sweep: worker %s: result: HTTP %d", cfg.Name, code)
@@ -179,7 +202,7 @@ func postResult(ctx context.Context, cfg WorkerConfig, base string, res resultRe
 		if attempt >= transientRetries {
 			return ack, fmt.Errorf("sweep: worker %s: result: %w", cfg.Name, err)
 		}
-		if err := sleepOrDone(ctx, cfg.Poll); err != nil {
+		if err := cfg.Retry.Sleep(ctx, attempt); err != nil {
 			return ack, err
 		}
 	}
@@ -187,15 +210,13 @@ func postResult(ctx context.Context, cfg WorkerConfig, base string, res resultRe
 
 // FetchGrid retrieves a coordinator's work description — what a worker
 // process consults to derive the experiment list (and check its own
-// configuration fingerprint) before pulling batches. Transient errors are
-// retried with the given backoff so worker start-up may precede the
-// coordinator's.
-func FetchGrid(ctx context.Context, client *http.Client, coordinator string, backoff time.Duration) (Grid, error) {
+// configuration fingerprint) before pulling batches. Transient failures —
+// connection errors, 5xx, undecodable bodies — are retried under the
+// given backoff policy (zero value: the package default) so worker
+// start-up may precede the coordinator's.
+func FetchGrid(ctx context.Context, client *http.Client, coordinator string, retry backoff.Policy) (Grid, error) {
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
-	}
-	if backoff <= 0 {
-		backoff = 200 * time.Millisecond
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -219,7 +240,7 @@ func FetchGrid(ctx context.Context, client *http.Client, coordinator string, bac
 		} else {
 			lastErr = err
 		}
-		if err := sleepOrDone(ctx, backoff); err != nil {
+		if err := retry.Sleep(ctx, attempt); err != nil {
 			return Grid{}, err
 		}
 	}

@@ -1,0 +1,144 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/backoff"
+)
+
+// TestWorkerRetryHonorsCancelledContext: a worker stuck in its transient
+// backoff loop against a coordinator that only ever says 503 must unwind
+// promptly when its context is cancelled mid-retry — the satellite
+// contract that no retry sleep outlives its caller.
+func TestWorkerRetryHonorsCancelledContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunWorker(ctx, WorkerConfig{
+			Coordinator: srv.URL,
+			Name:        "w0",
+			Exec:        fakeExec,
+			// A long backoff guarantees the cancel lands inside a sleep,
+			// not between round trips.
+			Retry: backoff.Policy{Base: time.Minute, Max: time.Minute, Jitter: -1},
+		})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the first 503 put it to sleep
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("worker returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker ignored cancellation mid-retry")
+	}
+}
+
+// TestWorkerTreats5xxAsTransient: a coordinator fronted by a flaky proxy
+// (a run of 503s before every request lands) must not kill the sweep —
+// 5xx responses are retried with backoff and the full cell space still
+// completes exactly once.
+func TestWorkerTreats5xxAsTransient(t *testing.T) {
+	grid := Grid{Fingerprint: "fp-1", Groups: []Group{{ID: "a", Cells: 6}}}
+	c, err := NewCoordinator(CoordinatorConfig{Grid: grid, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Fail every other request, across both /lease and /result.
+		if calls.Add(1)%2 == 1 {
+			w.WriteHeader(http.StatusBadGateway)
+			_, _ = w.Write([]byte(`{}`))
+			return
+		}
+		c.Handler().ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	stats, err := RunWorker(waitCtx(t), WorkerConfig{
+		Coordinator: srv.URL,
+		Name:        "w0",
+		Fingerprint: "fp-1",
+		Exec:        fakeExec,
+		Poll:        time.Millisecond,
+		Retry:       backoff.Policy{Base: time.Millisecond, Max: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("worker failed through 5xx blips: %v", err)
+	}
+	if stats.Cells != grid.Cells() {
+		t.Errorf("worker completed %d cells, want %d", stats.Cells, grid.Cells())
+	}
+	res, err := c.Wait(waitCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRows(t, grid, res)
+}
+
+// TestFetchGridRetriesThroughStartupRace: the worker process may start
+// before the coordinator is listening usefully; FetchGrid keeps retrying
+// through 503s and undecodable bodies until the grid appears.
+func TestFetchGridRetriesThroughStartupRace(t *testing.T) {
+	grid := Grid{Fingerprint: "fp-9", Groups: []Group{{ID: "g", Cells: 3}}}
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case 2:
+			_, _ = w.Write([]byte(`{"truncat`)) // half-written reply
+		default:
+			_ = json.NewEncoder(w).Encode(grid)
+		}
+	}))
+	defer srv.Close()
+
+	got, err := FetchGrid(waitCtx(t), nil, srv.URL,
+		backoff.Policy{Base: time.Millisecond, Max: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != grid.Fingerprint || len(got.Groups) != 1 {
+		t.Errorf("fetched grid %+v, want %+v", got, grid)
+	}
+
+	// Cancellation mid-retry unwinds promptly here too.
+	always503 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer always503.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := FetchGrid(ctx, nil, always503.URL,
+			backoff.Policy{Base: time.Minute, Max: time.Minute, Jitter: -1})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("FetchGrid returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("FetchGrid ignored cancellation mid-retry")
+	}
+}
