@@ -10,7 +10,7 @@ GO ?= go
 SWEEP_FLAGS ?= -exp table1,table6,table7,table8,fig8,warmstart,abl-cache \
 	-models ViT,ResNet,GPTN-S -budget 5s -branches 1500
 
-.PHONY: build test test-short bench bench-solver bench-server bench-gate lint vet fmt fmt-check staticcheck shard-check coord-check chaos-check chaos-soak clean
+.PHONY: build test test-short bench bench-solver bench-server bench-trace bench-gate lint vet fmt fmt-check staticcheck shard-check coord-check chaos-check chaos-soak trace-check clean
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,15 @@ bench-solver:
 # CI's nightly job archives the output as BENCH_server.json.
 bench-server:
 	$(GO) test -run '^$$' -bench 'BenchmarkPlanServe' -benchtime=100x ./internal/server
+
+# The churn-resilience trajectory: incremental plan repair vs a cold
+# re-solve on a Llama2-70B memory-budget drop (the headline repair ≪ cold
+# claim), the greedy degradation patch, and repair under a thermal
+# transition (every capacity changes, so this one honestly approaches a
+# cold solve). CI's nightly job archives the output as BENCH_trace.json;
+# the committed BENCH_trace.json is the regression-gate baseline.
+bench-trace:
+	$(GO) test -run '^$$' -bench 'BenchmarkRepairBudgetDrop70B|BenchmarkColdSolveBudgetDrop70B|BenchmarkGreedyPatch70B|BenchmarkRepairThrottle70B' -benchtime=3x ./internal/opg
 
 # The solver-perf regression gate (CI quick job): rerun the solver
 # benchmarks and fail on any >2x ns/op regression against the committed
@@ -74,6 +83,12 @@ bench-gate:
 	$(GO) run ./cmd/benchjson compare -max-ratio 2.0 -ref median \
 		-advisory Parallel -min-ns 50000000 \
 		BENCH_server.json $$tmp
+	@tmp=$$(mktemp) && txt=$$(mktemp) && trap 'rm -f "$$tmp" "$$txt"' EXIT && \
+	$(MAKE) --no-print-directory bench-trace > $$txt && \
+	$(GO) run ./cmd/benchjson < $$txt > $$tmp && \
+	$(GO) run ./cmd/benchjson compare -max-ratio 2.0 -ref median \
+		-advisory Parallel -counter resolved -min-ns 50000000 \
+		BENCH_trace.json $$tmp
 
 lint: fmt-check vet staticcheck
 
@@ -150,6 +165,20 @@ chaos-check:
 chaos-soak:
 	$(GO) run ./cmd/flashbench -chaos -chaos-seed $(CHAOS_SEED) \
 		-chaos-cells 120 -chaos-requests 250 -chaos-report chaos-report.json
+
+# The device-churn replay check (CI quick job): generate a short seeded
+# device-condition trace (model load/unload, memory-budget steps, thermal
+# throttling) and replay it end to end through the resilience engine —
+# incremental repair, the degradation ladder, and shedding all exercised.
+# flashbench exits non-zero on any invariant violation (a lost request, or
+# a served plan invalid for the device state it was served under).
+# Deterministic: TRACE_SEED replays the identical scenario.
+TRACE_SEED ?= 7
+trace-check:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) run ./cmd/flashbench -trace-gen $$dir/churn.json \
+		-trace-seed $(TRACE_SEED) -trace-events 60 \
+		-trace $$dir/churn.json -trace-report $$dir/churn-report.json
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -13,6 +13,8 @@
 //	flashbench -budget 500ms           # per-window CP budget
 //	flashbench -jobs 4 -workers 2      # 4 experiments × 2 cells each
 //	flashbench -cache plans.json       # persist solved plans across runs
+//	flashbench -trace-gen churn.json -trace-seed 7   # seeded device-churn trace
+//	flashbench -trace churn.json       # replay it through the resilience engine
 //
 // Sharded runs partition every experiment's cell matrix across processes;
 // each shard writes machine-readable partial results (and, with -cache,
@@ -105,12 +107,28 @@ func runBench(args []string) error {
 	chaosCells := fs.Int("chaos-cells", 0, "chaos sweep cells per group (0 = small CI-sized soak)")
 	chaosRequests := fs.Int("chaos-requests", 0, "chaos serving-leg request count (0 = small CI-sized soak)")
 	chaosReport := fs.String("chaos-report", "", "write the chaos run's machine-readable report (JSON) here")
+	traceFlag := fs.String("trace", "", "replay a device-condition trace file through the resilience engine instead of experiments; exits non-zero on any invariant violation")
+	traceGen := fs.String("trace-gen", "", "generate a seeded device-condition trace, write it here, and exit (with -trace: generate then replay)")
+	traceSeed := fs.Uint64("trace-seed", 1, "trace generator seed; the same seed and device produce the identical trace")
+	traceEvents := fs.Int("trace-events", 0, "trace generator event count (0 = generator default)")
+	traceDevice := fs.String("trace-device", "OnePlus 12", "device profile for -trace-gen and -trace replay; replay refuses a trace whose device fingerprint differs")
+	traceReport := fs.String("trace-report", "", "write the trace replay's machine-readable report (JSON) here")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *chaosFlag {
 		return runChaos(*chaosSeed, *chaosCells, *chaosRequests, *chaosReport)
+	}
+	if *traceFlag != "" || *traceGen != "" {
+		return runTrace(traceOpts{
+			replayPath: *traceFlag,
+			genPath:    *traceGen,
+			seed:       *traceSeed,
+			events:     *traceEvents,
+			deviceName: *traceDevice,
+			reportPath: *traceReport,
+		})
 	}
 	if *coordAddr != "" && *workerURL != "" {
 		return fmt.Errorf("-coordinator and -worker are mutually exclusive")

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/device"
+	"repro/internal/power"
+	"repro/internal/replan"
+	"repro/internal/trace"
+)
+
+// traceOpts carries the -trace/-trace-gen mode's flag values.
+type traceOpts struct {
+	replayPath string // -trace: replay this trace file
+	genPath    string // -trace-gen: generate a trace here
+	seed       uint64
+	events     int
+	deviceName string
+	reportPath string // -trace-report: machine-readable replay report
+}
+
+// runTrace is the device-churn resilience mode: -trace-gen writes a seeded
+// device-condition trace, -trace replays one end to end through the
+// resilience engine and reports requests served, SLO misses, re-plans, and
+// the repair-vs-cold latency ratio. Replay exits non-zero on any invariant
+// violation (a lost request, a served plan invalid for the device state it
+// was served under). Both flags together generate then immediately replay.
+func runTrace(o traceOpts) error {
+	dev, ok := device.ByName(o.deviceName)
+	if !ok {
+		var names []string
+		for _, d := range device.All() {
+			names = append(names, d.Name)
+		}
+		return fmt.Errorf("unknown -trace-device %q (have %s)", o.deviceName, strings.Join(names, ", "))
+	}
+
+	if o.genPath != "" {
+		tr := trace.Generate(dev, trace.GenOptions{
+			Seed:        o.seed,
+			Events:      o.events,
+			MaxThrottle: power.MaxThrottleLevel,
+		})
+		if err := tr.WriteFile(o.genPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "flashbench: trace: wrote %d events for %q (seed %d, fingerprint %s) to %s\n",
+			len(tr.Events), dev.Name, tr.Seed, tr.Fingerprint, o.genPath)
+		if o.replayPath == "" {
+			return nil
+		}
+	}
+
+	tr, err := trace.ReadFile(o.replayPath)
+	if err != nil {
+		return err
+	}
+	// Replay refuses fingerprint-mismatched traces up front (the error
+	// names both fingerprints); surfacing it here keeps the failure ahead
+	// of any solving work.
+	rep, err := replan.Replay(context.Background(), dev, tr, replan.ReplayOptions{})
+	if err != nil {
+		return err
+	}
+
+	if o.reportPath != "" {
+		data, jerr := json.MarshalIndent(rep, "", "  ")
+		if jerr == nil {
+			jerr = os.WriteFile(o.reportPath, append(data, '\n'), 0o644)
+		}
+		if jerr != nil {
+			fmt.Fprintf(os.Stderr, "flashbench: trace report: %v\n", jerr)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "flashbench: trace: %s: %d events, %d/%d requests served (%d rejected, %d of those shed), %d SLO misses\n",
+		o.replayPath, rep.Events, rep.Served, rep.Requests, rep.Rejected, rep.RejectedShed, rep.SLOMisses)
+	var rungs []string
+	for rung, n := range rep.Rungs {
+		rungs = append(rungs, fmt.Sprintf("%s:%d", rung, n))
+	}
+	sort.Strings(rungs)
+	fmt.Fprintf(os.Stderr, "flashbench: trace: %d re-plans on condition events; plan sources %s\n",
+		rep.Replans, strings.Join(rungs, " "))
+	if rep.RepairVsCold > 0 {
+		fmt.Fprintf(os.Stderr, "flashbench: trace: repair %.1fms mean (%.1fms max, %d windows kept / %d re-solved) vs cold %.1fms mean — ratio %.2f\n",
+			rep.RepairMeanMS, rep.RepairMaxMS, rep.RepairWindowsKept, rep.RepairWindowsResolved,
+			rep.ColdMeanMS, rep.RepairVsCold)
+	}
+
+	if n := len(rep.Violations); n > 0 {
+		for _, v := range rep.Violations {
+			fmt.Fprintf(os.Stderr, "flashbench: trace: INVARIANT VIOLATED: %s\n", v)
+		}
+		return fmt.Errorf("trace replay: %d invariant violation(s) — the trace is deterministic, rerun %s to reproduce", n, o.replayPath)
+	}
+	fmt.Fprintf(os.Stderr, "flashbench: trace: replay clean — 0 invariant violations\n")
+	return nil
+}

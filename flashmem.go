@@ -305,6 +305,17 @@ type PlanSummary struct {
 	RecommittedWindows int
 	ImportedNogoods    int64
 
+	// RepairRung names the degradation-ladder rung that produced this plan
+	// after a device-condition event: "repaired" (incremental repair,
+	// proven equal to a from-scratch solve), "cached_variant", or
+	// "patched" (prefix-preserving greedy patch). Empty for plans solved
+	// cold, which never rode the ladder. RepairWindowsKept/Resolved report
+	// how much of the retained solve survived the event (both zero unless
+	// the rung re-solved windows incrementally).
+	RepairRung            string
+	RepairWindowsKept     int
+	RepairWindowsResolved int
+
 	// FromCache reports that this plan was served by the runtime's plan
 	// cache rather than solved; Cache snapshots that cache's counters at
 	// summary time (zero value when the runtime has no cache).
@@ -337,6 +348,10 @@ func (m *Model) Plan() PlanSummary {
 		SpeculativeWindows: p.Stats.Speculative,
 		RecommittedWindows: p.Stats.Recommitted,
 		ImportedNogoods:    p.Stats.ImportedNogoods,
+
+		RepairRung:            p.Stats.RepairRung,
+		RepairWindowsKept:     p.Stats.RepairWindowsKept,
+		RepairWindowsResolved: p.Stats.RepairWindowsResolved,
 
 		FromCache: m.prep.FromCache,
 	}

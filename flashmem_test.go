@@ -86,6 +86,12 @@ func TestPlanSummary(t *testing.T) {
 	if p.SolverStatus != "OPTIMAL" && p.SolverStatus != "FEASIBLE" {
 		t.Errorf("status %q", p.SolverStatus)
 	}
+	// A cold solve never rode the degradation ladder; the rung fields only
+	// carry values on plans produced by repair (see internal/replan).
+	if p.RepairRung != "" || p.RepairWindowsKept != 0 || p.RepairWindowsResolved != 0 {
+		t.Errorf("cold solve carries repair provenance: rung %q kept %d resolved %d",
+			p.RepairRung, p.RepairWindowsKept, p.RepairWindowsResolved)
+	}
 }
 
 func TestOptionsChangeBehaviour(t *testing.T) {

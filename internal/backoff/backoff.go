@@ -13,6 +13,7 @@ package backoff
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"time"
 )
@@ -96,6 +97,80 @@ func (p Policy) Delay(attempt int) time.Duration {
 		}
 	}
 	return d
+}
+
+// ErrBudgetExhausted reports that a retry Budget's total-elapsed cap has
+// run out: the loop should stop retrying and degrade instead.
+var ErrBudgetExhausted = errors.New("backoff: retry budget exhausted")
+
+// Budget caps the total wall-clock time a retry loop may consume across
+// all of its attempts, independent of how many retries the policy's
+// per-attempt delays would permit. Per-attempt backoff alone cannot bound
+// a loop whose work keeps failing fast — a throttle storm that defeats
+// every repair attempt in milliseconds would spin indefinitely — so
+// latency-budgeted loops pair a Policy (spacing) with a Budget (ceiling).
+type Budget struct {
+	// Total is the elapsed-time cap, measured from NewBudget. A
+	// non-positive Total is exhausted immediately: a zero budget means no
+	// retries at all, not unlimited ones.
+	Total time.Duration
+
+	start time.Time
+	clock func() time.Time // test hook; nil = time.Now
+}
+
+// NewBudget starts a budget of the given total, measured from now.
+func NewBudget(total time.Duration) *Budget {
+	return &Budget{Total: total, start: time.Now()}
+}
+
+func (b *Budget) now() time.Time {
+	if b.clock != nil {
+		return b.clock()
+	}
+	return time.Now()
+}
+
+// Remaining returns the unspent portion of the budget, zero once
+// exhausted.
+func (b *Budget) Remaining() time.Duration {
+	r := b.Total - b.now().Sub(b.start)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Exhausted reports whether the budget has run out.
+func (b *Budget) Exhausted() bool { return b.Remaining() <= 0 }
+
+// Sleep blocks for the policy's Delay(attempt) clamped to the remaining
+// budget. It returns ErrBudgetExhausted without sleeping when nothing
+// remains, or ctx's error if the context ends first — so a budgeted retry
+// loop terminates on whichever of cap expiry or cancellation comes first.
+func (b *Budget) Sleep(ctx context.Context, p Policy, attempt int) error {
+	rem := b.Remaining()
+	if rem <= 0 {
+		return ErrBudgetExhausted
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	d := p.Delay(attempt)
+	if d > rem {
+		d = rem
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Sleep blocks for Delay(attempt) or until ctx ends, returning ctx's error

@@ -86,3 +86,78 @@ func TestSleepHonorsCancelledContext(t *testing.T) {
 		t.Fatal("pre-cancelled Sleep blocked")
 	}
 }
+
+// fakeBudget returns a budget whose clock is under test control.
+func fakeBudget(total time.Duration) (*Budget, *time.Time) {
+	now := time.Unix(0, 0)
+	b := NewBudget(total)
+	b.start = now
+	b.clock = func() time.Time { return now }
+	return b, &now
+}
+
+func TestBudgetCapExpiry(t *testing.T) {
+	b, now := fakeBudget(time.Second)
+	if b.Exhausted() {
+		t.Fatal("fresh budget exhausted")
+	}
+	if got := b.Remaining(); got != time.Second {
+		t.Fatalf("remaining = %v, want 1s", got)
+	}
+	*now = now.Add(400 * time.Millisecond)
+	if got := b.Remaining(); got != 600*time.Millisecond {
+		t.Fatalf("remaining = %v, want 600ms", got)
+	}
+	*now = now.Add(time.Second)
+	if !b.Exhausted() || b.Remaining() != 0 {
+		t.Fatalf("overrun budget must be exhausted with 0 remaining, got %v", b.Remaining())
+	}
+	if err := b.Sleep(context.Background(), Policy{}, 0); err != ErrBudgetExhausted {
+		t.Fatalf("Sleep on exhausted budget: err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestBudgetZeroTotalIsNoRetries(t *testing.T) {
+	b := NewBudget(0)
+	if !b.Exhausted() {
+		t.Fatal("zero budget must be exhausted immediately")
+	}
+	if err := b.Sleep(context.Background(), Policy{}, 0); err != ErrBudgetExhausted {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+// TestBudgetSleepClampsToRemaining checks the last sleep never overruns the
+// cap: a policy delay far beyond the remaining budget returns in roughly
+// the remaining time.
+func TestBudgetSleepClampsToRemaining(t *testing.T) {
+	b := NewBudget(20 * time.Millisecond)
+	p := Policy{Base: time.Hour, Jitter: -1}
+	start := time.Now()
+	if err := b.Sleep(context.Background(), p, 0); err != nil {
+		t.Fatalf("clamped sleep: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("sleep ran %v, want ~20ms (clamped to budget)", elapsed)
+	}
+	if err := b.Sleep(context.Background(), p, 1); err != ErrBudgetExhausted {
+		t.Fatalf("follow-up sleep: err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestBudgetSleepHonorsCancelledContext(t *testing.T) {
+	b := NewBudget(time.Hour)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := b.Sleep(ctx, Policy{Base: time.Hour, Jitter: -1}, 0); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- b.Sleep(ctx2, Policy{Base: time.Hour, Jitter: -1}, 0) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel2()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("mid-sleep cancel: err = %v, want context.Canceled", err)
+	}
+}

@@ -17,6 +17,11 @@
 //     every retryable status (429, 503, 504) carries Retry-After.
 //  5. Corruption is contained: snapshots written through save faults either
 //     load cleanly or are quarantined; loading never fails the boot.
+//  6. Churn is survivable: a seeded device-condition trace (model
+//     load/unload, memory-budget steps, thermal throttling) replayed
+//     through the resilience engine loses no requests and serves only
+//     plans valid for the device state at serve time — even with repair
+//     starved so every event rides the degradation ladder.
 //
 // Fault decisions derive from Config.Seed (see faultinject): the same seed
 // replays the same per-site fault schedule, so a failing soak is rerun, not
@@ -39,11 +44,15 @@ import (
 
 	flashmem "repro"
 	"repro/internal/backoff"
+	"repro/internal/device"
 	"repro/internal/faultinject"
 	"repro/internal/opg"
 	"repro/internal/plancache"
+	"repro/internal/power"
+	"repro/internal/replan"
 	"repro/internal/server"
 	"repro/internal/sweep"
+	"repro/internal/trace"
 )
 
 // Config sizes one chaos run. The zero value of every field but Dir works:
@@ -81,7 +90,20 @@ type Report struct {
 	Degraded   int                    `json:"degraded"`
 	Retryable  int                    `json:"retryable_responses"`
 	BadFiles   int                    `json:"snapshot_files_quarantined"`
+	Churn      ChurnReport            `json:"churn"`
 	Violations []string               `json:"violations,omitempty"`
+}
+
+// ChurnReport is the device-churn leg's outcome: the same seeded trace
+// replayed twice through the resilience engine. Healthy gives repair an
+// unlimited latency budget, so churn is absorbed by incremental repair;
+// Starved caps repair at one nanosecond, forcing every event down the
+// degradation ladder (cached variant, greedy patch, cold re-solves) —
+// the invariants (no lost requests, every served plan valid for the
+// device state it was served under) must hold in both.
+type ChurnReport struct {
+	Healthy *replan.Report `json:"healthy"`
+	Starved *replan.Report `json:"starved"`
 }
 
 // runner carries one run's shared state.
@@ -163,6 +185,9 @@ func Run(cfg Config) (*Report, error) {
 		return r.rep, err
 	}
 	if err := r.servingLeg(); err != nil {
+		return r.rep, err
+	}
+	if err := r.churnLeg(); err != nil {
 		return r.rep, err
 	}
 
@@ -595,4 +620,47 @@ func (r *runner) persistenceLeg(s *server.Server) {
 		r.violatef("no plans survived the snapshot round trip (%d files, %d quarantined)", len(files), stats.BadFiles)
 	}
 	r.logf("persistence leg: %d files → %d plans loaded, %d quarantined to .bad", len(files), fresh.Len(), stats.BadFiles)
+}
+
+// ---- churn leg -----------------------------------------------------------
+
+// churnLeg replays a seeded device-condition trace (model churn, memory
+// budget steps, thermal throttling) through the resilience engine, twice:
+// once with repair given all the time it needs, once with repair starved
+// to a nanosecond so every condition event is forced down the degradation
+// ladder. Both replays must lose no requests and serve only plans valid
+// for the device state they were served under; the replay reports those
+// breaches as violations, which land in the run's Violations.
+func (r *runner) churnLeg() error {
+	dev := device.OnePlus12()
+	events := r.cfg.Requests
+	if events < 60 {
+		events = 60
+	}
+	tr := trace.Generate(dev, trace.GenOptions{
+		Seed:        uint64(r.cfg.Seed),
+		Events:      events,
+		MaxThrottle: power.MaxThrottleLevel,
+	})
+
+	for _, leg := range []struct {
+		name string
+		opts replan.ReplayOptions
+		dst  **replan.Report
+	}{
+		{"healthy", replan.ReplayOptions{}, &r.rep.Churn.Healthy},
+		{"starved", replan.ReplayOptions{Planner: replan.Config{RepairBudget: time.Nanosecond}}, &r.rep.Churn.Starved},
+	} {
+		rep, err := replan.Replay(r.ctx, dev, tr, leg.opts)
+		if err != nil {
+			return fmt.Errorf("churn leg (%s): %w", leg.name, err)
+		}
+		*leg.dst = rep
+		for _, v := range rep.Violations {
+			r.violatef("churn (%s): %s", leg.name, v)
+		}
+		r.logf("churn leg (%s): %d events, %d/%d requests served, %d replans, rungs %v",
+			leg.name, rep.Events, rep.Served, rep.Requests, rep.Replans, rep.Rungs)
+	}
+	return nil
 }

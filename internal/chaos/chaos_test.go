@@ -43,6 +43,15 @@ func TestSeededSoakHoldsInvariants(t *testing.T) {
 	if rep.ServedOK == 0 {
 		t.Error("no plan was ever served under faults")
 	}
+	if rep.Churn.Healthy == nil || rep.Churn.Starved == nil {
+		t.Fatal("churn leg did not run")
+	}
+	if rep.Churn.Healthy.Requests == 0 {
+		t.Error("churn trace generated no requests — the leg exercised nothing")
+	}
+	if rep.Churn.Starved.Replans == 0 {
+		t.Error("starved churn replay never re-planned — no device churn was exercised")
+	}
 	t.Logf("soak: %d faults, %d/%d requests served (%d degraded, %d retryable), %d batches resumed, %d snapshots quarantined",
 		len(rep.Events), rep.ServedOK, rep.Requests, rep.Degraded, rep.Retryable,
 		rep.Sweep.ResumedBatches, rep.BadFiles)

@@ -10,7 +10,12 @@
 // specs.
 package device
 
-import "repro/internal/units"
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/units"
+)
 
 // Device is a simulated mobile platform.
 type Device struct {
@@ -92,6 +97,20 @@ func All() []Device {
 // Portability returns the three secondary devices of Figure 10.
 func Portability() []Device {
 	return []Device{OnePlus11(), XiaomiMi6(), Pixel8()}
+}
+
+// Fingerprint returns a short stable hash over the complete device
+// profile. Artifacts that are only meaningful for one device — condition
+// traces, per-device benchmark archives — record it so a consumer can
+// refuse profiles that merely share a name (the same handshake the sweep
+// coordinator performs against its workers).
+func (d Device) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s|%d|%d|%g|%g|%g|%g|%g|%d|%d|%g",
+		d.Name, d.SoC, d.GPU, int64(d.RAM), int64(d.AppLimit),
+		float64(d.DiskBW), float64(d.UMBW), float64(d.TMBW), float64(d.CacheBW),
+		float64(d.Compute), d.SMs, d.MaxTexDim, float64(d.KernelLaunch))
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // ByName looks up an evaluation device by its Name field ("OnePlus 12",

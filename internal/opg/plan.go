@@ -161,6 +161,15 @@ type SolveStats struct {
 	MinimizedLits   int64
 	ImportedNogoods int64
 
+	// Repair provenance, set only on plans produced by the dynamic-scenario
+	// path (repair.go) or its degradation ladder: the rung that produced the
+	// plan and the window-level kept/re-solved split of the repair pass.
+	// Cold solves leave all three zero. Like the wall-clock fields, they are
+	// not part of the wire encoding, so they never perturb byte-identity.
+	RepairRung            string
+	RepairWindowsKept     int
+	RepairWindowsResolved int
+
 	// Pipeline counters (zero on sequential solves). Speculative counts
 	// windows whose ahead-of-commit solve validated and was committed
 	// as-is; Recommitted counts windows whose speculation failed validation
@@ -180,6 +189,37 @@ type Plan struct {
 	MPeak     units.Bytes
 	Weights   []WeightPlan // ascending by Weight node ID
 	Stats     SolveStats
+}
+
+// Clone returns a deep copy of the plan: mutating the copy's weights,
+// transforms, or stats never touches the original. Consumers that adjust a
+// plan per serving context (AdjustLoadStarts mutates LoadStart in place)
+// must clone first when the source is shared — cache entries, Repairable
+// plans.
+func (p *Plan) Clone() *Plan {
+	q := *p
+	q.Weights = make([]WeightPlan, len(p.Weights))
+	for i, w := range p.Weights {
+		w.Transforms = append([]Assignment(nil), w.Transforms...)
+		q.Weights[i] = w
+	}
+	return &q
+}
+
+// Objective evaluates the §3.1 objective λ·|W| + (1−λ)·Σ(i_w − z_w) for
+// the plan. It is comparable only between plans for the same graph and
+// chunk size; the degradation ladder uses it to rank cached plan variants
+// that all validate against the post-event device state.
+func (p *Plan) Objective(lambda float64) float64 {
+	var preloads, dist float64
+	for _, w := range p.Weights {
+		if w.Preload {
+			preloads++
+			continue
+		}
+		dist += float64(w.Weight - w.LoadStart)
+	}
+	return lambda*preloads + (1-lambda)*dist
 }
 
 // ByWeight returns the plan entry for a weight-owning node.

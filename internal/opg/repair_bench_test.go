@@ -1,0 +1,123 @@
+package opg
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/power"
+	"repro/internal/profiler"
+)
+
+// Repair benchmarks: the headline resilience claim is that incremental
+// repair after a device-condition event costs far less than the
+// from-scratch solve the event would otherwise force. Both sides run
+// Llama2-70B — the worst cold solve in the bundle — with an adapted
+// M_peak dropped by 25%, the paper's mid-pressure budget step. The budget
+// is the CI sweep idiom (generous wall clock, binding branch budget):
+// wall-clock timeouts would mark windows non-replayable on a
+// machine-dependent schedule, making the repaired-window count — the
+// deterministic counter the bench gate checks — vary run to run. Run via
+// `make bench-trace`; CI's nightly job archives the results as
+// BENCH_trace.json.
+
+func benchRepairSetup(b *testing.B) (*Repairable, Capacity, Config, Config) {
+	b.Helper()
+	g := models.SolverOnly()[2].Build() // Llama2-70B
+	caps := profiler.AnalyticCapacityFunc(device.OnePlus12())
+	cfg := DefaultConfig()
+	cfg.SolveTimeout = 5 * time.Second
+	cfg.MaxBranches = 1500
+	cfg = AdaptMPeak(cfg, g)
+	dropped := cfg
+	dropped.MPeak = cfg.MPeak * 3 / 4
+	return SolveRepairable(g, caps, cfg), caps, cfg, dropped
+}
+
+// BenchmarkRepairBudgetDrop70B repairs the retained solve across a 25%
+// M_peak drop; only windows whose recorded reads changed re-solve. For
+// Llama2-70B under the adapted budget no recorded M_peak comparison
+// crosses a 25% (or even 50%) drop, so repair is pure replay validation —
+// the retained plan is *proven* valid under the tighter budget without
+// re-solving anything, which is exactly the mid-pressure common case the
+// ladder is built around (the repair differential test proves the result
+// byte-identical to a cold solve). The cliff sits between M_peak/2 and
+// M_peak/4, where every window re-solves at once; the throttle benchmark
+// below covers that everything-changed regime.
+func BenchmarkRepairBudgetDrop70B(b *testing.B) {
+	base, caps, _, dropped := benchRepairSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var st RepairStats
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r := base.clone()
+		b.StartTimer()
+		var err error
+		st, err = r.Repair(caps, dropped, RepairOptions{})
+		if err != nil {
+			b.Fatalf("repair: %v", err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(st.WindowsKept), "kept")
+	b.ReportMetric(float64(st.WindowsResolved), "resolved")
+}
+
+// BenchmarkColdSolveBudgetDrop70B is the from-scratch baseline for the
+// same budget drop: what serving would pay without repair.
+func BenchmarkColdSolveBudgetDrop70B(b *testing.B) {
+	_, caps, _, dropped := benchRepairSetup(b)
+	g := models.SolverOnly()[2].Build()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var plan *Plan
+	for i := 0; i < b.N; i++ {
+		plan = Solve(g, caps, dropped)
+	}
+	b.StopTimer()
+	if err := plan.Validate(g, caps, dropped); err != nil {
+		b.Fatalf("plan invalid: %v", err)
+	}
+}
+
+// BenchmarkGreedyPatch70B is the ladder's last planning rung: the
+// prefix-preserving greedy patch a repair-budget miss falls back to.
+func BenchmarkGreedyPatch70B(b *testing.B) {
+	base, caps, _, dropped := benchRepairSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := base.GreedyPatch(caps, dropped); err != nil {
+			b.Fatalf("patch: %v", err)
+		}
+	}
+}
+
+// BenchmarkRepairThrottle70B repairs across a thermal transition (level 2
+// derates compute and on-chip bandwidths, reshaping every capacity): the
+// everything-changed regime, where repair honestly approaches a cold
+// solve. The resolved counter is deterministic under the binding branch
+// budget (every window's recorded capacity reads change, so all re-solve)
+// and is what the bench gate checks raw.
+func BenchmarkRepairThrottle70B(b *testing.B) {
+	base, _, cfg, _ := benchRepairSetup(b)
+	throttled := profiler.AnalyticCapacityFunc(power.Throttle(device.OnePlus12(), 2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var st RepairStats
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r := base.clone()
+		b.StartTimer()
+		var err error
+		st, err = r.Repair(throttled, cfg, RepairOptions{})
+		if err != nil {
+			b.Fatalf("repair: %v", err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(st.WindowsKept), "kept")
+	b.ReportMetric(float64(st.WindowsResolved), "resolved")
+}

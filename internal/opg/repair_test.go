@@ -1,0 +1,249 @@
+package opg
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cpsat"
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/profiler"
+	"repro/internal/units"
+)
+
+// Repair's correctness claim is differential: a repaired plan must be
+// byte-identical to a from-scratch solve on the post-event scenario. The
+// tests here pin that down across the two event families repair handles —
+// M_peak steps (memory-budget events) and capacity rescaling (thermal
+// throttling) — plus the budget-abort and greedy-patch paths.
+
+// repairConfig keeps CP budgets branch-bound: a binding wall clock makes
+// window solves timing-dependent, and then no two solves — repaired or
+// cold — are comparable byte for byte.
+func repairConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SolveTimeout = 10 * time.Second
+	cfg.MaxBranches = 4000
+	return cfg
+}
+
+// scaledCapacity derates a capacity function uniformly — the shape of a
+// thermal-throttle event at the solver's level of abstraction.
+func scaledCapacity(caps Capacity, f float64) Capacity {
+	return func(n *graph.Node) units.Bytes {
+		return units.Bytes(f * float64(caps(n)))
+	}
+}
+
+func TestSolveRepairableMatchesSolve(t *testing.T) {
+	g := models.MustByAbbr("GPTN-S").Build()
+	caps := profiler.AnalyticCapacityFunc(device.OnePlus12())
+	cfg := repairConfig()
+
+	r := SolveRepairable(g, caps, cfg)
+	cold := Solve(g, caps, cfg)
+	if !bytes.Equal(encodePlan(t, r.Plan()), encodePlan(t, cold)) {
+		t.Fatal("traced repairable solve differs from plain Solve")
+	}
+	if r.Windows() == 0 {
+		t.Fatal("no windows retained")
+	}
+}
+
+func TestRepairBudgetDropDifferential(t *testing.T) {
+	g := models.MustByAbbr("GPTN-S").Build()
+	caps := profiler.AnalyticCapacityFunc(device.OnePlus12())
+	cfg := repairConfig()
+
+	r := SolveRepairable(g, caps, cfg)
+	for _, drop := range []units.Bytes{400 * units.MB, 250 * units.MB, 100 * units.MB} {
+		next := cfg
+		next.MPeak = drop
+		st, err := r.Repair(caps, next, RepairOptions{})
+		if err != nil {
+			t.Fatalf("repair to MPeak=%d: %v", drop, err)
+		}
+		cold := Solve(g, caps, next)
+		if !bytes.Equal(encodePlan(t, r.Plan()), encodePlan(t, cold)) {
+			t.Fatalf("repaired plan differs from cold solve at MPeak=%d (kept=%d resolved=%d)",
+				drop, st.WindowsKept, st.WindowsResolved)
+		}
+		if got := r.Plan().Stats.RepairRung; got != RungRepaired {
+			t.Fatalf("rung = %q, want %q", got, RungRepaired)
+		}
+	}
+}
+
+func TestRepairThrottleDifferential(t *testing.T) {
+	g := models.MustByAbbr("GPTN-S").Build()
+	caps := profiler.AnalyticCapacityFunc(device.OnePlus12())
+	cfg := repairConfig()
+
+	r := SolveRepairable(g, caps, cfg)
+	for _, f := range []float64{0.85, 0.6, 1.0} {
+		derated := scaledCapacity(caps, f)
+		if _, err := r.Repair(derated, cfg, RepairOptions{}); err != nil {
+			t.Fatalf("repair at capacity factor %v: %v", f, err)
+		}
+		cold := Solve(g, derated, cfg)
+		if !bytes.Equal(encodePlan(t, r.Plan()), encodePlan(t, cold)) {
+			t.Fatalf("repaired plan differs from cold solve at capacity factor %v", f)
+		}
+	}
+}
+
+// TestRepairKeepsUnaffectedPrefix is the point of the whole mechanism: a
+// mild event must not force a full re-solve. A small M_peak step keeps a
+// committed prefix (and usually most windows) intact.
+func TestRepairKeepsUnaffectedPrefix(t *testing.T) {
+	g := toyGraph(40, 8*units.MB)
+	caps := flatCapacity(24 * units.MB)
+	cfg := repairConfig()
+	cfg.Window = 6 // small windows: per-row ceilings stay far below the budget
+
+	r := SolveRepairable(g, caps, cfg)
+	next := cfg
+	next.MPeak = 400 * units.MB
+	st, err := r.Repair(caps, next, RepairOptions{})
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if st.WindowsKept == 0 {
+		t.Fatalf("no windows kept on a mild budget step (resolved=%d)", st.WindowsResolved)
+	}
+	if st.WindowsKept+st.WindowsResolved != r.Windows() {
+		t.Fatalf("kept %d + resolved %d != windows %d", st.WindowsKept, st.WindowsResolved, r.Windows())
+	}
+}
+
+// TestRepairRoundTrip drops the budget and restores it: the second repair
+// must land byte-identically on the original solve.
+func TestRepairRoundTrip(t *testing.T) {
+	g := toyGraph(24, 32*units.MB)
+	caps := flatCapacity(24 * units.MB)
+	cfg := repairConfig()
+
+	r := SolveRepairable(g, caps, cfg)
+	orig := encodePlan(t, r.Plan())
+	next := cfg
+	next.MPeak = 120 * units.MB
+	if _, err := r.Repair(caps, next, RepairOptions{}); err != nil {
+		t.Fatalf("drop: %v", err)
+	}
+	if _, err := r.Repair(caps, cfg, RepairOptions{}); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if !bytes.Equal(orig, encodePlan(t, r.Plan())) {
+		t.Fatal("budget round trip did not restore the original plan")
+	}
+}
+
+func TestRepairBudgetAbortLeavesStateIntact(t *testing.T) {
+	g := models.MustByAbbr("GPTN-S").Build()
+	caps := profiler.AnalyticCapacityFunc(device.OnePlus12())
+	cfg := repairConfig()
+
+	r := SolveRepairable(g, caps, cfg)
+	before := encodePlan(t, r.Plan())
+	next := cfg
+	next.MPeak = 100 * units.MB
+	_, err := r.Repair(caps, next, RepairOptions{Budget: time.Nanosecond})
+	if !errors.Is(err, ErrRepairBudget) {
+		t.Fatalf("err = %v, want ErrRepairBudget", err)
+	}
+	if !bytes.Equal(before, encodePlan(t, r.Plan())) {
+		t.Fatal("aborted repair mutated the repairable")
+	}
+	if r.Config().MPeak != cfg.MPeak {
+		t.Fatal("aborted repair mutated the retained config")
+	}
+}
+
+func TestRepairRejectsIncompatibleConfig(t *testing.T) {
+	g := toyGraph(8, 16*units.MB)
+	caps := flatCapacity(24 * units.MB)
+	r := SolveRepairable(g, caps, repairConfig())
+
+	next := repairConfig()
+	next.Window = 12
+	if _, err := r.Repair(caps, next, RepairOptions{}); !errors.Is(err, ErrRepairIncompatible) {
+		t.Fatalf("window change: err = %v, want ErrRepairIncompatible", err)
+	}
+	next = repairConfig()
+	next.ChunkSize = 2 * units.MB
+	if _, err := r.Repair(caps, next, RepairOptions{}); !errors.Is(err, ErrRepairIncompatible) {
+		t.Fatalf("chunk change: err = %v, want ErrRepairIncompatible", err)
+	}
+}
+
+// TestRepairImportNogoods exercises the PR-8 import surface on the repair
+// path. Imports may steer the CP to a different (equally valid) plan, so
+// the differential claim weakens to: the plan validates, and when both
+// solves prove optimality the objectives agree.
+func TestRepairImportNogoods(t *testing.T) {
+	g := models.MustByAbbr("GPTN-S").Build()
+	caps := profiler.AnalyticCapacityFunc(device.OnePlus12())
+	cfg := repairConfig()
+
+	r := SolveRepairable(g, caps, cfg)
+	next := cfg
+	next.MPeak = 250 * units.MB
+	if _, err := r.Repair(caps, next, RepairOptions{ImportNogoods: true}); err != nil {
+		t.Fatalf("warm repair: %v", err)
+	}
+	repaired := r.Plan()
+	if err := repaired.Validate(g, caps, next); err != nil {
+		t.Fatalf("warm-repaired plan invalid: %v", err)
+	}
+	cold := Solve(g, caps, next)
+	if repaired.Stats.Status == cpsat.Optimal && cold.Stats.Status == cpsat.Optimal {
+		if got, want := repaired.Objective(next.Lambda), cold.Objective(next.Lambda); got != want {
+			t.Fatalf("optimal objectives differ: repaired %v, cold %v", got, want)
+		}
+	}
+}
+
+func TestGreedyPatchValidAndFast(t *testing.T) {
+	g := models.MustByAbbr("GPTN-S").Build()
+	caps := profiler.AnalyticCapacityFunc(device.OnePlus12())
+	cfg := repairConfig()
+
+	r := SolveRepairable(g, caps, cfg)
+	next := cfg
+	next.MPeak = 120 * units.MB
+	plan, st, err := r.GreedyPatch(caps, next)
+	if err != nil {
+		t.Fatalf("patch: %v", err)
+	}
+	if err := plan.Validate(g, caps, next); err != nil {
+		t.Fatalf("patched plan invalid: %v", err)
+	}
+	if plan.Stats.RepairRung != RungPatched {
+		t.Fatalf("rung = %q, want %q", plan.Stats.RepairRung, RungPatched)
+	}
+	if st.WindowsKept+st.WindowsResolved != r.Windows() {
+		t.Fatalf("kept %d + resolved %d != windows %d", st.WindowsKept, st.WindowsResolved, r.Windows())
+	}
+	// The patch never runs CP, so the Repairable must be untouched: its
+	// retained config still carries the pre-event budget.
+	if r.Config().MPeak != cfg.MPeak {
+		t.Fatal("patch mutated the repairable")
+	}
+}
+
+func TestPlanCloneIndependent(t *testing.T) {
+	g := toyGraph(8, 16*units.MB)
+	caps := flatCapacity(24 * units.MB)
+	p := Solve(g, caps, repairConfig())
+	q := p.Clone()
+	if !bytes.Equal(encodePlan(t, p), encodePlan(t, q)) {
+		t.Fatal("clone differs from original")
+	}
+	q.Weights[0].LoadStart++
+	if q.Weights[0].LoadStart == p.Weights[0].LoadStart {
+		t.Fatal("clone shares weight storage with original")
+	}
+}

@@ -55,12 +55,14 @@ func enumerateWindows(weights []weightItem, span int) []window {
 type readKind uint8
 
 const (
-	readCapPos readKind = iota // (cap[l]-a) > 0 — candidate bearing status
-	readCapMin                 // min(cap[l]-a, b) — prefilter capacity sums
-	readHisMin                 // min(b, ⌊f·(cap[l]-a)⌋) — x bounds and C3 limits
-	readC2Lim                  // min(b, min_{l≤i<to} mpeakSlack(i)) — C2 row limits
-	readCapEq                  // cap[l] == val — greedy fallback, exact
-	readInEq                   // inflight[l] == val — greedy fallback, exact
+	readCapPos  readKind = iota // (cap[l]-a) > 0 — candidate bearing status
+	readCapMin                  // min(cap[l]-a, b) — prefilter capacity sums
+	readHisMin                  // min(b, ⌊f·(cap[l]-a)⌋) — x bounds and C3 limits
+	readC2Lim                   // min(b, min_{l≤i<to} mpeakSlack(i)) — C2 row limits
+	readCapEq                   // cap[l] == val — greedy fallback, exact
+	readInEq                    // inflight[l] == val — greedy fallback, exact
+	readMPeakGT                 // (b > MPeak) — structural-preload prefilter
+	readMPeakEq                 // MPeak == val — greedy ran; exact budget dependence
 )
 
 // readRec is one recorded canonical read; replayRead re-evaluates it
@@ -72,6 +74,13 @@ type readRec struct {
 	a, b  int64
 	f     float64
 	val   int64
+}
+
+func evalGT(a, b int64) int64 {
+	if a > b {
+		return 1
+	}
+	return 0
 }
 
 func evalCapPos(cap, a int64) int64 {
@@ -193,6 +202,25 @@ func (v *winView) inExact(l int) int64 {
 	return base + v.inAdd[l-v.off]
 }
 
+// mpeakGT reports whether b bytes exceed the in-flight budget, recording
+// the comparison. The structural-preload prefilter depends on cfg.MPeak,
+// which capacity and in-flight reads alone cannot see — without this
+// record, a repair replay (repair.go) could wrongly keep a window across a
+// budget step that flips the preload decision.
+func (v *winView) mpeakGT(b int64) bool {
+	val := evalGT(b, int64(v.cfg.MPeak))
+	v.rec(readRec{kind: readMPeakGT, b: b, val: val})
+	return val == 1
+}
+
+// mpeakStamp records the exact in-flight budget. Greedy's slack arithmetic
+// depends continuously on cfg.MPeak (slack = MPeak − inflight at every
+// step), so a greedy-solved window is replay-valid under another budget
+// only if the budget is unchanged.
+func (v *winView) mpeakStamp() {
+	v.rec(readRec{kind: readMPeakEq, val: int64(v.cfg.MPeak)})
+}
+
 // use consumes n chunks of capacity at l (negative to roll back).
 func (v *winView) use(l, n int) { v.capUsed[l-v.off] += n }
 
@@ -282,6 +310,14 @@ func replayOK(res *windowResult, cfg *Config, capR []int, infl []int64) bool {
 			}
 		case readInEq:
 			if infl[l] != r.val {
+				return false
+			}
+		case readMPeakGT:
+			if evalGT(r.b, int64(cfg.MPeak)) != r.val {
+				return false
+			}
+		case readMPeakEq:
+			if int64(cfg.MPeak) != r.val {
 				return false
 			}
 		}
@@ -385,9 +421,9 @@ func (ws *winSolver) solveBatch(batch []weightItem) {
 			capSum += ws.v.capMin(int(l), int64(w.chunks))
 		}
 		switch {
-		case len(wCands) == 0,
-			capSum < int64(w.chunks),
-			int64(w.chunks)*int64(ws.cfg.ChunkSize) > int64(ws.cfg.MPeak):
+		case len(wCands) == 0, capSum < int64(w.chunks):
+			ws.preload(w)
+		case ws.v.mpeakGT(int64(w.chunks) * int64(ws.cfg.ChunkSize)):
 			ws.preload(w)
 		default:
 			items = append(items, w)
@@ -729,6 +765,7 @@ func (ws *winSolver) tryCP(batch []weightItem, cands [][]graph.NodeID, relax flo
 // than clamped.
 func (ws *winSolver) greedy(batch []weightItem) {
 	cfg := ws.cfg
+	ws.v.mpeakStamp()
 	slackAt := func(l int) int {
 		slack := int64(cfg.MPeak) - ws.v.inExact(l)
 		if slack <= 0 {

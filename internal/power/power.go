@@ -11,6 +11,7 @@
 package power
 
 import (
+	"repro/internal/device"
 	"repro/internal/gpusim"
 	"repro/internal/units"
 )
@@ -25,6 +26,45 @@ type Model struct {
 // Default returns the flagship-phone power model used in the evaluation.
 func Default() Model {
 	return Model{Idle: 1.6, Compute: 4.2, Transfer: 1.5}
+}
+
+// MaxThrottleLevel is the deepest modeled thermal state. Real SoC
+// governors expose a handful of discrete throttle steps; levels beyond
+// this clamp.
+const MaxThrottleLevel = 3
+
+// ThrottleFactor returns the multiplicative derating applied at a thermal
+// level: 1 at level 0, strictly decreasing per step (1/(1+0.25·level)),
+// clamped at MaxThrottleLevel. Mobile thermal governors cut GPU and memory
+// controller clocks together, so one factor covers compute throughput and
+// the on-chip bandwidths.
+func ThrottleFactor(level int) float64 {
+	if level <= 0 {
+		return 1
+	}
+	if level > MaxThrottleLevel {
+		level = MaxThrottleLevel
+	}
+	return 1 / (1 + 0.25*float64(level))
+}
+
+// Throttle returns the device as the workload experiences it at a thermal
+// level: compute throughput and the UM/TM/cache bandwidths derated by
+// ThrottleFactor. Disk bandwidth and launch overhead are unaffected (the
+// storage controller sits outside the GPU thermal domain). Level 0 returns
+// the device value unchanged — bit for bit — so releasing a throttle
+// restores the baseline cost model exactly; each deeper level strictly
+// raises every kernel's modeled cost.
+func Throttle(dev device.Device, level int) device.Device {
+	f := ThrottleFactor(level)
+	if f == 1 {
+		return dev
+	}
+	dev.Compute = units.Throughput(float64(dev.Compute) * f)
+	dev.UMBW = units.Bandwidth(float64(dev.UMBW) * f)
+	dev.TMBW = units.Bandwidth(float64(dev.TMBW) * f)
+	dev.CacheBW = units.Bandwidth(float64(dev.CacheBW) * f)
+	return dev
 }
 
 // Usage summarizes power and energy for one run.

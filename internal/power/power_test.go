@@ -6,6 +6,9 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/gpusim"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
 	"repro/internal/units"
 )
 
@@ -59,5 +62,62 @@ func TestBusyClampedToHorizon(t *testing.T) {
 	p := Default()
 	if max := p.Idle + p.Compute + p.Transfer; u.AveragePowerW > max+1e-9 {
 		t.Errorf("average power %v exceeds physical max %v", u.AveragePowerW, max)
+	}
+}
+
+// TestThrottleMonotoneAndRestores is the thermal-transition table test:
+// every throttle step must raise the modeled kernel cost monotonically
+// (strictly, for kernels with real work), and releasing the throttle must
+// restore the baseline cost model exactly — not approximately, since plan
+// repair treats "throttle released" as "back to the retained baseline".
+func TestThrottleMonotoneAndRestores(t *testing.T) {
+	g := graph.New("probe", tensor.FP16)
+	g.Op("mm", graph.Part{Kind: graph.MatMul, Weight: 32 * units.MB, InBytes: 4 * units.MB, OutBytes: 4 * units.MB, MACs: 2e9})
+	node := g.Nodes()[0]
+
+	for _, dev := range device.All() {
+		base := kernels.NewCostModel(dev).KernelTime(node, kernels.Texture25D)
+		prev := base
+		for level := 1; level <= MaxThrottleLevel+1; level++ {
+			cost := kernels.NewCostModel(Throttle(dev, level)).KernelTime(node, kernels.Texture25D)
+			if cost < prev {
+				t.Errorf("%s level %d: cost %v below level %d cost %v", dev.Name, level, cost, level-1, prev)
+			}
+			if level <= MaxThrottleLevel && cost <= prev {
+				t.Errorf("%s level %d: cost %v did not strictly increase over %v", dev.Name, level, cost, prev)
+			}
+			if level > MaxThrottleLevel && cost != prev {
+				t.Errorf("%s level %d: cost %v beyond MaxThrottleLevel must clamp to %v", dev.Name, level, cost, prev)
+			}
+			prev = cost
+		}
+		if restored := Throttle(dev, 0); restored != dev {
+			t.Errorf("%s: Throttle(level 0) = %+v, want the device unchanged", dev.Name, restored)
+		}
+		if cost := kernels.NewCostModel(Throttle(dev, 0)).KernelTime(node, kernels.Texture25D); cost != base {
+			t.Errorf("%s: released cost %v, want exact baseline %v", dev.Name, cost, base)
+		}
+	}
+}
+
+// TestThrottleFactorShape pins the derating curve: 1 at rest, strictly
+// decreasing per level, clamped past MaxThrottleLevel.
+func TestThrottleFactorShape(t *testing.T) {
+	if f := ThrottleFactor(0); f != 1 {
+		t.Fatalf("level 0 factor = %v, want 1", f)
+	}
+	if f := ThrottleFactor(-3); f != 1 {
+		t.Fatalf("negative level factor = %v, want 1", f)
+	}
+	prev := 1.0
+	for level := 1; level <= MaxThrottleLevel; level++ {
+		f := ThrottleFactor(level)
+		if f >= prev {
+			t.Fatalf("level %d factor %v not below level %d factor %v", level, f, level-1, prev)
+		}
+		prev = f
+	}
+	if f := ThrottleFactor(MaxThrottleLevel + 5); f != prev {
+		t.Fatalf("over-max factor = %v, want clamp at %v", f, prev)
 	}
 }

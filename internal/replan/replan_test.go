@@ -1,0 +1,243 @@
+package replan
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/fusion"
+	"repro/internal/models"
+	"repro/internal/opg"
+	"repro/internal/plancache"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+func testConfig() Config {
+	return Config{Base: opg.DefaultConfig()}
+}
+
+func load(t *testing.T, p *Planner, abbr string, priority int) []Action {
+	t.Helper()
+	a, err := p.Apply(context.Background(), trace.Event{Kind: trace.KindModelLoad, Model: abbr, Priority: priority})
+	if err != nil {
+		t.Fatalf("loading %s: %v", abbr, err)
+	}
+	return a
+}
+
+func mustServeValid(t *testing.T, p *Planner, abbr string) *Serving {
+	t.Helper()
+	sv, err := p.Serve(abbr)
+	if err != nil {
+		t.Fatalf("serving %s: %v", abbr, err)
+	}
+	if err := sv.Plan.Validate(sv.Graph, p.State().Caps(), p.SolveConfig()); err != nil {
+		t.Fatalf("served %s plan (%s) invalid for current state: %v", abbr, sv.Rung, err)
+	}
+	return sv
+}
+
+func TestPlannerLoadRepairThrottle(t *testing.T) {
+	p := NewPlanner(device.OnePlus12(), testConfig())
+	a := load(t, p, "ViT", 2)
+	if len(a) != 1 || a[0].Rung != opg.RungCold {
+		t.Fatalf("load actions = %+v, want one cold solve", a)
+	}
+	if sv := mustServeValid(t, p, "ViT"); sv.Rung != opg.RungCold {
+		t.Fatalf("initial serve rung = %s, want cold", sv.Rung)
+	}
+
+	// A budget drop must be handled by incremental repair when the repair
+	// budget is unlimited.
+	a, err := p.Apply(context.Background(), trace.Event{Kind: trace.KindMemoryBudget, Budget: 300 * units.MB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 1 || a[0].Rung != opg.RungRepaired {
+		t.Fatalf("budget-drop actions = %+v, want one repair", a)
+	}
+	if a[0].Stats.WindowsKept+a[0].Stats.WindowsResolved == 0 {
+		t.Fatal("repair action reports no windows")
+	}
+	sv := mustServeValid(t, p, "ViT")
+	if sv.Rung != opg.RungRepaired {
+		t.Fatalf("post-repair serve rung = %s, want repaired", sv.Rung)
+	}
+	if sv.Plan.MPeak != 300*units.MB {
+		t.Fatalf("served plan MPeak = %v, want the new budget", sv.Plan.MPeak)
+	}
+
+	// A throttle transition reshapes capacities; the served plan must stay
+	// valid for the derated device.
+	if _, err := p.Apply(context.Background(), trace.Event{Kind: trace.KindThrottle, Level: 2}); err != nil {
+		t.Fatal(err)
+	}
+	mustServeValid(t, p, "ViT")
+	if _, err := p.Apply(context.Background(), trace.Event{Kind: trace.KindThrottle, Level: 0}); err != nil {
+		t.Fatal(err)
+	}
+	mustServeValid(t, p, "ViT")
+}
+
+func TestLadderDescendsToPatchThenColdRecovers(t *testing.T) {
+	cfg := testConfig()
+	cfg.RepairBudget = time.Nanosecond // every repair misses its budget
+	p := NewPlanner(device.OnePlus12(), cfg)
+	load(t, p, "ViT", 2)
+
+	a, err := p.Apply(context.Background(), trace.Event{Kind: trace.KindMemoryBudget, Budget: 300 * units.MB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 1 || a[0].Rung != opg.RungPatched {
+		t.Fatalf("actions = %+v, want one greedy patch", a)
+	}
+	sv := mustServeValid(t, p, "ViT")
+	if sv.Rung != opg.RungPatched || sv.Plan.Stats.RepairRung != opg.RungPatched {
+		t.Fatalf("serve rung = %s / stats %q, want patched", sv.Rung, sv.Plan.Stats.RepairRung)
+	}
+
+	// A patched plan is stale: the next event must re-solve cold rather
+	// than repair from a baseline that no longer matches what is served.
+	a, err = p.Apply(context.Background(), trace.Event{Kind: trace.KindMemoryBudget, Budget: 400 * units.MB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 1 || a[0].Rung != opg.RungCold {
+		t.Fatalf("post-patch actions = %+v, want one cold re-solve", a)
+	}
+	mustServeValid(t, p, "ViT")
+}
+
+func TestLadderPrefersCachedVariant(t *testing.T) {
+	dev := device.OnePlus12()
+	spec, ok := models.ByAbbr("ViT")
+	if !ok {
+		t.Fatal("no ViT spec")
+	}
+	g := fusion.Fuse(spec.Build(), fusion.DefaultOptions())
+
+	// Pre-populate the cache with a plan solved for exactly the budget the
+	// event will drop to.
+	low := opg.DefaultConfig()
+	low.MPeak = 300 * units.MB
+	caps := DeviceState{Nominal: dev, Budget: low.MPeak}.Caps()
+	prep := &core.Prepared{Graph: g, Plan: opg.SolveRepairable(g, caps, low).Plan()}
+	cache := plancache.New(8)
+	cache.Put("vit-300", prep)
+
+	cfg := testConfig()
+	cfg.RepairBudget = time.Nanosecond
+	cfg.Cache = cache
+	p := NewPlanner(dev, cfg)
+	load(t, p, "ViT", 2)
+
+	a, err := p.Apply(context.Background(), trace.Event{Kind: trace.KindMemoryBudget, Budget: 300 * units.MB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 1 || a[0].Rung != opg.RungCachedVariant {
+		t.Fatalf("actions = %+v, want one cached-variant hit", a)
+	}
+	sv := mustServeValid(t, p, "ViT")
+	if sv.Rung != opg.RungCachedVariant || sv.Plan.Stats.RepairRung != opg.RungCachedVariant {
+		t.Fatalf("serve rung = %s / stats %q, want cached_variant", sv.Rung, sv.Plan.Stats.RepairRung)
+	}
+}
+
+func residency(ms *ModelState) units.Bytes {
+	return ms.plan.PreloadBytes() + ms.plan.MaxInflightBytes(ms.Graph.Len())
+}
+
+func TestShedLowestPriorityAndRestore(t *testing.T) {
+	// Probe the two models' footprints on the stock device, then shrink the
+	// app limit so both cannot be resident together.
+	probe := NewPlanner(device.OnePlus12(), testConfig())
+	load(t, probe, "ViT", 1)
+	load(t, probe, "ResNet", 2)
+	var resViT, resResNet units.Bytes
+	for _, ms := range probe.Models() {
+		if ms.Abbr == "ViT" {
+			resViT = residency(ms)
+		} else {
+			resResNet = residency(ms)
+		}
+	}
+	if resViT == 0 || resResNet == 0 {
+		t.Fatal("probe footprints are zero")
+	}
+
+	dev := device.OnePlus12()
+	dev.AppLimit = resViT + resResNet - 1
+
+	p := NewPlanner(dev, testConfig())
+	load(t, p, "ViT", 1) // lower priority: sheds first
+	a := load(t, p, "ResNet", 2)
+	var shed []string
+	for _, act := range a {
+		if act.Rung == opg.RungShed {
+			shed = append(shed, act.Model)
+		}
+	}
+	if len(shed) != 1 || shed[0] != "ViT" {
+		t.Fatalf("shed %v, want exactly ViT (the lowest priority)", shed)
+	}
+	if _, err := p.Serve("ViT"); !errors.Is(err, ErrShed) {
+		t.Fatalf("serving shed model: err = %v, want ErrShed", err)
+	}
+	mustServeValid(t, p, "ResNet")
+
+	// Retiring the high-priority model frees the budget; the shed model
+	// must come back without any explicit action.
+	if _, err := p.Apply(context.Background(), trace.Event{Kind: trace.KindModelUnload, Model: "ResNet"}); err != nil {
+		t.Fatal(err)
+	}
+	mustServeValid(t, p, "ViT")
+}
+
+func TestReplayEndToEnd(t *testing.T) {
+	dev := device.OnePlus12()
+	tr := trace.Generate(dev, trace.GenOptions{Seed: 42, Events: 60})
+	rep, err := Replay(context.Background(), dev, tr, ReplayOptions{Planner: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("replay violations: %v", rep.Violations)
+	}
+	if rep.Requests == 0 || rep.Served == 0 {
+		t.Fatalf("replay served nothing: %+v", rep)
+	}
+	if rep.Served+rep.Rejected != rep.Requests {
+		t.Fatalf("lost requests: %d != %d + %d", rep.Requests, rep.Served, rep.Rejected)
+	}
+	if rep.Rungs[opg.RungCold] == 0 {
+		t.Fatal("no cold solves recorded — loads must register")
+	}
+	var churn bool
+	for _, e := range tr.Events {
+		if e.Kind == trace.KindMemoryBudget || e.Kind == trace.KindThrottle {
+			churn = true
+		}
+	}
+	if churn && rep.Replans == 0 {
+		t.Fatal("trace has condition events but no replans recorded")
+	}
+}
+
+func TestReplayRejectsFingerprintMismatch(t *testing.T) {
+	tr := trace.Generate(device.OnePlus12(), trace.GenOptions{Seed: 1, Events: 10})
+	_, err := Replay(context.Background(), device.Pixel8(), tr, ReplayOptions{Planner: testConfig()})
+	if err == nil {
+		t.Fatal("replay accepted a trace for a different device")
+	}
+	if !strings.Contains(err.Error(), device.OnePlus12().Fingerprint()) ||
+		!strings.Contains(err.Error(), device.Pixel8().Fingerprint()) {
+		t.Fatalf("mismatch error must name both fingerprints: %v", err)
+	}
+}

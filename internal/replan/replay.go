@@ -1,0 +1,206 @@
+package replan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/gpusim"
+	"repro/internal/opg"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// ReplayOptions shapes a trace replay.
+type ReplayOptions struct {
+	Planner Config
+	// SLOFactor is the served-latency tolerance relative to each model's
+	// reference latency, measured by a calibration execution at load time
+	// (<= 0: 3). A request slower than SLOFactor × reference is an SLO
+	// miss — degraded plans are allowed to cost something, but not
+	// unboundedly.
+	SLOFactor float64
+}
+
+// Report is the outcome of replaying one trace end to end. Violations are
+// invariant breaches (a served plan failing validation, a lost request) —
+// a correct build produces none, regardless of how hostile the trace is.
+// SLO misses and rejections are quality outcomes, not violations.
+type Report struct {
+	Device      string `json:"device"`
+	Fingerprint string `json:"device_fingerprint"`
+	Seed        uint64 `json:"seed"`
+	Events      int    `json:"events"`
+
+	Requests     int `json:"requests"`
+	Served       int `json:"served"`
+	Rejected     int `json:"rejected"`      // not-loaded at arrival time
+	RejectedShed int `json:"rejected_shed"` // shed under memory pressure
+
+	SLOMisses int            `json:"slo_misses"`
+	Replans   int            `json:"replans"` // ladder passes on condition events
+	Rungs     map[string]int `json:"rungs"`   // plan-source label → count
+
+	RepairWindowsKept     int `json:"repair_windows_kept"`
+	RepairWindowsResolved int `json:"repair_windows_resolved"`
+
+	RepairMeanMS float64 `json:"repair_mean_ms"` // mean incremental-repair latency
+	RepairMaxMS  float64 `json:"repair_max_ms"`
+	ColdMeanMS   float64 `json:"cold_mean_ms"` // mean from-scratch solve latency
+	// RepairVsCold is RepairMeanMS / ColdMeanMS; the headline resilience
+	// metric (repair ≪ cold). Zero when either side has no samples.
+	RepairVsCold float64 `json:"repair_vs_cold"`
+
+	Violations []string `json:"violations"`
+}
+
+// Replay runs a trace end to end against the resilience engine: condition
+// events drive the planner's degradation ladder, request events execute
+// the currently served plan on the simulated GPU, and every served plan is
+// validated against the device state it is served under.
+func Replay(ctx context.Context, dev device.Device, tr *trace.Trace, opts ReplayOptions) (*Report, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tr.CheckDevice(dev); err != nil {
+		return nil, err
+	}
+	slo := opts.SLOFactor
+	if slo <= 0 {
+		slo = 3
+	}
+
+	p := NewPlanner(dev, opts.Planner)
+	rep := &Report{
+		Device:      dev.Name,
+		Fingerprint: dev.Fingerprint(),
+		Seed:        tr.Seed,
+		Events:      len(tr.Events),
+		Rungs:       map[string]int{},
+	}
+
+	// Engines are cached per throttle level: the machine only consumes the
+	// nominal disk bandwidth (which throttling never touches), so one
+	// nominal machine per request stays accurate while the engine's cost
+	// model carries the thermal derating.
+	engines := map[int]*core.Engine{}
+	engine := func() *core.Engine {
+		lvl := p.State().Throttle
+		if e, ok := engines[lvl]; ok {
+			return e
+		}
+		e := core.NewEngine(core.Options{Device: p.State().Effective(), Config: p.cfg.Base})
+		engines[lvl] = e
+		return e
+	}
+
+	// refLatency is each model's calibration latency: its served plan
+	// executed alone on an idle machine under the state it loaded into.
+	refLatency := map[string]units.Duration{}
+	calibrate := func() {
+		for _, ms := range p.Models() {
+			if _, ok := refLatency[ms.Abbr]; ok || ms.plan == nil {
+				continue
+			}
+			serving := p.serving(ms)
+			res := engine().ExecuteOn(gpusim.New(dev), &core.Prepared{Graph: serving.Graph, Plan: serving.Plan}, 0)
+			refLatency[ms.Abbr] = res.ExecEnd
+		}
+	}
+
+	var repairNS, coldNS, repairMaxNS, repairN, coldN int64
+	busy := units.Duration(0)
+
+	for _, e := range tr.Events {
+		if e.Kind != trace.KindRequest {
+			actions, err := p.Apply(ctx, e)
+			if err != nil {
+				return nil, fmt.Errorf("replan: applying %s at %v: %w", e.Kind, e.At, err)
+			}
+			for _, a := range actions {
+				rep.Rungs[a.Rung]++
+				switch a.Rung {
+				case opg.RungRepaired:
+					ns := a.Elapsed.Nanoseconds()
+					repairNS += ns
+					repairN++
+					if ns > repairMaxNS {
+						repairMaxNS = ns
+					}
+					rep.RepairWindowsKept += a.Stats.WindowsKept
+					rep.RepairWindowsResolved += a.Stats.WindowsResolved
+				case opg.RungCold:
+					coldNS += a.Elapsed.Nanoseconds()
+					coldN++
+				}
+				if a.Rung != opg.RungShed && (e.Kind == trace.KindMemoryBudget || e.Kind == trace.KindThrottle) {
+					rep.Replans++
+				}
+			}
+			calibrate()
+			continue
+		}
+
+		rep.Requests++
+		serving, err := p.Serve(e.Model)
+		switch {
+		case errors.Is(err, ErrShed):
+			rep.Rejected++
+			rep.RejectedShed++
+			continue
+		case err != nil:
+			rep.Rejected++
+			continue
+		}
+		// The resilience invariant: whatever rung produced this plan, it
+		// must be valid for the device state it is served under.
+		if verr := serving.Plan.Validate(serving.Graph, p.State().Caps(), p.SolveConfig()); verr != nil {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("request at %v: served %s plan (%s) invalid for device state: %v",
+					e.At, e.Model, serving.Rung, verr))
+			continue
+		}
+		start := e.At
+		if busy > start {
+			start = busy
+		}
+		res := engine().ExecuteOn(gpusim.New(dev), &core.Prepared{Graph: serving.Graph, Plan: serving.Plan}, start)
+		busy = res.ExecEnd
+		rep.Served++
+		if ref, ok := refLatency[e.Model]; ok && ref > 0 {
+			if lat := res.ExecEnd - start; float64(lat) > slo*float64(ref) {
+				rep.SLOMisses++
+			}
+		}
+	}
+
+	if rep.Served+rep.Rejected != rep.Requests {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("lost requests: %d arrived, %d served + %d rejected", rep.Requests, rep.Served, rep.Rejected))
+	}
+
+	if repairN > 0 {
+		rep.RepairMeanMS = float64(repairNS) / float64(repairN) / 1e6
+		rep.RepairMaxMS = float64(repairMaxNS) / 1e6
+	}
+	if coldN > 0 {
+		rep.ColdMeanMS = float64(coldNS) / float64(coldN) / 1e6
+	}
+	if rep.RepairMeanMS > 0 && rep.ColdMeanMS > 0 {
+		rep.RepairVsCold = rep.RepairMeanMS / rep.ColdMeanMS
+	}
+	return rep, nil
+}
+
+// serving builds an executable plan for a model without the shed gate —
+// the calibration path needs a latency reference even for models that are
+// currently shed.
+func (p *Planner) serving(ms *ModelState) *Serving {
+	sv, err := p.serveState(ms)
+	if err != nil {
+		return &Serving{Graph: ms.Graph, Plan: ms.plan.Clone(), Rung: ms.rung}
+	}
+	return sv
+}

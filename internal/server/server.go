@@ -81,6 +81,16 @@ type Config struct {
 	// (<= 0: 5s).
 	BreakerCooldown time.Duration
 
+	// RepairBudget caps the incremental-repair rung on the /replan path
+	// (0: unlimited). A repair that misses it descends the degradation
+	// ladder (cached variant, then greedy patch) instead of blocking.
+	RepairBudget time.Duration
+
+	// ReplanEntries bounds the /replan lineage store (<= 0: 128). Evicting
+	// a lineage costs the next /replan for it a cold solve, never a wrong
+	// answer.
+	ReplanEntries int
+
 	// Injector, when non-nil, arms fault injection on the solve path
 	// (site "server.solve": error, latency, panic). Chaos harnesses only.
 	Injector *faultinject.Injector
@@ -111,6 +121,10 @@ type Server struct {
 	warm   map[string]struct{} // keys loaded from boot snapshots
 
 	graphs sync.Map // model abbr → *graphEntry
+	fused  sync.Map // model abbr → *graphEntry (fused, for /replan lineages)
+
+	replans   *replanStore
+	replanCtr replanCounters
 
 	ctr       counters
 	solveHist histogram // actual solver executions only
@@ -173,6 +187,9 @@ func New(cfg Config) *Server {
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = 5 * time.Second
 	}
+	if cfg.ReplanEntries <= 0 {
+		cfg.ReplanEntries = 128
+	}
 	if cfg.Solver.ChunkSize <= 0 {
 		cfg.Solver = opg.DefaultConfig()
 	}
@@ -182,12 +199,13 @@ func New(cfg Config) *Server {
 		// The last-known-good store is twice the hot cache: a plan evicted
 		// from the hot store under pressure is exactly the plan degraded
 		// serving wants to still have when its re-solve fails.
-		stale: plancache.New(2 * cfg.CacheEntries),
-		brk:   breaker{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown},
-		queue: make(chan *job, cfg.QueueDepth),
-		done:  make(chan struct{}),
-		start: time.Now(),
-		warm:  make(map[string]struct{}),
+		stale:   plancache.New(2 * cfg.CacheEntries),
+		brk:     breaker{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown},
+		queue:   make(chan *job, cfg.QueueDepth),
+		done:    make(chan struct{}),
+		start:   time.Now(),
+		warm:    make(map[string]struct{}),
+		replans: newReplanStore(cfg.ReplanEntries),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -247,6 +265,7 @@ func (s *Server) WarmPlans() int {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/plan", s.handlePlan)
+	mux.HandleFunc("/replan", s.handleReplan)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	return mux
@@ -405,9 +424,14 @@ type PlanResponse struct {
 	// solve), "collapsed" (rode another request's in-flight solve), or
 	// "degraded" (last-known-good plan served because the solve path is
 	// saturated, broken, or too slow right now).
-	Source    string  `json:"source"`
-	FromCache bool    `json:"from_cache"`
-	WaitMS    float64 `json:"wait_ms"`
+	Source string `json:"source"`
+	// DegradedReason is set only on degraded responses: which failure the
+	// stale plan papered over — "queue_full", "circuit_open",
+	// "solve_timeout", or "solve_failed" (the same vocabulary the
+	// corresponding hard failures use as error codes).
+	DegradedReason string  `json:"degraded_reason,omitempty"`
+	FromCache      bool    `json:"from_cache"`
+	WaitMS         float64 `json:"wait_ms"`
 
 	Summary Summary         `json:"summary"`
 	Plan    json.RawMessage `json:"plan"`
@@ -497,7 +521,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		// and will refresh the cache; a last-known-good plan for the key
 		// is byte-identical to what that solve will produce (the solver is
 		// deterministic), so serving it beats making the client wait again.
-		if s.serveDegraded(w, t0, &req, key) {
+		if s.serveDegraded(w, t0, &req, key, codeSolveTimeout) {
 			return
 		}
 		s.ctr.timedOut.Add(1)
@@ -525,13 +549,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		}
 		s.serve(w, t0, &req, key, src, c.prep)
 	case errors.Is(c.err, errOverloaded):
-		if s.serveDegraded(w, t0, &req, key) {
+		if s.serveDegraded(w, t0, &req, key, codeQueueFull) {
 			return
 		}
 		s.ctr.rejected.Add(1)
 		s.retryFail(w, t0, http.StatusTooManyRequests, codeQueueFull, "solve queue full")
 	case errors.Is(c.err, errCircuitOpen):
-		if s.serveDegraded(w, t0, &req, key) {
+		if s.serveDegraded(w, t0, &req, key, codeCircuitOpen) {
 			return
 		}
 		s.ctr.breakerRejects.Add(1)
@@ -540,7 +564,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(c.err, errShutdown):
 		s.fail(w, t0, http.StatusServiceUnavailable, true, codeShuttingDown, "server shutting down")
 	default:
-		if s.serveDegraded(w, t0, &req, key) {
+		if s.serveDegraded(w, t0, &req, key, codeSolveFailed) {
 			return
 		}
 		s.ctr.solveErrors.Add(1)
@@ -553,12 +577,15 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 // queue saturation, an open breaker, a failed or panicked solve, and a
 // timed-out wait. Plans are deterministic per key, so a stale plan is not
 // approximately right, it is *the* plan; only its provenance differs.
-func (s *Server) serveDegraded(w http.ResponseWriter, t0 time.Time, req *PlanRequest, key string) bool {
+// reason records which failure was papered over; it rides in the response
+// and the /statsz degraded_reasons breakdown.
+func (s *Server) serveDegraded(w http.ResponseWriter, t0 time.Time, req *PlanRequest, key, reason string) bool {
 	prep, ok := s.stale.Get(key)
 	if !ok {
 		return false
 	}
-	s.serve(w, t0, req, key, "degraded", prep)
+	s.ctr.degradedReason(reason).Add(1)
+	s.serveReason(w, t0, req, key, "degraded", reason, prep)
 	return true
 }
 
@@ -575,6 +602,12 @@ func (s *Server) sourceForHit(key string) string {
 
 // serve writes the success response and does the per-source accounting.
 func (s *Server) serve(w http.ResponseWriter, t0 time.Time, req *PlanRequest, key, source string, prep *core.Prepared) {
+	s.serveReason(w, t0, req, key, source, "", prep)
+}
+
+// serveReason is serve with a degraded_reason attached (degraded responses
+// only; empty otherwise).
+func (s *Server) serveReason(w http.ResponseWriter, t0 time.Time, req *PlanRequest, key, source, reason string, prep *core.Prepared) {
 	switch source {
 	case "warm":
 		s.ctr.warmHits.Add(1)
@@ -599,12 +632,13 @@ func (s *Server) serve(w http.ResponseWriter, t0 time.Time, req *PlanRequest, ke
 		return
 	}
 	resp := PlanResponse{
-		Device:    req.Device,
-		Model:     req.Model,
-		Key:       key,
-		Source:    source,
-		FromCache: source != "solved",
-		WaitMS:    float64(time.Since(t0)) / float64(time.Millisecond),
+		Device:         req.Device,
+		Model:          req.Model,
+		Key:            key,
+		Source:         source,
+		DegradedReason: reason,
+		FromCache:      source != "solved",
+		WaitMS:         float64(time.Since(t0)) / float64(time.Millisecond),
 		Summary: Summary{
 			Layers:          prep.Graph.Len(),
 			Weights:         len(prep.Plan.Weights),
@@ -671,18 +705,22 @@ type StatsSnapshot struct {
 	SolverVersion string  `json:"solver_version"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 
-	Requests       int64 `json:"requests"`
-	WarmHits       int64 `json:"warm_hits"`
-	Hits           int64 `json:"hits"`
-	Collapsed      int64 `json:"collapsed"`
-	Solves         int64 `json:"solves"`
-	Degraded       int64 `json:"degraded"`
-	SolveErrors    int64 `json:"solve_errors"`
-	SolverPanics   int64 `json:"solver_panics"`
-	Rejected       int64 `json:"rejected"`
-	BreakerRejects int64 `json:"breaker_rejects"`
-	TimedOut       int64 `json:"timed_out"`
-	BadRequests    int64 `json:"bad_requests"`
+	Requests  int64 `json:"requests"`
+	WarmHits  int64 `json:"warm_hits"`
+	Hits      int64 `json:"hits"`
+	Collapsed int64 `json:"collapsed"`
+	Solves    int64 `json:"solves"`
+	Degraded  int64 `json:"degraded"`
+	// DegradedReasons breaks Degraded down by the failure each stale serve
+	// papered over (queue_full, circuit_open, solve_timeout, solve_failed);
+	// zero rows are omitted.
+	DegradedReasons map[string]int64 `json:"degraded_reasons,omitempty"`
+	SolveErrors     int64            `json:"solve_errors"`
+	SolverPanics    int64            `json:"solver_panics"`
+	Rejected        int64            `json:"rejected"`
+	BreakerRejects  int64            `json:"breaker_rejects"`
+	TimedOut        int64            `json:"timed_out"`
+	BadRequests     int64            `json:"bad_requests"`
 
 	Breaker    string `json:"breaker"`     // closed | open | half-open
 	QueueDepth int64  `json:"queue_depth"` // admitted, waiting for a worker
@@ -692,6 +730,11 @@ type StatsSnapshot struct {
 
 	Cache plancache.Stats `json:"cache"`
 
+	// Replan aggregates the /replan degradation-ladder outcomes: how many
+	// plans each rung produced and how much solve work repair avoided
+	// (windows kept vs re-solved).
+	Replan ReplanStats `json:"replan"`
+
 	SolveLatency   HistogramSnapshot `json:"solve_latency"`
 	RequestLatency HistogramSnapshot `json:"request_latency"`
 }
@@ -699,26 +742,37 @@ type StatsSnapshot struct {
 // Stats snapshots the server's counters (also served at /statsz).
 func (s *Server) Stats() StatsSnapshot {
 	return StatsSnapshot{
-		SolverVersion:  opg.SolverVersion,
-		UptimeSeconds:  time.Since(s.start).Seconds(),
-		Requests:       s.ctr.requests.Load(),
-		WarmHits:       s.ctr.warmHits.Load(),
-		Hits:           s.ctr.hits.Load(),
-		Collapsed:      s.ctr.collapsed.Load(),
-		Solves:         s.ctr.solves.Load(),
-		Degraded:       s.ctr.degraded.Load(),
-		SolveErrors:    s.ctr.solveErrors.Load(),
-		SolverPanics:   s.ctr.panics.Load(),
-		Rejected:       s.ctr.rejected.Load(),
-		BreakerRejects: s.ctr.breakerRejects.Load(),
-		TimedOut:       s.ctr.timedOut.Load(),
-		BadRequests:    s.ctr.badRequests.Load(),
-		Breaker:        s.brk.snapshot(),
-		QueueDepth:     int64(len(s.queue)),
-		InFlight:       s.ctr.inFlight.Load(),
-		Waiting:        s.ctr.waiting.Load(),
-		WarmPlans:      s.WarmPlans(),
-		Cache:          s.cache.Stats(),
+		SolverVersion:   opg.SolverVersion,
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Requests:        s.ctr.requests.Load(),
+		WarmHits:        s.ctr.warmHits.Load(),
+		Hits:            s.ctr.hits.Load(),
+		Collapsed:       s.ctr.collapsed.Load(),
+		Solves:          s.ctr.solves.Load(),
+		Degraded:        s.ctr.degraded.Load(),
+		DegradedReasons: s.ctr.degradedReasons(),
+		SolveErrors:     s.ctr.solveErrors.Load(),
+		SolverPanics:    s.ctr.panics.Load(),
+		Rejected:        s.ctr.rejected.Load(),
+		BreakerRejects:  s.ctr.breakerRejects.Load(),
+		TimedOut:        s.ctr.timedOut.Load(),
+		BadRequests:     s.ctr.badRequests.Load(),
+		Breaker:         s.brk.snapshot(),
+		QueueDepth:      int64(len(s.queue)),
+		InFlight:        s.ctr.inFlight.Load(),
+		Waiting:         s.ctr.waiting.Load(),
+		WarmPlans:       s.WarmPlans(),
+		Cache:           s.cache.Stats(),
+		Replan: ReplanStats{
+			Requests:        s.replanCtr.requests.Load(),
+			Repaired:        s.replanCtr.repaired.Load(),
+			Cold:            s.replanCtr.cold.Load(),
+			CachedVariant:   s.replanCtr.cachedVariant.Load(),
+			Patched:         s.replanCtr.patched.Load(),
+			WindowsKept:     s.replanCtr.windowsKept.Load(),
+			WindowsResolved: s.replanCtr.windowsResolved.Load(),
+			Lineages:        s.replans.Len(),
+		},
 		SolveLatency:   s.solveHist.snapshot(),
 		RequestLatency: s.serveHist.snapshot(),
 	}

@@ -127,4 +127,42 @@ type counters struct {
 	panics   atomic.Int64 // solver panics contained by the worker pool
 	inFlight atomic.Int64 // solves currently executing on workers
 	waiting  atomic.Int64 // requests parked on an in-flight solve
+
+	// Degraded-serve breakdown by the failure the stale plan papered over;
+	// the four sum to degraded.
+	degradedQueueFull    atomic.Int64
+	degradedCircuitOpen  atomic.Int64
+	degradedSolveTimeout atomic.Int64
+	degradedSolveFailed  atomic.Int64
+}
+
+// degradedReason maps a degraded-serve reason code to its counter.
+func (c *counters) degradedReason(reason string) *atomic.Int64 {
+	switch reason {
+	case codeQueueFull:
+		return &c.degradedQueueFull
+	case codeCircuitOpen:
+		return &c.degradedCircuitOpen
+	case codeSolveTimeout:
+		return &c.degradedSolveTimeout
+	default:
+		return &c.degradedSolveFailed
+	}
+}
+
+// degradedReasons snapshots the breakdown, omitting zero rows so /statsz
+// stays readable.
+func (c *counters) degradedReasons() map[string]int64 {
+	out := map[string]int64{}
+	for reason, ctr := range map[string]*atomic.Int64{
+		codeQueueFull:    &c.degradedQueueFull,
+		codeCircuitOpen:  &c.degradedCircuitOpen,
+		codeSolveTimeout: &c.degradedSolveTimeout,
+		codeSolveFailed:  &c.degradedSolveFailed,
+	} {
+		if n := ctr.Load(); n > 0 {
+			out[reason] = n
+		}
+	}
+	return out
 }

@@ -1,0 +1,319 @@
+// Package trace defines device-condition event streams for dynamic
+// scenarios: the phone FlashMem targets is not the static device every
+// offline solve assumes. Models arrive and depart mid-flight, the memory
+// budget steps down under pressure, and thermal throttling reshapes the
+// kernel cost model. A Trace is a deterministic, replayable sequence of
+// such events plus request arrivals, bound to one device profile by a
+// fingerprint; internal/replan replays traces against the resilience
+// engine, and flashbench -trace replays them end to end.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/device"
+	"repro/internal/units"
+)
+
+// Kind labels one device-condition event.
+type Kind string
+
+// Event kinds. Request is not a device condition but an arrival: traces
+// are traffic-shaped workloads, so the demand rides in the same stream as
+// the churn that disturbs it.
+const (
+	KindModelLoad    Kind = "model_load"    // bring a model into service
+	KindModelUnload  Kind = "model_unload"  // retire a model
+	KindMemoryBudget Kind = "memory_budget" // step the in-flight budget (M_peak)
+	KindThrottle     Kind = "throttle"      // thermal level change (internal/power)
+	KindRequest      Kind = "request"       // inference request arrival
+)
+
+// knownKinds is the validation set.
+var knownKinds = map[Kind]bool{
+	KindModelLoad: true, KindModelUnload: true, KindMemoryBudget: true,
+	KindThrottle: true, KindRequest: true,
+}
+
+// Event is one timestamped occurrence. Which optional fields are
+// meaningful depends on Kind: Model for load/unload/request, Priority for
+// load (shedding order: lower sheds first), Budget for memory_budget,
+// Level for throttle.
+type Event struct {
+	At       units.Duration `json:"at_ms"`
+	Kind     Kind           `json:"kind"`
+	Model    string         `json:"model,omitempty"`
+	Priority int            `json:"priority,omitempty"`
+	Budget   units.Bytes    `json:"budget_bytes,omitempty"`
+	Level    int            `json:"level,omitempty"`
+}
+
+// Trace is a complete replayable scenario for one device.
+type Trace struct {
+	Version     int     `json:"version"`
+	Device      string  `json:"device"`
+	Fingerprint string  `json:"device_fingerprint"`
+	Seed        uint64  `json:"seed,omitempty"`
+	Events      []Event `json:"events"`
+}
+
+// FormatVersion is the trace file format version this package reads and
+// writes.
+const FormatVersion = 1
+
+// Validate checks structural sanity: known kinds, non-negative
+// monotonically non-decreasing timestamps, model names where the kind
+// requires one, positive budgets, and non-negative throttle levels.
+func (t *Trace) Validate() error {
+	if t.Version != FormatVersion {
+		return fmt.Errorf("trace: format version %d, want %d", t.Version, FormatVersion)
+	}
+	if t.Device == "" {
+		return fmt.Errorf("trace: missing device name")
+	}
+	prev := units.Duration(0)
+	for i, e := range t.Events {
+		if !knownKinds[e.Kind] {
+			return fmt.Errorf("trace: event %d has unknown kind %q", i, e.Kind)
+		}
+		if e.At < prev {
+			return fmt.Errorf("trace: event %d at %v precedes event %d at %v", i, e.At, i-1, prev)
+		}
+		prev = e.At
+		switch e.Kind {
+		case KindModelLoad, KindModelUnload, KindRequest:
+			if e.Model == "" {
+				return fmt.Errorf("trace: event %d (%s) missing model", i, e.Kind)
+			}
+		case KindMemoryBudget:
+			if e.Budget <= 0 {
+				return fmt.Errorf("trace: event %d has non-positive budget %d", i, e.Budget)
+			}
+		case KindThrottle:
+			if e.Level < 0 {
+				return fmt.Errorf("trace: event %d has negative throttle level %d", i, e.Level)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckDevice verifies the trace was generated for exactly the given
+// device profile, not merely one sharing its name: budget levels and
+// throttle responses are calibrated against the full profile, so replaying
+// on a drifted profile would silently measure a different scenario. The
+// error names both fingerprints, mirroring the sweep snapshot-conflict
+// style.
+func (t *Trace) CheckDevice(dev device.Device) error {
+	if fp := dev.Fingerprint(); t.Fingerprint != fp {
+		return fmt.Errorf(
+			"trace: device fingerprint mismatch: trace was generated for %q (%s), replay device is %q (%s) — regenerate the trace or select the matching device",
+			t.Device, t.Fingerprint, dev.Name, fp)
+	}
+	return nil
+}
+
+// Encode writes the trace as indented JSON.
+func (t *Trace) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// Decode reads and validates a trace.
+func Decode(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decoding: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// WriteFile writes the trace to a file.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	if err := t.Encode(f); err != nil {
+		return fmt.Errorf("trace: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// ReadFile reads and validates a trace file.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	t, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading %s: %w", path, err)
+	}
+	return t, nil
+}
+
+// GenOptions shapes a generated trace. The zero value is usable.
+type GenOptions struct {
+	Seed   uint64 // deterministic stream seed (0 is a valid, fixed seed)
+	Events int    // events to generate (<= 0: 100)
+
+	// Models is the load pool, by abbreviation (default ViT, ResNet,
+	// GPTN-S — small executable models so replays stay fast).
+	Models []string
+	// MaxLoaded bounds concurrently loaded models (<= 0: 2).
+	MaxLoaded int
+	// Budgets are the in-flight budget levels memory events walk between
+	// (default 500/400/300/200 MB, the paper's M_peak neighborhood).
+	Budgets []units.Bytes
+	// MaxThrottle is the deepest generated thermal level (<= 0: 2).
+	MaxThrottle int
+}
+
+func (o GenOptions) norm() GenOptions {
+	if o.Events <= 0 {
+		o.Events = 100
+	}
+	if len(o.Models) == 0 {
+		o.Models = []string{"ViT", "ResNet", "GPTN-S"}
+	}
+	if o.MaxLoaded <= 0 {
+		o.MaxLoaded = 2
+	}
+	if len(o.Budgets) == 0 {
+		o.Budgets = []units.Bytes{500 * units.MB, 400 * units.MB, 300 * units.MB, 200 * units.MB}
+	}
+	if o.MaxThrottle <= 0 {
+		o.MaxThrottle = 2
+	}
+	return o
+}
+
+// mix is the splitmix64 finalizer — the repo's standard deterministic
+// stream hash (backoff jitter, chaos schedules).
+func mix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// gen is the deterministic draw stream.
+type gen struct {
+	seed uint64
+	n    uint64
+}
+
+func (g *gen) next() uint64 {
+	g.n++
+	return mix(g.seed*0x9e3779b97f4a7c15 + g.n)
+}
+
+// intn draws uniformly from [0, n).
+func (g *gen) intn(n int) int { return int(g.next() % uint64(n)) }
+
+// Generate produces a seeded scenario for the device: a first model load,
+// then a mix of requests (the majority), churn events (load/unload), budget
+// steps, and throttle walks, at 20–250 ms gaps. The same options always
+// produce the same trace.
+func Generate(dev device.Device, opts GenOptions) *Trace {
+	o := opts.norm()
+	g := &gen{seed: o.Seed ^ 0x7261636574726163} // "tracetrac" salt
+
+	t := &Trace{
+		Version:     FormatVersion,
+		Device:      dev.Name,
+		Fingerprint: dev.Fingerprint(),
+		Seed:        o.Seed,
+	}
+
+	loaded := map[string]bool{}
+	level := 0
+	budgetIdx := 0
+	at := units.Duration(0)
+	add := func(e Event) {
+		e.At = at
+		t.Events = append(t.Events, e)
+	}
+	loadOne := func() {
+		var pool []string
+		for _, m := range o.Models {
+			if !loaded[m] {
+				pool = append(pool, m)
+			}
+		}
+		if len(pool) == 0 {
+			return
+		}
+		m := pool[g.intn(len(pool))]
+		loaded[m] = true
+		add(Event{Kind: KindModelLoad, Model: m, Priority: 1 + g.intn(3)})
+	}
+	loadedList := func() []string {
+		out := make([]string, 0, len(loaded))
+		for m := range loaded {
+			out = append(out, m)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	loadOne() // a scenario starts with something to serve
+	for len(t.Events) < o.Events {
+		at += units.Duration(20 + g.intn(231)) // 20–250 ms between events
+		switch draw := g.intn(100); {
+		case draw < 55: // requests dominate: traces are traffic-shaped
+			ms := loadedList()
+			if len(ms) == 0 {
+				loadOne()
+				continue
+			}
+			add(Event{Kind: KindRequest, Model: ms[g.intn(len(ms))]})
+		case draw < 65:
+			if len(loaded) < o.MaxLoaded {
+				loadOne()
+			} else {
+				ms := loadedList()
+				m := ms[g.intn(len(ms))]
+				delete(loaded, m)
+				add(Event{Kind: KindModelUnload, Model: m})
+			}
+		case draw < 73:
+			ms := loadedList()
+			if len(ms) > 1 {
+				m := ms[g.intn(len(ms))]
+				delete(loaded, m)
+				add(Event{Kind: KindModelUnload, Model: m})
+			} else {
+				loadOne()
+			}
+		case draw < 88: // budget walk: mostly down, sometimes recovering
+			if g.intn(3) == 0 && budgetIdx > 0 {
+				budgetIdx--
+			} else if budgetIdx < len(o.Budgets)-1 {
+				budgetIdx++
+			}
+			add(Event{Kind: KindMemoryBudget, Budget: o.Budgets[budgetIdx]})
+		default: // thermal walk: ±1 within [0, MaxThrottle]
+			if g.intn(2) == 0 && level > 0 {
+				level--
+			} else if level < o.MaxThrottle {
+				level++
+			}
+			add(Event{Kind: KindThrottle, Level: level})
+		}
+	}
+	return t
+}

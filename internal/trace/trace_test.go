@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/units"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	dev := device.OnePlus12()
+	a := Generate(dev, GenOptions{Seed: 7, Events: 80})
+	b := Generate(dev, GenOptions{Seed: 7, Events: 80})
+	var ab, bb bytes.Buffer
+	if err := a.Encode(&ab); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Encode(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab.Bytes(), bb.Bytes()) {
+		t.Fatal("same seed produced different traces")
+	}
+	c := Generate(dev, GenOptions{Seed: 8, Events: 80})
+	var cb bytes.Buffer
+	if err := c.Encode(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ab.Bytes(), cb.Bytes()) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateValidatesAndCovers(t *testing.T) {
+	tr := Generate(device.OnePlus12(), GenOptions{Seed: 3, Events: 200})
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	if len(tr.Events) < 200 {
+		t.Fatalf("generated %d events, want >= 200", len(tr.Events))
+	}
+	kinds := map[Kind]int{}
+	for _, e := range tr.Events {
+		kinds[e.Kind]++
+	}
+	for _, k := range []Kind{KindModelLoad, KindRequest, KindMemoryBudget, KindThrottle} {
+		if kinds[k] == 0 {
+			t.Errorf("200-event trace has no %s events", k)
+		}
+	}
+	if tr.Events[0].Kind != KindModelLoad {
+		t.Errorf("trace starts with %s, want a model load", tr.Events[0].Kind)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := Generate(device.Pixel8(), GenOptions{Seed: 11, Events: 40})
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Device != tr.Device || got.Fingerprint != tr.Fingerprint || len(got.Events) != len(tr.Events) {
+		t.Fatal("round trip lost trace identity")
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	base := func() *Trace {
+		return &Trace{
+			Version: FormatVersion, Device: "OnePlus 12",
+			Events: []Event{
+				{At: 0, Kind: KindModelLoad, Model: "ViT"},
+				{At: 50, Kind: KindRequest, Model: "ViT"},
+			},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Trace)
+	}{
+		{"version", func(t *Trace) { t.Version = 99 }},
+		{"no device", func(t *Trace) { t.Device = "" }},
+		{"unknown kind", func(t *Trace) { t.Events[1].Kind = "meteor_strike" }},
+		{"time regress", func(t *Trace) { t.Events[1].At = -1 }},
+		{"missing model", func(t *Trace) { t.Events[0].Model = "" }},
+		{"bad budget", func(t *Trace) { t.Events[1] = Event{At: 50, Kind: KindMemoryBudget} }},
+		{"bad level", func(t *Trace) { t.Events[1] = Event{At: 50, Kind: KindThrottle, Level: -2} }},
+	}
+	for _, tc := range cases {
+		tr := base()
+		tc.mutate(tr)
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a malformed trace", tc.name)
+		}
+	}
+}
+
+func TestCheckDeviceNamesBothFingerprints(t *testing.T) {
+	tr := Generate(device.OnePlus12(), GenOptions{Seed: 1, Events: 10})
+	if err := tr.CheckDevice(device.OnePlus12()); err != nil {
+		t.Fatalf("matching device rejected: %v", err)
+	}
+	err := tr.CheckDevice(device.Pixel8())
+	if err == nil {
+		t.Fatal("mismatched device accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, device.OnePlus12().Fingerprint()) || !strings.Contains(msg, device.Pixel8().Fingerprint()) {
+		t.Fatalf("mismatch error must name both fingerprints: %v", msg)
+	}
+	// A profile drift under the same name must also be rejected.
+	drifted := device.OnePlus12()
+	drifted.DiskBW = units.GBps(1.2)
+	if err := tr.CheckDevice(drifted); err == nil {
+		t.Fatal("drifted profile with the same name accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/t.json"
+	tr := Generate(device.OnePlus11(), GenOptions{Seed: 5, Events: 20})
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != device.OnePlus11().Fingerprint() {
+		t.Fatal("file round trip lost fingerprint")
+	}
+}
