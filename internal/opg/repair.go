@@ -37,6 +37,7 @@ const (
 	RungCachedVariant = "cached_variant" // cached plan revalidated for the new state
 	RungPatched       = "patched"        // replay-valid windows kept, rest greedy
 	RungShed          = "shed"           // model dropped under memory pressure
+	RungRestored      = "restored"       // previously shed model back in service
 )
 
 // ErrRepairBudget reports that an incremental repair exceeded its latency

@@ -376,23 +376,26 @@ func (p *Planner) shedToFit() []Action {
 	for _, f := range fleet {
 		total += f.res
 	}
+	// Decide the shed set from scratch as a prefix of the shed order: cut
+	// just deep enough that the suffix fits, shed everything before the cut
+	// and serve everything after it. Deciding by cut point (not by which
+	// models were newly shed this pass) keeps total consistent with the
+	// served set — a restored model's footprint is, by construction, still
+	// counted against the limit.
+	cut := 0
+	for cut < len(fleet) && total > limit {
+		total -= fleet[cut].res
+		cut++
+	}
 	var out []Action
-	for i := 0; total > limit && i < len(fleet); i++ {
-		f := fleet[i]
-		total -= f.res
-		if !f.ms.shed {
+	for i, f := range fleet {
+		switch {
+		case i < cut && !f.ms.shed:
 			f.ms.shed = true
 			out = append(out, Action{Model: f.ms.Abbr, Rung: opg.RungShed})
-		}
-	}
-	// Whatever survived the pass is served again.
-	shedding := map[string]bool{}
-	for _, a := range out {
-		shedding[a.Model] = true
-	}
-	for _, f := range fleet {
-		if f.ms.shed && !shedding[f.ms.Abbr] && total <= limit {
+		case i >= cut && f.ms.shed:
 			f.ms.shed = false
+			out = append(out, Action{Model: f.ms.Abbr, Rung: opg.RungRestored})
 		}
 	}
 	return out

@@ -193,11 +193,73 @@ func TestShedLowestPriorityAndRestore(t *testing.T) {
 	mustServeValid(t, p, "ResNet")
 
 	// Retiring the high-priority model frees the budget; the shed model
-	// must come back without any explicit action.
-	if _, err := p.Apply(context.Background(), trace.Event{Kind: trace.KindModelUnload, Model: "ResNet"}); err != nil {
+	// must come back, and the recovery must be visible as a restored
+	// action so replay reports record when capacity returned.
+	a, err := p.Apply(context.Background(), trace.Event{Kind: trace.KindModelUnload, Model: "ResNet"})
+	if err != nil {
 		t.Fatal(err)
 	}
+	var restored []string
+	for _, act := range a {
+		if act.Rung == opg.RungRestored {
+			restored = append(restored, act.Model)
+		}
+	}
+	if len(restored) != 1 || restored[0] != "ViT" {
+		t.Fatalf("restored %v, want exactly ViT", restored)
+	}
 	mustServeValid(t, p, "ViT")
+}
+
+// A model shed on an earlier event must stay shed on later events while
+// the pressure persists: re-running the fleet fit must not un-shed it
+// while its footprint is excluded from the residency total, or the served
+// fleet would exceed the effective app limit.
+func TestShedModelStaysShedUnderPersistentPressure(t *testing.T) {
+	probe := NewPlanner(device.OnePlus12(), testConfig())
+	load(t, probe, "ViT", 1)
+	load(t, probe, "ResNet", 2)
+	var resViT, resResNet units.Bytes
+	for _, ms := range probe.Models() {
+		if ms.Abbr == "ViT" {
+			resViT = residency(ms)
+		} else {
+			resResNet = residency(ms)
+		}
+	}
+
+	dev := device.OnePlus12()
+	dev.AppLimit = resViT + resResNet - 1
+
+	p := NewPlanner(dev, testConfig())
+	load(t, p, "ViT", 1)
+	load(t, p, "ResNet", 2) // sheds ViT
+
+	// A condition event that changes nothing about the pressure re-runs
+	// the fleet fit with ViT already shed.
+	a, err := p.Apply(context.Background(), trace.Event{Kind: trace.KindThrottle, Level: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, act := range a {
+		if act.Rung == opg.RungRestored {
+			t.Fatalf("restored %s while the fleet still does not fit", act.Model)
+		}
+	}
+	if _, err := p.Serve("ViT"); !errors.Is(err, ErrShed) {
+		t.Fatalf("serving ViT after re-fit: err = %v, want ErrShed", err)
+	}
+
+	// The residency invariant: the served fleet fits the app limit.
+	var total units.Bytes
+	for _, ms := range p.Models() {
+		if !ms.Shed() {
+			total += residency(ms)
+		}
+	}
+	if limit := p.State().Effective().AppLimit; total > limit {
+		t.Fatalf("served fleet footprint %v exceeds app limit %v", total, limit)
+	}
 }
 
 func TestReplayEndToEnd(t *testing.T) {

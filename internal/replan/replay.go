@@ -8,6 +8,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/gpusim"
+	"repro/internal/graph"
+	"repro/internal/kernels"
 	"repro/internal/opg"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -96,16 +98,32 @@ func Replay(ctx context.Context, dev device.Device, tr *trace.Trace, opts Replay
 		return e
 	}
 
-	// refLatency is each model's calibration latency: its served plan
-	// executed alone on an idle machine under the state it loaded into.
+	// refLatency is each model's calibration latency: its current plan
+	// executed alone on an idle machine under the nominal (level-0) cost
+	// model. Calibrating on the nominal engine regardless of the throttle
+	// level active at load time keeps references comparable across models —
+	// a model loaded mid-throttle must not get an inflated reference that
+	// masks later SLO misses.
+	nominal := func() *core.Engine {
+		if e, ok := engines[0]; ok {
+			return e
+		}
+		e := core.NewEngine(core.Options{Device: dev, Config: p.cfg.Base})
+		engines[0] = e
+		return e
+	}
+	nomCM := kernels.NewCostModel(dev)
 	refLatency := map[string]units.Duration{}
 	calibrate := func() {
 		for _, ms := range p.Models() {
 			if _, ok := refLatency[ms.Abbr]; ok || ms.plan == nil {
 				continue
 			}
-			serving := p.serving(ms)
-			res := engine().ExecuteOn(gpusim.New(dev), &core.Prepared{Graph: serving.Graph, Plan: serving.Plan}, 0)
+			adj := ms.plan.Clone()
+			opg.AdjustLoadStarts(adj, ms.Graph, func(id graph.NodeID) units.Duration {
+				return nomCM.KernelTime(ms.Graph.Node(id), kernels.Texture25D)
+			}, dev.DiskBW, p.State().Budget)
+			res := nominal().ExecuteOn(gpusim.New(dev), &core.Prepared{Graph: ms.Graph, Plan: adj}, 0)
 			refLatency[ms.Abbr] = res.ExecEnd
 		}
 	}
@@ -135,7 +153,8 @@ func Replay(ctx context.Context, dev device.Device, tr *trace.Trace, opts Replay
 					coldNS += a.Elapsed.Nanoseconds()
 					coldN++
 				}
-				if a.Rung != opg.RungShed && (e.Kind == trace.KindMemoryBudget || e.Kind == trace.KindThrottle) {
+				if a.Rung != opg.RungShed && a.Rung != opg.RungRestored &&
+					(e.Kind == trace.KindMemoryBudget || e.Kind == trace.KindThrottle) {
 					rep.Replans++
 				}
 			}
@@ -192,15 +211,4 @@ func Replay(ctx context.Context, dev device.Device, tr *trace.Trace, opts Replay
 		rep.RepairVsCold = rep.RepairMeanMS / rep.ColdMeanMS
 	}
 	return rep, nil
-}
-
-// serving builds an executable plan for a model without the shed gate —
-// the calibration path needs a latency reference even for models that are
-// currently shed.
-func (p *Planner) serving(ms *ModelState) *Serving {
-	sv, err := p.serveState(ms)
-	if err != nil {
-		return &Serving{Graph: ms.Graph, Plan: ms.plan.Clone(), Rung: ms.rung}
-	}
-	return sv
 }

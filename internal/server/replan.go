@@ -77,9 +77,21 @@ func (s *replanStore) acquire(key string) *replanEntry {
 		return el.Value.(*replanNode).entry
 	}
 	if s.order.Len() >= s.max {
-		victim := s.order.Back()
-		s.order.Remove(victim)
-		delete(s.entries, victim.Value.(*replanNode).key)
+		// Evict the least recently used lineage whose ladder is not mid-walk:
+		// evicting an entry whose lock is held would let a concurrent request
+		// for the same key create a second entry and duplicate the
+		// multi-hundred-ms cold solve under exactly the load spike the bound
+		// targets. If every lineage is busy, temporarily exceed the bound —
+		// the next acquire retries the eviction.
+		for el := s.order.Back(); el != nil; el = el.Prev() {
+			n := el.Value.(*replanNode)
+			if n.entry.mu.TryLock() {
+				n.entry.mu.Unlock()
+				s.order.Remove(el)
+				delete(s.entries, n.key)
+				break
+			}
+		}
 	}
 	n := &replanNode{key: key, entry: &replanEntry{}}
 	s.entries[key] = s.order.PushFront(n)
@@ -163,7 +175,6 @@ func (s *Server) fusedGraphFor(spec models.Spec) *graph.Graph {
 func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	s.ctr.requests.Add(1)
-	s.replanCtr.requests.Add(1)
 	if r.Method != http.MethodPost {
 		s.fail(w, t0, http.StatusMethodNotAllowed, false, codeMethodNotAllowed, "POST only")
 		return
@@ -193,6 +204,11 @@ func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, t0, http.StatusBadRequest, false, codeBadRequest, fmt.Sprintf("bad config: %v", err))
 		return
 	}
+
+	// Counted only once the request has parsed and resolved to a ladder
+	// walk, so the per-rung counters sum to requests and malformed traffic
+	// cannot inflate the /statsz repair block.
+	s.replanCtr.requests.Add(1)
 
 	eff := power.Throttle(dev, req.Throttle)
 	caps := profiler.AnalyticCapacityFunc(eff)

@@ -182,6 +182,45 @@ func TestReplanBadRequests(t *testing.T) {
 			t.Errorf("%s: status %d, want 400", tc.name, code)
 		}
 	}
+	// Malformed traffic must not inflate the /statsz repair block: only
+	// requests that resolve to a ladder walk count, so the per-rung
+	// counters always sum to requests.
+	if st := s.Stats(); st.Replan.Requests != 0 {
+		t.Fatalf("replan requests = %d after only bad requests, want 0", st.Replan.Requests)
+	}
+}
+
+// TestReplanStoreSkipsBusyEviction: at the bound, acquire must not evict a
+// lineage whose ladder is mid-walk — doing so would let a concurrent
+// request for the same key duplicate the cold solve. It evicts the oldest
+// idle lineage instead, and temporarily exceeds the bound when every
+// lineage is busy.
+func TestReplanStoreSkipsBusyEviction(t *testing.T) {
+	st := newReplanStore(2)
+	a := st.acquire("a")
+	st.acquire("b")
+
+	a.mu.Lock()
+	st.acquire("c") // must evict idle "b", not busy "a"
+	if got := st.acquire("a"); got != a {
+		t.Fatal("busy lineage was evicted at the bound")
+	}
+	if st.Len() != 2 {
+		t.Fatalf("store len = %d, want 2", st.Len())
+	}
+
+	// Everything busy: the bound is exceeded rather than evicting mid-walk.
+	c := st.acquire("c")
+	c.mu.Lock()
+	st.acquire("d")
+	if got := st.acquire("a"); got != a {
+		t.Fatal("busy lineage was evicted while all lineages were busy")
+	}
+	if st.Len() != 3 {
+		t.Fatalf("store len = %d, want 3 (bound exceeded, nothing evictable)", st.Len())
+	}
+	a.mu.Unlock()
+	c.mu.Unlock()
 }
 
 // TestDegradedReasonLabeled: a degraded /plan response names the failure
